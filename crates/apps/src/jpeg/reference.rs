@@ -1,0 +1,261 @@
+//! Bit-exact Rust reference of the JPEG encoder mini-C source.
+
+use super::source::{QUANT_TABLE, ZIGZAG};
+
+/// The Q12 DCT-II basis matrix: `C[u][x] = α(u)/2 · cos((2x+1)uπ/16)`,
+/// flattened row-major, exactly what the mini-C source expects in
+/// `dct_cos`.
+pub fn dct_cos_q12() -> Vec<i64> {
+    let mut table = Vec::with_capacity(64);
+    for u in 0..8 {
+        let alpha = if u == 0 {
+            1.0 / (2.0f64).sqrt()
+        } else {
+            1.0
+        };
+        for x in 0..8 {
+            let c = alpha / 2.0
+                * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            table.push((c * 4096.0).round() as i64);
+        }
+    }
+    table
+}
+
+/// Reciprocal quantisation table: `floor(65536 / Q[i])`.
+pub fn quant_recip() -> Vec<i64> {
+    QUANT_TABLE.iter().map(|&q| 65536 / q).collect()
+}
+
+/// A deterministic synthetic greyscale test image (smooth gradients plus
+/// texture — compresses like a natural image rather than noise).
+pub fn synthetic_image(dim: usize, seed: u64) -> Vec<i64> {
+    use amdrel_cdfg::synth::SplitMix64;
+    let mut rng = SplitMix64::new(seed);
+    let mut img = Vec::with_capacity(dim * dim);
+    for y in 0..dim {
+        for x in 0..dim {
+            let gradient = ((x * 96) / dim.max(1) + (y * 64) / dim.max(1)) as i64;
+            let texture = (((x / 4 + y / 4) % 8) * 6) as i64;
+            let noise = (rng.next_u64() % 9) as i64;
+            img.push((64 + gradient + texture + noise).clamp(0, 255));
+        }
+    }
+    img
+}
+
+/// The encoder's output: the bitstream (one bit per element) and summary
+/// statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JpegOutput {
+    /// Emitted bits (0/1), `bit_count` entries.
+    pub bits: Vec<i64>,
+    /// Number of bits emitted (the mini-C `main` return value).
+    pub bit_count: i64,
+}
+
+/// Encode a `dim × dim` image exactly as the mini-C source does.
+///
+/// # Panics
+///
+/// Panics if `image.len() != dim * dim` or `dim` is not a multiple of 8.
+pub fn encode(image: &[i64], dim: usize) -> JpegOutput {
+    assert!(dim % 8 == 0, "dim must be a multiple of 8");
+    assert_eq!(image.len(), dim * dim, "image size");
+    let dct = dct_cos_q12();
+    let recip = quant_recip();
+    let blocks = dim / 8;
+
+    let mut bits: Vec<i64> = Vec::new();
+    let mut prev_dc: i64 = 0;
+
+    let emit_bits = |bits: &mut Vec<i64>, value: i64, len: u32| {
+        for b in (0..len).rev() {
+            bits.push((value >> b) & 1);
+        }
+    };
+    let category = |mut v: i64| -> i64 {
+        if v < 0 {
+            v = -v;
+        }
+        let mut cat = 0;
+        while v > 0 {
+            v >>= 1;
+            cat += 1;
+        }
+        cat
+    };
+    let magnitude_bits = |v: i64, cat: i64| -> i64 {
+        if v < 0 {
+            v + (1 << cat) - 1
+        } else {
+            v
+        }
+    };
+
+    let mut block = [0i64; 64];
+    let mut coef = [0i64; 64];
+    for by in 0..blocks {
+        for bx in 0..blocks {
+            // Level shift.
+            for y in 0..8 {
+                for x in 0..8 {
+                    block[y * 8 + x] = image[(by * 8 + y) * dim + bx * 8 + x] - 128;
+                }
+            }
+            // Row DCT.
+            for r in 0..8 {
+                for u in 0..8 {
+                    let mut sum = 0i64;
+                    for x in 0..8 {
+                        sum += block[r * 8 + x] * dct[u * 8 + x];
+                    }
+                    coef[r * 8 + u] = sum >> 12;
+                }
+            }
+            // Column DCT.
+            for c in 0..8 {
+                for v in 0..8 {
+                    let mut sum = 0i64;
+                    for y in 0..8 {
+                        sum += coef[y * 8 + c] * dct[v * 8 + y];
+                    }
+                    block[v * 8 + c] = sum >> 12;
+                }
+            }
+            // Quantise (reciprocal multiply, round toward zero).
+            for i in 0..64 {
+                let v = block[i];
+                let neg = v < 0;
+                let mut q = (v.abs() * recip[i]) >> 16;
+                if neg {
+                    q = -q;
+                }
+                block[i] = q;
+            }
+            // Zig-zag.
+            let mut zz = [0i64; 64];
+            for i in 0..64 {
+                zz[i] = block[ZIGZAG[i]];
+            }
+            // Entropy code.
+            let diff = zz[0] - prev_dc;
+            prev_dc = zz[0];
+            let cat = category(diff);
+            emit_bits(&mut bits, cat, 4);
+            if cat > 0 {
+                emit_bits(&mut bits, magnitude_bits(diff, cat), cat as u32);
+            }
+            let mut run = 0i64;
+            for &v in &zz[1..] {
+                if v == 0 {
+                    run += 1;
+                } else {
+                    while run > 15 {
+                        emit_bits(&mut bits, 0xF0, 8);
+                        run -= 16;
+                    }
+                    let acat = category(v);
+                    emit_bits(&mut bits, (run << 4) | acat, 8);
+                    emit_bits(&mut bits, magnitude_bits(v, acat), acat as u32);
+                    run = 0;
+                }
+            }
+            if run > 0 {
+                emit_bits(&mut bits, 0, 8);
+            }
+        }
+    }
+
+    let bit_count = bits.len() as i64;
+    JpegOutput { bits, bit_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_table_shape() {
+        let t = dct_cos_q12();
+        assert_eq!(t.len(), 64);
+        // DC row: alpha(0)/2 = 1/(2*sqrt(2)) ≈ 0.35355 → 1448 in Q12.
+        for x in 0..8 {
+            assert_eq!(t[x], 1448, "DC basis element {x}");
+        }
+        // First AC row peaks at cos(pi/16)/2 ≈ 0.4904 → 2009.
+        assert_eq!(t[8], 2009);
+    }
+
+    #[test]
+    fn dct_table_has_exact_symmetry() {
+        // The fast DCT in the mini-C source relies on the rounded Q12
+        // entries satisfying C[u][7-x] == ±C[u][x] exactly (even u: +,
+        // odd u: −). f64 rounding could in principle break this by one
+        // ulp; this test pins that it does not for the real table, which
+        // is the precondition for the fast path being bit-exact with the
+        // matrix product.
+        let t = dct_cos_q12();
+        for u in 0..8 {
+            for x in 0..4 {
+                let a = t[u * 8 + x];
+                let b = t[u * 8 + (7 - x)];
+                if u % 2 == 0 {
+                    assert_eq!(a, b, "C[{u}][{x}] symmetric");
+                } else {
+                    assert_eq!(a, -b, "C[{u}][{x}] antisymmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recip_table_divides() {
+        let r = quant_recip();
+        for (i, (&q, &rc)) in QUANT_TABLE.iter().zip(&r).enumerate() {
+            // (q * rc) >> 16 == 1 exactly when rc = floor(65536/q).
+            assert_eq!((q * rc) >> 16, if 65536 % q == 0 { 1 } else { 0 } | ((q * rc) >> 16),
+                "self-check {i}");
+            assert!(rc > 0);
+        }
+    }
+
+    #[test]
+    fn flat_image_compresses_to_dc_only() {
+        let img = vec![128i64; 64];
+        let out = encode(&img, 8);
+        // Level-shifted zeros: DC diff 0 (cat 0, 4 bits) + EOB (8 bits).
+        assert_eq!(out.bit_count, 12);
+    }
+
+    #[test]
+    fn textured_image_emits_ac_coefficients() {
+        let img = synthetic_image(64, 3);
+        let out = encode(&img, 64);
+        let blocks = (64 / 8) * (64 / 8);
+        assert!(
+            out.bit_count > 12 * blocks,
+            "texture must produce AC symbols: {} bits",
+            out.bit_count
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let img = synthetic_image(32, 9);
+        assert_eq!(encode(&img, 32), encode(&img, 32));
+    }
+
+    #[test]
+    fn synthetic_image_in_range() {
+        let img = synthetic_image(128, 1);
+        assert_eq!(img.len(), 128 * 128);
+        assert!(img.iter().all(|&p| (0..=255).contains(&p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "image size")]
+    fn wrong_image_size_panics() {
+        let _ = encode(&[0; 10], 8);
+    }
+}

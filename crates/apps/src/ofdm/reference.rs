@@ -1,0 +1,224 @@
+//! Bit-exact Rust reference of the OFDM transmitter mini-C source.
+//!
+//! Used to validate the interpreter's semantics: running the mini-C code
+//! through the profiler must produce exactly the same time-domain frame
+//! (and checksum) as this native implementation, because both perform the
+//! same 64-bit integer arithmetic.
+
+/// Q14 twiddle tables for a 64-point (I)FFT: `(cos, sin)(2πk/64)` for
+/// `k = 0..32`.
+pub fn twiddles_q14() -> (Vec<i64>, Vec<i64>) {
+    let mut cos_tab = Vec::with_capacity(32);
+    let mut sin_tab = Vec::with_capacity(32);
+    for k in 0..32 {
+        let theta = 2.0 * std::f64::consts::PI * k as f64 / 64.0;
+        cos_tab.push((theta.cos() * 16384.0).round() as i64);
+        sin_tab.push((theta.sin() * 16384.0).round() as i64);
+    }
+    (cos_tab, sin_tab)
+}
+
+/// The frame produced by the transmitter: 6 symbols × 80 complex samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OfdmFrame {
+    /// Real parts, 480 samples.
+    pub re: Vec<i64>,
+    /// Imaginary parts, 480 samples.
+    pub im: Vec<i64>,
+    /// The checksum returned by `main` (24-bit sum of absolute values).
+    pub checksum: i64,
+}
+
+fn qam16_level(b1: i64, b0: i64) -> i64 {
+    const LEVELS: [i64; 4] = [-3, -1, 3, 1]; // Gray map, index (b1<<1)|b0
+    LEVELS[((b1 << 1) | b0) as usize]
+}
+
+fn data_bins() -> Vec<usize> {
+    let mut bins = Vec::with_capacity(48);
+    for bin in 1..=26 {
+        if bin != 7 && bin != 21 {
+            bins.push(bin);
+        }
+    }
+    for bin in 38..64 {
+        if bin != 43 && bin != 57 {
+            bins.push(bin);
+        }
+    }
+    bins
+}
+
+fn bitrev6(i: usize) -> usize {
+    let mut v = i;
+    let mut r = 0;
+    for _ in 0..6 {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    r
+}
+
+/// Run the transmitter on `bits` (1152 payload bits, values 0/1).
+///
+/// # Panics
+///
+/// Panics if `bits.len() != 1152` or any bit is not 0/1.
+pub fn transmit(bits: &[i64]) -> OfdmFrame {
+    assert_eq!(bits.len(), super::source::PAYLOAD_BITS, "payload size");
+    assert!(bits.iter().all(|&b| b == 0 || b == 1), "bits must be 0/1");
+    let (cos_tab, sin_tab) = twiddles_q14();
+    let bins = data_bins();
+
+    let mut out_re = vec![0i64; 480];
+    let mut out_im = vec![0i64; 480];
+
+    for s in 0..6 {
+        // QAM mapping.
+        let mut qam_re = [0i64; 64];
+        let mut qam_im = [0i64; 64];
+        let base = s * 192;
+        for (g, &bin) in bins.iter().enumerate() {
+            let b3 = bits[base + g * 4];
+            let b2 = bits[base + g * 4 + 1];
+            let b1 = bits[base + g * 4 + 2];
+            let b0 = bits[base + g * 4 + 3];
+            qam_re[bin] = qam16_level(b3, b2) * 4096;
+            qam_im[bin] = qam16_level(b1, b0) * 4096;
+        }
+        for pilot in [7, 21, 43, 57] {
+            qam_re[pilot] = 4096;
+        }
+
+        // 64-point radix-2 DIT IFFT, >>1 per stage, Q14 twiddles.
+        let mut work_re = [0i64; 64];
+        let mut work_im = [0i64; 64];
+        for i in 0..64 {
+            work_re[i] = qam_re[bitrev6(i)];
+            work_im[i] = qam_im[bitrev6(i)];
+        }
+        let mut half = 1usize;
+        let mut step = 32usize;
+        while half < 64 {
+            let mut group = 0;
+            while group < 64 {
+                for k in 0..half {
+                    let c = cos_tab[k * step];
+                    let sn = sin_tab[k * step];
+                    let i0 = group + k;
+                    let i1 = i0 + half;
+                    let tr = (c * work_re[i1] - sn * work_im[i1]) >> 14;
+                    let ti = (c * work_im[i1] + sn * work_re[i1]) >> 14;
+                    let ar = work_re[i0];
+                    let ai = work_im[i0];
+                    work_re[i0] = (ar + tr) >> 1;
+                    work_im[i0] = (ai + ti) >> 1;
+                    work_re[i1] = (ar - tr) >> 1;
+                    work_im[i1] = (ai - ti) >> 1;
+                }
+                group += half * 2;
+            }
+            half *= 2;
+            step >>= 1;
+        }
+
+        // Cyclic prefix.
+        let base = s * 80;
+        for p in 0..16 {
+            out_re[base + p] = work_re[48 + p];
+            out_im[base + p] = work_im[48 + p];
+        }
+        for q in 0..64 {
+            out_re[base + 16 + q] = work_re[q];
+            out_im[base + 16 + q] = work_im[q];
+        }
+    }
+
+    let mut acc: i64 = 0;
+    for n in 0..480 {
+        acc = (acc + out_re[n].abs() + out_im[n].abs()) & 0xFF_FFFF;
+    }
+    OfdmFrame {
+        re: out_re,
+        im: out_im,
+        checksum: acc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_bits() -> Vec<i64> {
+        // Deterministic pseudo-payload.
+        (0..super::super::source::PAYLOAD_BITS as i64)
+            .map(|i| (i * 7 + 3) % 2)
+            .collect()
+    }
+
+    #[test]
+    fn twiddles_are_q14_unit_circle() {
+        let (c, s) = twiddles_q14();
+        assert_eq!(c[0], 16384);
+        assert_eq!(s[0], 0);
+        assert_eq!(c[16], 0); // cos(pi/2)
+        assert_eq!(s[16], 16384); // sin(pi/2)
+        for k in 0..32 {
+            let mag = c[k] * c[k] + s[k] * s[k];
+            let err = (mag - 16384 * 16384).abs();
+            assert!(err < 40_000, "twiddle {k} off the unit circle");
+        }
+    }
+
+    #[test]
+    fn data_bins_are_48_and_avoid_pilots() {
+        let bins = data_bins();
+        assert_eq!(bins.len(), 48);
+        for p in [0usize, 7, 21, 43, 57] {
+            assert!(!bins.contains(&p), "bin {p} must not carry data");
+        }
+    }
+
+    #[test]
+    fn bitrev_is_involution() {
+        for i in 0..64 {
+            assert_eq!(bitrev6(bitrev6(i)), i);
+        }
+    }
+
+    #[test]
+    fn transmit_produces_nonzero_energy() {
+        let frame = transmit(&demo_bits());
+        assert_eq!(frame.re.len(), 480);
+        let energy: i64 = frame.re.iter().map(|v| v * v).sum();
+        assert!(energy > 0, "IFFT output must carry signal energy");
+        assert!(frame.checksum > 0);
+    }
+
+    #[test]
+    fn cyclic_prefix_repeats_symbol_tail() {
+        let frame = transmit(&demo_bits());
+        for s in 0..6 {
+            let base = s * 80;
+            for p in 0..16 {
+                assert_eq!(frame.re[base + p], frame.re[base + 16 + 48 + p]);
+                assert_eq!(frame.im[base + p], frame.im[base + 16 + 48 + p]);
+            }
+        }
+    }
+
+    #[test]
+    fn different_payloads_differ() {
+        let a = transmit(&demo_bits());
+        let mut bits = demo_bits();
+        bits[0] ^= 1;
+        let b = transmit(&bits);
+        assert_ne!(a.re, b.re);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload size")]
+    fn wrong_payload_size_panics() {
+        let _ = transmit(&[0; 10]);
+    }
+}

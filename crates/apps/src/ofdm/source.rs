@@ -1,0 +1,204 @@
+//! The mini-C source of the IEEE 802.11a OFDM transmitter front-end.
+//!
+//! Re-implementation of the AMDREL industrial application the paper
+//! evaluates (§4): "the front-end of the baseband processing of an IEEE
+//! 802.11a OFDM transmitter. The front-end consists of the Quadrature
+//! Amplitude Modulation (QAM) unit, the IFFT block and the cyclic prefix
+//! unit." The workload size matches the paper: **6 payload symbols**.
+//!
+//! Structure (fixed point, Q14 twiddles, ALU + MUL only — no division,
+//! matching the paper's observation that "no divisions are present in the
+//! DFGs"):
+//!
+//! * 16-QAM Gray mapping of 4-bit groups onto 48 data subcarriers, BPSK
+//!   pilots on 4 pilot subcarriers;
+//! * 64-point radix-2 decimation-in-time IFFT with computed bit-reversal
+//!   and per-stage `>> 1` scaling;
+//! * 16-sample cyclic prefix, producing 80 samples per symbol.
+
+/// Number of OFDM payload symbols (the paper's experimental input size).
+pub const SYMBOLS: usize = 6;
+
+/// Payload bits consumed: 6 symbols × 48 carriers × 4 bits (16-QAM).
+pub const PAYLOAD_BITS: usize = SYMBOLS * 48 * 4;
+
+/// The transmitter in mini-C.
+pub const OFDM_SOURCE: &str = r#"
+/* IEEE 802.11a OFDM transmitter front-end: 16-QAM -> 64-pt IFFT -> CP.
+   Fixed point; twiddles in Q14 supplied through cos_tab/sin_tab. */
+
+int bits[1152];        /* input payload: 6 * 48 * 4 bits               */
+int cos_tab[32];       /* input: cos(2*pi*k/64) in Q14, k = 0..31      */
+int sin_tab[32];       /* input: sin(2*pi*k/64) in Q14, k = 0..31      */
+
+int qam_re[64];        /* current symbol's frequency-domain points     */
+int qam_im[64];
+int data_bins[48];     /* data subcarrier indices, computed at start   */
+int work_re[64];       /* IFFT working buffers                         */
+int work_im[64];
+int out_re[480];       /* 6 symbols * 80 samples (64 + 16 CP)          */
+int out_im[480];
+int bitrev[64];        /* 6-bit reversal table, computed at start      */
+
+/* Gray-mapped 16-QAM levels indexed by (b1 << 1) | b0:
+   00->-3 01->-1 11->1 10->3 */
+int qam_levels[4] = {-3, -1, 3, 1};
+
+int qam16_level(int b1, int b0) {
+    return qam_levels[(b1 << 1) | b0];
+}
+
+/* Fill data_bins with the 48 data subcarrier indices: bins 1..26 and
+   38..63 minus the pilot bins {7, 21, 43, 57}. */
+void build_data_bins() {
+    int idx = 0;
+    for (int bin = 1; bin <= 26; bin++) {
+        if (bin != 7 && bin != 21) {
+            data_bins[idx] = bin;
+            idx++;
+        }
+    }
+    for (int hbin = 38; hbin < 64; hbin++) {
+        if (hbin != 43 && hbin != 57) {
+            data_bins[idx] = hbin;
+            idx++;
+        }
+    }
+}
+
+/* Map 48 data groups of 4 bits onto the data subcarriers of symbol s.
+   Pilots (bins 7, 21, 43, 57) are BPSK +1; DC and the guard bins stay
+   zero. */
+void map_symbol(int s) {
+    int base = s * 192;           /* 48 carriers * 4 bits */
+    for (int k = 0; k < 64; k++) {
+        qam_re[k] = 0;
+        qam_im[k] = 0;
+    }
+    for (int g = 0; g < 48; g++) {
+        int b3 = bits[base + g * 4];
+        int b2 = bits[base + g * 4 + 1];
+        int b1 = bits[base + g * 4 + 2];
+        int b0 = bits[base + g * 4 + 3];
+        int bin = data_bins[g];
+        qam_re[bin] = qam16_level(b3, b2) * 4096;   /* scale to Q14-ish */
+        qam_im[bin] = qam16_level(b1, b0) * 4096;
+    }
+    /* BPSK pilots */
+    qam_re[7]  = 4096;
+    qam_re[21] = 4096;
+    qam_re[43] = 4096;
+    qam_re[57] = 4096;
+}
+
+/* 64-point radix-2 DIT IFFT with >>1 scaling per stage.
+   Stage 1 is special-cased (its twiddle is W^0 = 1, so the butterfly
+   degenerates to add/sub) and the remaining stages process butterflies
+   in unrolled pairs - the classic hand optimisation of 2000s DSP code,
+   and bit-exact with the rolled loop since the pairs are independent.
+   The unrolled pair body is the transmitter's hottest basic block. */
+void ifft64() {
+    for (int i = 0; i < 64; i++) {
+        int r = bitrev[i];
+        work_re[i] = qam_re[r];
+        work_im[i] = qam_im[r];
+    }
+    /* stage 1: trivial twiddles */
+    for (int p = 0; p < 64; p += 2) {
+        int ar = work_re[p];
+        int ai = work_im[p];
+        int br = work_re[p + 1];
+        int bi = work_im[p + 1];
+        work_re[p] = (ar + br) >> 1;
+        work_im[p] = (ai + bi) >> 1;
+        work_re[p + 1] = (ar - br) >> 1;
+        work_im[p + 1] = (ai - bi) >> 1;
+    }
+    /* stages 2..6: butterflies two at a time */
+    int half = 2;
+    int step = 16;                 /* twiddle stride */
+    while (half < 64) {
+        for (int group = 0; group < 64; group += half * 2) {
+            for (int k = 0; k < half; k += 2) {
+                /* all loads first so the two butterflies stay independent */
+                int tw = k * step;
+                int c = cos_tab[tw];
+                int sn = sin_tab[tw];     /* +sin for the inverse FFT */
+                int tw2 = tw + step;
+                int c2 = cos_tab[tw2];
+                int sn2 = sin_tab[tw2];
+                int i0 = group + k;
+                int i1 = i0 + half;
+                int j0 = i0 + 1;
+                int j1 = i1 + 1;
+                int ar = work_re[i0];
+                int ai = work_im[i0];
+                int br = work_re[i1];
+                int bi = work_im[i1];
+                int ar2 = work_re[j0];
+                int ai2 = work_im[j0];
+                int br2 = work_re[j1];
+                int bi2 = work_im[j1];
+                /* butterfly k */
+                int tr = (c * br - sn * bi) >> 14;
+                int ti = (c * bi + sn * br) >> 14;
+                work_re[i0] = (ar + tr) >> 1;
+                work_im[i0] = (ai + ti) >> 1;
+                work_re[i1] = (ar - tr) >> 1;
+                work_im[i1] = (ai - ti) >> 1;
+                /* butterfly k + 1 */
+                int tr2 = (c2 * br2 - sn2 * bi2) >> 14;
+                int ti2 = (c2 * bi2 + sn2 * br2) >> 14;
+                work_re[j0] = (ar2 + tr2) >> 1;
+                work_im[j0] = (ai2 + ti2) >> 1;
+                work_re[j1] = (ar2 - tr2) >> 1;
+                work_im[j1] = (ai2 - ti2) >> 1;
+            }
+        }
+        half = half * 2;
+        step = step >> 1;
+    }
+}
+
+/* Prepend the 16-sample cyclic prefix and store 80 output samples. */
+void cyclic_prefix(int s) {
+    int base = s * 80;
+    for (int p = 0; p < 16; p++) {
+        out_re[base + p] = work_re[48 + p];
+        out_im[base + p] = work_im[48 + p];
+    }
+    for (int q = 0; q < 64; q++) {
+        out_re[base + 16 + q] = work_re[q];
+        out_im[base + 16 + q] = work_im[q];
+    }
+}
+
+int main() {
+    /* 6-bit bit-reversal table */
+    for (int i = 0; i < 64; i++) {
+        int v = i;
+        int r = 0;
+        for (int b = 0; b < 6; b++) {
+            r = (r << 1) | (v & 1);
+            v = v >> 1;
+        }
+        bitrev[i] = r;
+    }
+    build_data_bins();
+    for (int s = 0; s < 6; s++) {
+        map_symbol(s);
+        ifft64();
+        cyclic_prefix(s);
+    }
+    /* checksum over the time-domain frame */
+    int acc = 0;
+    for (int n = 0; n < 480; n++) {
+        int re = out_re[n];
+        int im = out_im[n];
+        if (re < 0) { re = 0 - re; }
+        if (im < 0) { im = 0 - im; }
+        acc = (acc + re + im) & 0xFFFFFF;
+    }
+    return acc;
+}
+"#;

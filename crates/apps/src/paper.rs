@@ -1,0 +1,309 @@
+//! The paper's published experimental data (Tables 1–3), plus a synthetic
+//! "paper profile" CDFG generator.
+//!
+//! Two reproduction paths exist in this workspace:
+//!
+//! 1. **re-implemented applications** ([`crate::ofdm`], [`crate::jpeg`]) —
+//!    run the full flow end to end and compare *shapes* against the paper;
+//! 2. **paper profiles** (this module) — drive the partitioning engine
+//!    with the authors' own Table 1 measurements by synthesising a CDFG
+//!    whose blocks have exactly the published `exec_freq`/`bb_weight`
+//!    pairs. This isolates the engine from differences in our frontend
+//!    and applications.
+
+use amdrel_cdfg::{BasicBlock, BlockId, Cdfg, Dfg, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Basic-block number as printed in the paper.
+    pub bb: u32,
+    /// Execution frequency.
+    pub exec_freq: u64,
+    /// Operations weight (`bb_weight`).
+    pub ops_weight: u64,
+    /// `exec_freq × ops_weight`.
+    pub total_weight: u64,
+}
+
+/// Table 1, OFDM transmitter (6 payload symbols): the 8 most
+/// computationally intensive of its 18 basic blocks.
+pub const OFDM_TABLE1: [Table1Row; 8] = [
+    Table1Row { bb: 22, exec_freq: 336, ops_weight: 115, total_weight: 38640 },
+    Table1Row { bb: 12, exec_freq: 1200, ops_weight: 25, total_weight: 30000 },
+    Table1Row { bb: 3, exec_freq: 864, ops_weight: 6, total_weight: 5184 },
+    Table1Row { bb: 5, exec_freq: 370, ops_weight: 12, total_weight: 4440 },
+    Table1Row { bb: 42, exec_freq: 800, ops_weight: 5, total_weight: 4000 },
+    Table1Row { bb: 32, exec_freq: 560, ops_weight: 6, total_weight: 3360 },
+    Table1Row { bb: 29, exec_freq: 448, ops_weight: 7, total_weight: 3136 },
+    Table1Row { bb: 21, exec_freq: 147, ops_weight: 18, total_weight: 2646 },
+];
+
+/// Table 1, JPEG encoder (256×256 image): the 8 most computationally
+/// intensive of its 22 basic blocks.
+pub const JPEG_TABLE1: [Table1Row; 8] = [
+    Table1Row { bb: 6, exec_freq: 355_024, ops_weight: 3, total_weight: 1_065_072 },
+    Table1Row { bb: 2, exec_freq: 8192, ops_weight: 85, total_weight: 696_320 },
+    Table1Row { bb: 1, exec_freq: 8192, ops_weight: 83, total_weight: 679_936 },
+    Table1Row { bb: 22, exec_freq: 65_536, ops_weight: 5, total_weight: 327_680 },
+    Table1Row { bb: 8, exec_freq: 30_927, ops_weight: 8, total_weight: 247_416 },
+    Table1Row { bb: 3, exec_freq: 65_536, ops_weight: 3, total_weight: 196_608 },
+    Table1Row { bb: 16, exec_freq: 63_540, ops_weight: 3, total_weight: 190_620 },
+    Table1Row { bb: 17, exec_freq: 63_540, ops_weight: 2, total_weight: 127_080 },
+];
+
+/// One configuration column of the paper's Table 2 or 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperResult {
+    /// `A_FPGA` in area units.
+    pub area: u64,
+    /// Number of 2×2 CGCs.
+    pub cgcs: usize,
+    /// All-FPGA cycles ("Initial Cycles").
+    pub initial_cycles: u64,
+    /// "Cycles in CGC".
+    pub cycles_in_cgc: u64,
+    /// Basic blocks moved to the coarse-grain hardware.
+    pub moved_bbs: &'static [u32],
+    /// "Final cycles".
+    pub final_cycles: u64,
+    /// "% cycles reduction".
+    pub reduction_percent: f64,
+}
+
+/// The paper's OFDM timing constraint (Table 2): 60 000 clock cycles.
+pub const OFDM_CONSTRAINT: u64 = 60_000;
+
+/// The paper's JPEG timing constraint (Table 3): 11 × 10⁶ clock cycles.
+pub const JPEG_CONSTRAINT: u64 = 11_000_000;
+
+/// Table 2 of the paper (OFDM transmitter).
+pub const OFDM_TABLE2: [PaperResult; 4] = [
+    PaperResult { area: 1500, cgcs: 2, initial_cycles: 263_408, cycles_in_cgc: 53_184, moved_bbs: &[22, 12, 3], final_cycles: 57_088, reduction_percent: 78.3 },
+    PaperResult { area: 1500, cgcs: 3, initial_cycles: 263_408, cycles_in_cgc: 41_472, moved_bbs: &[22, 12], final_cycles: 47_856, reduction_percent: 81.8 },
+    PaperResult { area: 5000, cgcs: 2, initial_cycles: 124_080, cycles_in_cgc: 53_184, moved_bbs: &[22, 12, 3], final_cycles: 56_864, reduction_percent: 54.1 },
+    PaperResult { area: 5000, cgcs: 3, initial_cycles: 124_080, cycles_in_cgc: 41_472, moved_bbs: &[22, 12], final_cycles: 46_512, reduction_percent: 62.5 },
+];
+
+/// Table 3 of the paper (JPEG encoder), cycle figures in raw cycles.
+///
+/// The printed table labels its cycle rows "×10⁶", but that is
+/// inconsistent with its own constraint (11×10⁶ cycles, which "Final
+/// cycles 10558" must satisfy) and reduction percentages; the figures are
+/// evidently in units of 10³. The constants below use that reading
+/// (initial 18.434×10⁶, final 10.558×10⁶, …), under which every
+/// percentage in the table checks out exactly.
+pub const JPEG_TABLE3: [PaperResult; 4] = [
+    PaperResult { area: 1500, cgcs: 2, initial_cycles: 18_434_000, cycles_in_cgc: 5_817_000, moved_bbs: &[6, 2, 1], final_cycles: 10_558_000, reduction_percent: 42.7 },
+    PaperResult { area: 1500, cgcs: 3, initial_cycles: 18_434_000, cycles_in_cgc: 5_699_000, moved_bbs: &[6, 2, 1], final_cycles: 10_411_000, reduction_percent: 43.5 },
+    PaperResult { area: 5000, cgcs: 2, initial_cycles: 12_399_000, cycles_in_cgc: 5_817_000, moved_bbs: &[6, 2, 1], final_cycles: 10_423_000, reduction_percent: 15.9 },
+    PaperResult { area: 5000, cgcs: 3, initial_cycles: 12_399_000, cycles_in_cgc: 5_669_000, moved_bbs: &[6, 2, 1], final_cycles: 10_227_000, reduction_percent: 17.5 },
+];
+
+/// A synthesised application whose analysis profile matches a paper
+/// Table 1: the CDFG plus the execution-frequency vector to feed
+/// [`amdrel_profiler::AnalysisReport::analyze`].
+#[derive(Debug, Clone)]
+pub struct PaperProfile {
+    /// The synthetic CDFG (`bb i` carries the paper's BB *i* where the
+    /// paper lists one; other blocks are light glue).
+    pub cdfg: Cdfg,
+    /// Per-block execution frequencies.
+    pub exec_freq: Vec<u64>,
+}
+
+/// Synthesise a CDFG matching a Table 1 profile.
+///
+/// For each listed row a basic block is built whose DFG has the exact
+/// `ops_weight` under the paper's weights (ALU = 1, MUL = 2, memory 1):
+/// multiply-accumulate chains (the dominant DSP idiom) padded with ALU
+/// ops. All listed blocks are placed inside a loop so kernel extraction
+/// sees them as candidates; `total_blocks − rows` light glue blocks model
+/// the rest of the application (the paper's OFDM has 18 BBs, JPEG 22).
+///
+/// `bb` numbers from the table index directly into the CDFG, so the
+/// engine's "BB no." output is comparable with the paper's.
+///
+/// # Panics
+///
+/// Panics if `total_blocks` is smaller than the largest `bb` number + 2.
+pub fn synthesize_profile(rows: &[Table1Row], total_blocks: usize) -> PaperProfile {
+    let max_bb = rows.iter().map(|r| r.bb).max().unwrap_or(0) as usize;
+    assert!(
+        total_blocks > max_bb + 1,
+        "need at least {} blocks to host BB {max_bb}",
+        max_bb + 2
+    );
+
+    let mut cdfg = Cdfg::new("paper_profile");
+    let mut exec_freq = vec![1u64; total_blocks];
+
+    for i in 0..total_blocks {
+        let row = rows.iter().find(|r| r.bb as usize == i);
+        let (label, dfg) = match row {
+            Some(r) => (format!("bb{}(paper)", r.bb), weight_dfg(r.ops_weight, r.bb)),
+            None => (format!("bb{i}(glue)"), glue_dfg(i)),
+        };
+        if let Some(r) = row {
+            exec_freq[i] = r.exec_freq;
+        }
+        cdfg.add_block(BasicBlock::from_dfg(label, dfg));
+    }
+
+    // Control skeleton: bb0 is the entry; every other block sits in one
+    // big loop bb0 → bb1 → … → bbN-1 → bb1, with bb0 → exit path through
+    // the last block. This puts every listed block inside a loop (kernel
+    // candidates) without modelling the application's exact control flow,
+    // which the engine never consults beyond loop membership.
+    for i in 0..total_blocks - 1 {
+        cdfg.add_edge(BlockId(i as u32), BlockId(i as u32 + 1))
+            .expect("sequential edge");
+    }
+    cdfg.add_edge(BlockId(total_blocks as u32 - 1), BlockId(1)).expect("back edge");
+    PaperProfile { cdfg, exec_freq }
+}
+
+/// Build a DFG with exactly `weight` under ALU=1/MUL=2/mem=1: `k` chained
+/// multiply-adds (weight 3 each) plus ALU padding, fed by a few live-ins
+/// and draining to live-outs (4-in/2-out interface, a typical kernel).
+fn weight_dfg(weight: u64, bb: u32) -> Dfg {
+    let mut dfg = Dfg::new(format!("paper_bb{bb}"));
+    let in0 = dfg.add_op(OpKind::LiveIn, 16);
+    let in1 = dfg.add_op(OpKind::LiveIn, 16);
+    let in2 = dfg.add_op(OpKind::LiveIn, 16);
+    let in3 = dfg.add_op(OpKind::LiveIn, 16);
+    let mut remaining = weight;
+    let mut tail = in0;
+    let mut alt = in1;
+    // Multiply-accumulate segments while ≥3 weight remains.
+    while remaining >= 3 {
+        let m = dfg.add_op(OpKind::Mul, 16);
+        dfg.add_edge(tail, m).expect("edge");
+        dfg.add_edge(alt, m).expect("edge");
+        let a = dfg.add_op(OpKind::Add, 32);
+        dfg.add_edge(m, a).expect("edge");
+        dfg.add_edge(in2, a).expect("edge");
+        tail = a;
+        alt = if alt == in1 { in3 } else { in1 };
+        remaining -= 3;
+    }
+    // ALU padding for the remainder.
+    while remaining > 0 {
+        let a = dfg.add_op(OpKind::Add, 32);
+        dfg.add_edge(tail, a).expect("edge");
+        dfg.add_edge(in3, a).expect("edge");
+        tail = a;
+        remaining -= 1;
+    }
+    let out0 = dfg.add_op(OpKind::LiveOut, 32);
+    dfg.add_edge(tail, out0).expect("edge");
+    let first_mul = dfg
+        .node_ids()
+        .find(|&n| dfg.node(n).kind == OpKind::Mul);
+    if let Some(second) = first_mul {
+        let out1 = dfg.add_op(OpKind::LiveOut, 32);
+        dfg.add_edge(second, out1).expect("edge");
+    }
+    dfg
+}
+
+/// A light glue block: one compare + one add (weight 2), the typical loop
+/// bookkeeping the paper's non-kernel blocks carry.
+fn glue_dfg(i: usize) -> Dfg {
+    let mut dfg = Dfg::new(format!("glue{i}"));
+    let a = dfg.add_op(OpKind::LiveIn, 16);
+    let add = dfg.add_op(OpKind::Add, 16);
+    let cmp = dfg.add_op(OpKind::Lt, 16);
+    dfg.add_edge(a, add).expect("edge");
+    dfg.add_edge(add, cmp).expect("edge");
+    let out = dfg.add_op(OpKind::LiveOut, 16);
+    dfg.add_edge(add, out).expect("edge");
+    dfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdrel_profiler::{bb_weight, AnalysisReport, WeightTable};
+
+    #[test]
+    fn table1_products_hold() {
+        for r in OFDM_TABLE1.iter().chain(&JPEG_TABLE1) {
+            assert_eq!(
+                r.exec_freq * r.ops_weight,
+                r.total_weight,
+                "bb {} total weight",
+                r.bb
+            );
+        }
+    }
+
+    #[test]
+    fn table1_sorted_descending() {
+        for table in [&OFDM_TABLE1[..], &JPEG_TABLE1[..]] {
+            for w in table.windows(2) {
+                assert!(w[0].total_weight >= w[1].total_weight);
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_weights_exact() {
+        let profile = synthesize_profile(&OFDM_TABLE1, 44);
+        let table = WeightTable::paper();
+        for r in &OFDM_TABLE1 {
+            let bb = profile.cdfg.block(BlockId(r.bb));
+            assert_eq!(
+                bb_weight(&bb.dfg, &table),
+                r.ops_weight,
+                "bb {} weight",
+                r.bb
+            );
+            assert_eq!(profile.exec_freq[r.bb as usize], r.exec_freq);
+        }
+    }
+
+    #[test]
+    fn synthesized_analysis_reproduces_table1_ordering() {
+        let profile = synthesize_profile(&JPEG_TABLE1, 24);
+        let report = AnalysisReport::analyze(
+            &profile.cdfg,
+            &profile.exec_freq,
+            &WeightTable::paper(),
+        );
+        let top: Vec<u32> = report
+            .top_kernels(8)
+            .iter()
+            .map(|b| b.block.0)
+            .collect();
+        let expected: Vec<u32> = JPEG_TABLE1.iter().map(|r| r.bb).collect();
+        assert_eq!(top, expected, "kernel ordering must match Table 1");
+        for (row, prof) in JPEG_TABLE1.iter().zip(report.top_kernels(8)) {
+            assert_eq!(prof.total_weight, row.total_weight, "bb {}", row.bb);
+        }
+    }
+
+    #[test]
+    fn synthesized_blocks_are_kernel_candidates() {
+        let profile = synthesize_profile(&OFDM_TABLE1, 44);
+        let report = AnalysisReport::analyze(
+            &profile.cdfg,
+            &profile.exec_freq,
+            &WeightTable::paper(),
+        );
+        for r in &OFDM_TABLE1 {
+            assert!(
+                report.kernels().contains(&BlockId(r.bb)),
+                "bb {} must be a kernel candidate",
+                r.bb
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_blocks_panics() {
+        let _ = synthesize_profile(&OFDM_TABLE1, 10);
+    }
+}

@@ -1,0 +1,82 @@
+//! Bit-exact Rust reference of the Sobel mini-C source.
+
+/// Edge map plus edge count, exactly as the mini-C `main` computes them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SobelOutput {
+    /// Binary edge map (`dim × dim`, border pixels stay 0).
+    pub edges: Vec<i64>,
+    /// Number of edge pixels (the `main` return value).
+    pub count: i64,
+}
+
+/// Run the detector on a `dim × dim` image with the given threshold.
+///
+/// # Panics
+///
+/// Panics if `image.len() != dim * dim` or `dim < 3`.
+pub fn detect(image: &[i64], dim: usize, threshold: i64) -> SobelOutput {
+    assert!(dim >= 3, "Sobel needs at least a 3x3 image");
+    assert_eq!(image.len(), dim * dim, "image size");
+    let mut edges = vec![0i64; dim * dim];
+    let mut count = 0i64;
+    for y in 1..dim - 1 {
+        for x in 1..dim - 1 {
+            let p = |dy: usize, dx: usize| image[(y + dy - 1) * dim + (x + dx - 1)];
+            let gx = (p(0, 2) + 2 * p(1, 2) + p(2, 2)) - (p(0, 0) + 2 * p(1, 0) + p(2, 0));
+            let gy = (p(2, 0) + 2 * p(2, 1) + p(2, 2)) - (p(0, 0) + 2 * p(0, 1) + p(0, 2));
+            let mag = gx.abs() + gy.abs();
+            let edge = i64::from(mag > threshold);
+            edges[y * dim + x] = edge;
+            count += edge;
+        }
+    }
+    SobelOutput { edges, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_image_has_no_edges() {
+        let img = vec![100i64; 64];
+        let out = detect(&img, 8, 50);
+        assert_eq!(out.count, 0);
+        assert!(out.edges.iter().all(|&e| e == 0));
+    }
+
+    #[test]
+    fn vertical_step_detected_along_the_boundary() {
+        // Left half 0, right half 255: edges along the column boundary.
+        let dim = 8;
+        let img: Vec<i64> = (0..dim * dim)
+            .map(|i| if i % dim < dim / 2 { 0 } else { 255 })
+            .collect();
+        let out = detect(&img, dim, 100);
+        assert!(out.count > 0);
+        // Edge pixels concentrate at columns dim/2 - 1 and dim/2.
+        for y in 1..dim - 1 {
+            assert_eq!(out.edges[y * dim + dim / 2 - 1], 1);
+            assert_eq!(out.edges[y * dim + dim / 2], 1);
+            assert_eq!(out.edges[y * dim + 1], 0);
+        }
+    }
+
+    #[test]
+    fn border_pixels_never_fire() {
+        let img: Vec<i64> = (0..64).map(|i| (i * 37) % 256).collect();
+        let out = detect(&img, 8, 1);
+        for i in 0..8 {
+            assert_eq!(out.edges[i], 0, "top row");
+            assert_eq!(out.edges[56 + i], 0, "bottom row");
+            assert_eq!(out.edges[i * 8], 0, "left col");
+            assert_eq!(out.edges[i * 8 + 7], 0, "right col");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "image size")]
+    fn wrong_size_panics() {
+        let _ = detect(&[0; 10], 8, 10);
+    }
+}

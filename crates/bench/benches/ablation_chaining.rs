@@ -1,0 +1,59 @@
+//! Ablation: **CGC operation chaining**. The defining feature of the CGC
+//! datapath ([6]) is that dependent word-level operations chain through
+//! the steering logic within one `T_CGC` cycle (multiply-add in one
+//! cycle). Disabling chaining makes every operation take a full cycle —
+//! how much of the coarse-grain speed comes from chaining?
+
+use amdrel_bench::{jpeg_small_prepared, ofdm_prepared, Prepared};
+use amdrel_coarsegrain::{CdfgCoarseGrainMapping, CgcDatapath, SchedulerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn coarse_cycles(app: &Prepared, dp: &CgcDatapath, cfg: &SchedulerConfig) -> u64 {
+    let exec_freq: Vec<u64> = app.analysis.blocks().iter().map(|b| b.exec_freq).collect();
+    let map = CdfgCoarseGrainMapping::map(&app.program.cdfg, dp, cfg).expect("maps");
+    let kernels = app.analysis.kernels();
+    map.t_coarse(&exec_freq, |i| kernels.contains(&amdrel_cdfg::BlockId(i as u32)))
+}
+
+fn bench_chaining(c: &mut Criterion) {
+    let apps = [ofdm_prepared(), jpeg_small_prepared()];
+    let on = SchedulerConfig { chaining: true, ..SchedulerConfig::default() };
+    let off = SchedulerConfig { chaining: false, ..SchedulerConfig::default() };
+
+    println!("\n========== Ablation: CGC chaining ==========");
+    println!(
+        "{:<28} {:>12} {:>14} {:>14} {:>8}",
+        "app", "datapath", "CGC cyc (on)", "CGC cyc (off)", "speedup"
+    );
+    for app in &apps {
+        for dp in [CgcDatapath::two_2x2(), CgcDatapath::three_2x2()] {
+            let with = coarse_cycles(app, &dp, &on);
+            let without = coarse_cycles(app, &dp, &off);
+            println!(
+                "{:<28} {:>12} {:>14} {:>14} {:>7.2}x",
+                app.name,
+                dp.describe().replace(" CGCs", ""),
+                with,
+                without,
+                without as f64 / with.max(1) as f64
+            );
+        }
+    }
+    println!("=============================================\n");
+
+    let mut group = c.benchmark_group("ablation_chaining");
+    let dp = CgcDatapath::two_2x2();
+    for (label, cfg) in [("chaining_on", on), ("chaining_off", off)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                CdfgCoarseGrainMapping::map(black_box(&apps[0].program.cdfg), &dp, &cfg)
+                    .expect("maps")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaining);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: **shared-memory communication cost**. Sweeps the
+//! cycles-per-word cost of moving kernel live-ins/outs through the shared
+//! data memory, with the paper-faithful engine (moves unconditionally)
+//! and with the `skip_unprofitable` extension. Shows where moving kernels
+//! to the CGC datapath stops paying.
+
+use amdrel_apps::paper;
+use amdrel_bench::ofdm_prepared;
+use amdrel_core::{CommModel, EngineConfig, PartitioningEngine, Platform};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_comm(c: &mut Criterion) {
+    let app = ofdm_prepared();
+
+    println!("\n========== Ablation: communication cost (OFDM, A=1500, three 2x2) ==========");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "cyc/word", "final", "t_comm", "met", "final(skip)", "moves(skip)"
+    );
+    for cycles_per_word in [0u64, 1, 2, 4, 8, 16, 32] {
+        let platform = Platform::paper(1500, 3).with_comm(CommModel {
+            cycles_per_word,
+            setup_cycles: 2,
+        });
+        let faithful = PartitioningEngine::new(&app.program.cdfg, &app.analysis, &platform)
+            .run(paper::OFDM_CONSTRAINT)
+            .expect("engine runs");
+        let skipping = PartitioningEngine::new(&app.program.cdfg, &app.analysis, &platform)
+            .with_config(EngineConfig {
+                skip_unprofitable: true,
+            })
+            .run(paper::OFDM_CONSTRAINT)
+            .expect("engine runs");
+        println!(
+            "{:>10} {:>12} {:>12} {:>10} {:>12} {:>10}",
+            cycles_per_word,
+            faithful.final_cycles(),
+            faithful.breakdown.t_comm,
+            if faithful.met { "yes" } else { "NO" },
+            skipping.final_cycles(),
+            skipping.moves.len(),
+        );
+    }
+    println!("==============================================================================\n");
+
+    let mut group = c.benchmark_group("ablation_comm");
+    for cycles_per_word in [1u64, 8, 32] {
+        let platform = Platform::paper(1500, 3).with_comm(CommModel {
+            cycles_per_word,
+            setup_cycles: 2,
+        });
+        group.bench_function(format!("cpw{cycles_per_word}"), |b| {
+            b.iter(|| {
+                PartitioningEngine::new(
+                    black_box(&app.program.cdfg),
+                    black_box(&app.analysis),
+                    &platform,
+                )
+                .run(paper::OFDM_CONSTRAINT)
+                .expect("engine runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_comm);
+criterion_main!(benches);

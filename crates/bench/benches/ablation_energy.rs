@@ -1,0 +1,79 @@
+//! Ablation: **energy-constrained partitioning** (the paper's future
+//! work). Sweeps the energy budget between the all-FPGA ceiling and the
+//! all-moved floor and reports the moves needed, plus how the ASIC/LUT
+//! per-op energy ratio changes the picture.
+
+use amdrel_bench::ofdm_prepared;
+use amdrel_core::{partition_for_energy, EnergyModel, OpEnergyTable, Platform};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_energy(c: &mut Criterion) {
+    let app = ofdm_prepared();
+    let platform = Platform::paper(1500, 3);
+    let model = EnergyModel::default();
+
+    let floor = partition_for_energy(&app.program.cdfg, &app.analysis, &platform, &model, 0)
+        .expect("energy engine runs");
+    let ceiling = floor.initial.total();
+    let floor_e = floor.energy.total();
+
+    println!("\n========== Ablation: energy budgets (OFDM, A=1500, three 2x2) ==========");
+    println!(
+        "all-FPGA {ceiling} units, floor {floor_e} units ({:.1}% max reduction)",
+        floor.reduction_percent()
+    );
+    println!("{:>12} {:>8} {:>12} {:>6}", "budget", "moves", "final", "met");
+    for pct in [95u64, 80, 60, 40, 20, 5] {
+        let budget = floor_e + (ceiling - floor_e) * pct / 100;
+        let r = partition_for_energy(&app.program.cdfg, &app.analysis, &platform, &model, budget)
+            .expect("energy engine runs");
+        println!(
+            "{:>12} {:>8} {:>12} {:>6}",
+            budget,
+            r.moves.len(),
+            r.energy.total(),
+            if r.met { "yes" } else { "NO" }
+        );
+    }
+
+    println!("\nASIC/LUT per-op energy ratio sweep (budget = floor, i.e. move-everything-that-pays):");
+    println!("{:>8} {:>12} {:>8} {:>10}", "ratio", "final", "moves", "red%");
+    for ratio in [1u64, 2, 4, 8, 16] {
+        let model = EnergyModel {
+            cgc: OpEnergyTable {
+                alu: 8 / ratio.min(8),
+                mul: 40 / ratio.min(40),
+                div: 160 / ratio.min(160),
+                mem: 12,
+            },
+            ..EnergyModel::default()
+        };
+        let r = partition_for_energy(&app.program.cdfg, &app.analysis, &platform, &model, 0)
+            .expect("energy engine runs");
+        println!(
+            "{:>7}x {:>12} {:>8} {:>9.1}%",
+            ratio,
+            r.energy.total(),
+            r.moves.len(),
+            r.reduction_percent()
+        );
+    }
+    println!("==========================================================================\n");
+
+    c.bench_function("energy_engine_ofdm", |b| {
+        b.iter(|| {
+            partition_for_energy(
+                black_box(&app.program.cdfg),
+                black_box(&app.analysis),
+                &platform,
+                &model,
+                0,
+            )
+            .expect("energy engine runs")
+        })
+    });
+}
+
+criterion_group!(benches, bench_energy);
+criterion_main!(benches);

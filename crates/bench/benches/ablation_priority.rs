@@ -1,0 +1,64 @@
+//! Ablation: **list-scheduler priority function**. The paper only says "a
+//! proper list-based scheduler has been developed"; this bench compares
+//! longest-path, least-mobility and FIFO priorities on the applications'
+//! kernel DFGs and on synthetic graphs.
+
+use amdrel_bench::{jpeg_small_prepared, ofdm_prepared, Prepared};
+use amdrel_cdfg::synth::{random_dfg, SynthConfig};
+use amdrel_coarsegrain::{schedule_dfg, CgcDatapath, Priority, SchedulerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn kernel_cycles(app: &Prepared, priority: Priority) -> u64 {
+    let cfg = SchedulerConfig {
+        chaining: true,
+        priority,
+    };
+    let dp = CgcDatapath::two_2x2();
+    app.analysis
+        .kernels()
+        .iter()
+        .map(|&k| {
+            let dfg = &app.program.cdfg.block(k).dfg;
+            let freq = app.analysis.block(k).exec_freq;
+            schedule_dfg(dfg, &dp, &cfg).expect("schedules").length() * freq
+        })
+        .sum()
+}
+
+fn bench_priority(c: &mut Criterion) {
+    let apps = [ofdm_prepared(), jpeg_small_prepared()];
+
+    println!("\n========== Ablation: scheduler priority (kernel CGC cycles, two 2x2) ==========");
+    println!(
+        "{:<28} {:>14} {:>14} {:>14}",
+        "app", "LongestPath", "Mobility", "Fifo"
+    );
+    for app in &apps {
+        println!(
+            "{:<28} {:>14} {:>14} {:>14}",
+            app.name,
+            kernel_cycles(app, Priority::LongestPath),
+            kernel_cycles(app, Priority::Mobility),
+            kernel_cycles(app, Priority::Fifo),
+        );
+    }
+    println!("===============================================================================\n");
+
+    let mut group = c.benchmark_group("ablation_priority");
+    let dfg = random_dfg(11, &SynthConfig { nodes: 200, ..SynthConfig::default() });
+    let dp = CgcDatapath::two_2x2();
+    for priority in [Priority::LongestPath, Priority::Mobility, Priority::Fifo] {
+        let cfg = SchedulerConfig {
+            chaining: true,
+            priority,
+        };
+        group.bench_function(format!("{priority:?}"), |b| {
+            b.iter(|| schedule_dfg(black_box(&dfg), &dp, &cfg).expect("schedules"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_priority);
+criterion_main!(benches);

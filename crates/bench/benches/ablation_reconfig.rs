@@ -1,0 +1,67 @@
+//! Ablation: **reconfiguration accounting policy**. The paper's eq. (4)
+//! charges full reconfiguration on every basic-block execution
+//! (`PerExecution`); the `Resident` policy lets single-partition blocks
+//! keep their bitstream loaded. How much of the all-FPGA cost — and of
+//! the partitioning gain — is reconfiguration traffic?
+
+use amdrel_apps::paper;
+use amdrel_bench::{jpeg_small_prepared, ofdm_prepared};
+use amdrel_core::{PartitioningEngine, Platform};
+use amdrel_finegrain::ReconfigPolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_reconfig(c: &mut Criterion) {
+    let apps = [
+        (ofdm_prepared(), paper::OFDM_CONSTRAINT),
+        (jpeg_small_prepared(), paper::JPEG_CONSTRAINT / 16),
+    ];
+
+    println!("\n========== Ablation: reconfiguration policy ==========");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>8}",
+        "app/policy", "A_FPGA", "initial", "final", "red%"
+    );
+    for (app, constraint) in &apps {
+        for policy in [ReconfigPolicy::PerExecution, ReconfigPolicy::Resident] {
+            for area in [1500u64, 5000] {
+                let mut platform = Platform::paper(area, 3);
+                platform.fpga.reconfig_policy = policy;
+                let r = PartitioningEngine::new(&app.program.cdfg, &app.analysis, &platform)
+                    .run(*constraint)
+                    .expect("engine runs");
+                println!(
+                    "{:<28} {:>10} {:>12} {:>12} {:>7.1}%",
+                    format!("{} {:?}", app.name, policy),
+                    area,
+                    r.initial_cycles,
+                    r.final_cycles(),
+                    r.reduction_percent()
+                );
+            }
+        }
+    }
+    println!("=======================================================\n");
+
+    let mut group = c.benchmark_group("ablation_reconfig");
+    let (ofdm, constraint) = &apps[0];
+    for policy in [ReconfigPolicy::PerExecution, ReconfigPolicy::Resident] {
+        let mut platform = Platform::paper(1500, 3);
+        platform.fpga.reconfig_policy = policy;
+        group.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| {
+                PartitioningEngine::new(
+                    black_box(&ofdm.program.cdfg),
+                    black_box(&ofdm.analysis),
+                    &platform,
+                )
+                .run(*constraint)
+                .expect("engine runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfig);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure-style sweep: **FPGA area vs. cycles**. Extends the paper's two
+//! area points (1500/5000) into a curve and locates the crossover where
+//! the all-FPGA mapping meets the timing constraint on its own (the flow
+//! exits at step 2 and no partitioning is needed).
+
+use amdrel_apps::paper;
+use amdrel_bench::ofdm_prepared;
+use amdrel_core::{PartitioningEngine, Platform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const AREAS: [u64; 8] = [1200, 1500, 2500, 5000, 10_000, 20_000, 40_000, 80_000];
+
+fn bench_area_sweep(c: &mut Criterion) {
+    let app = ofdm_prepared();
+
+    println!("\n========== Area sweep (OFDM, three 2x2 CGCs, constraint 60000) ==========");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8} {:>18}",
+        "A_FPGA", "initial", "final", "moves", "met w/o partition?"
+    );
+    for area in AREAS {
+        let platform = Platform::paper(area, 3);
+        let r = PartitioningEngine::new(&app.program.cdfg, &app.analysis, &platform)
+            .run(paper::OFDM_CONSTRAINT)
+            .expect("engine runs");
+        println!(
+            "{:>8} {:>12} {:>12} {:>8} {:>18}",
+            area,
+            r.initial_cycles,
+            r.final_cycles(),
+            r.moves.len(),
+            if r.met_without_partitioning { "yes (step-2 exit)" } else { "no" },
+        );
+    }
+    println!("==========================================================================\n");
+
+    let mut group = c.benchmark_group("area_sweep_engine");
+    for area in [1500u64, 5000, 20_000] {
+        let platform = Platform::paper(area, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(area), &area, |b, _| {
+            b.iter(|| {
+                PartitioningEngine::new(
+                    black_box(&app.program.cdfg),
+                    black_box(&app.analysis),
+                    &platform,
+                )
+                .run(paper::OFDM_CONSTRAINT)
+                .expect("engine runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_area_sweep);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure-style sweep: **CGC count and geometry vs. coarse-grain cycles**.
+//! Extends the paper's {two, three} × 2×2 configurations with more
+//! instances and larger arrays, showing where kernels stop scaling
+//! (dependency-limited vs. resource-limited).
+
+use amdrel_bench::{jpeg_small_prepared, ofdm_prepared, Prepared};
+use amdrel_coarsegrain::{CdfgCoarseGrainMapping, CgcDatapath, CgcGeometry, SchedulerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn kernel_cgc_cycles(app: &Prepared, dp: &CgcDatapath) -> u64 {
+    let exec_freq: Vec<u64> = app.analysis.blocks().iter().map(|b| b.exec_freq).collect();
+    let map =
+        CdfgCoarseGrainMapping::map(&app.program.cdfg, dp, &SchedulerConfig::default())
+            .expect("maps");
+    let kernels = app.analysis.kernels();
+    map.t_coarse(&exec_freq, |i| kernels.contains(&amdrel_cdfg::BlockId(i as u32)))
+}
+
+fn bench_cgc_sweep(c: &mut Criterion) {
+    let apps = [ofdm_prepared(), jpeg_small_prepared()];
+    let configs: Vec<(String, CgcDatapath)> = [1usize, 2, 3, 4, 6]
+        .iter()
+        .map(|&k| (format!("{k}x 2x2"), CgcDatapath::uniform(k, CgcGeometry::TWO_BY_TWO)))
+        .chain([
+            ("1x 3x3".to_owned(), CgcDatapath::uniform(1, CgcGeometry::new(3, 3))),
+            ("2x 3x3".to_owned(), CgcDatapath::uniform(2, CgcGeometry::new(3, 3))),
+            ("1x 4x4".to_owned(), CgcDatapath::uniform(1, CgcGeometry::new(4, 4))),
+        ])
+        .collect();
+
+    println!("\n========== CGC sweep: kernel cycles in CGC ==========");
+    print!("{:<12}", "datapath");
+    for app in &apps {
+        print!(" {:>26}", app.name);
+    }
+    println!();
+    for (label, dp) in &configs {
+        print!("{label:<12}");
+        for app in &apps {
+            print!(" {:>26}", kernel_cgc_cycles(app, dp));
+        }
+        println!();
+    }
+    println!("======================================================\n");
+
+    let mut group = c.benchmark_group("cgc_sweep_mapping");
+    for (label, dp) in configs.iter().filter(|(l, _)| l == "2x 2x2" || l == "1x 4x4") {
+        group.bench_function(label.replace(' ', "_"), |b| {
+            b.iter(|| {
+                CdfgCoarseGrainMapping::map(
+                    black_box(&apps[0].program.cdfg),
+                    dp,
+                    &SchedulerConfig::default(),
+                )
+                .expect("maps")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cgc_sweep);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Times every stage of the **Figure 2** methodology flow individually:
+//! CDFG creation (frontend), dynamic analysis (interpretation), the
+//! combined analysis step, fine-grain mapping, coarse-grain mapping, and
+//! the partitioning engine. This is the per-step runtime breakdown of the
+//! prototype framework.
+
+use amdrel_apps::{ofdm, paper};
+use amdrel_bench::ofdm_prepared;
+use amdrel_core::{PartitioningEngine, Platform};
+use amdrel_profiler::{AnalysisReport, Interpreter, WeightTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_flow_stages(c: &mut Criterion) {
+    let workload = ofdm::workload(2004);
+    let app = ofdm_prepared();
+    let platform = Platform::paper(1500, 3);
+
+    let mut group = c.benchmark_group("fig2_flow_stages");
+
+    group.bench_function("step1_cdfg_creation", |b| {
+        b.iter(|| amdrel_minic::compile(black_box(&workload.source), "main").expect("compiles"))
+    });
+
+    let inputs = workload.input_refs();
+    group.bench_function("step3_dynamic_analysis", |b| {
+        b.iter(|| {
+            Interpreter::new(black_box(&app.program.ir))
+                .run(&inputs)
+                .expect("runs")
+        })
+    });
+
+    group.bench_function("step3_static_analysis", |b| {
+        b.iter(|| {
+            AnalysisReport::analyze(
+                black_box(&app.program.cdfg),
+                black_box(&app.execution.block_counts),
+                &WeightTable::paper(),
+            )
+        })
+    });
+
+    group.bench_function("step2_fine_grain_mapping", |b| {
+        b.iter(|| {
+            amdrel_finegrain::CdfgFineGrainMapping::map(
+                black_box(&app.program.cdfg),
+                &platform.fpga,
+            )
+            .expect("maps")
+        })
+    });
+
+    group.bench_function("step5_coarse_grain_mapping", |b| {
+        b.iter(|| {
+            amdrel_coarsegrain::CdfgCoarseGrainMapping::map(
+                black_box(&app.program.cdfg),
+                &platform.datapath,
+                &platform.scheduler,
+            )
+            .expect("maps")
+        })
+    });
+
+    group.bench_function("step4_partitioning_engine", |b| {
+        b.iter(|| {
+            PartitioningEngine::new(
+                black_box(&app.program.cdfg),
+                black_box(&app.analysis),
+                &platform,
+            )
+            .run(paper::OFDM_CONSTRAINT)
+            .expect("partitions")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_stages);
+criterion_main!(benches);

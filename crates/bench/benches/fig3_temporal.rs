@@ -1,0 +1,38 @@
+//! Scaling study of the **Figure 3** temporal partitioning algorithm on
+//! synthetic DFGs of growing size, at both of the paper's device areas.
+//! Also prints the partition counts, the quantity the paper's Figure 3
+//! algorithm exists to control.
+
+use amdrel_cdfg::synth::{random_dfg, SynthConfig};
+use amdrel_finegrain::{temporal_partition, FpgaDevice};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_temporal(c: &mut Criterion) {
+    println!("\n========== Figure 3 algorithm: partition counts ==========");
+    println!("{:>8} {:>12} {:>12}", "nodes", "parts@1500", "parts@5000");
+    for &nodes in &[32usize, 128, 512, 2048] {
+        let dfg = random_dfg(7, &SynthConfig { nodes, ..SynthConfig::default() });
+        let p1500 = temporal_partition(&dfg, &FpgaDevice::new(1500)).expect("maps");
+        let p5000 = temporal_partition(&dfg, &FpgaDevice::new(5000)).expect("maps");
+        println!("{:>8} {:>12} {:>12}", nodes, p1500.len(), p5000.len());
+    }
+    println!("===========================================================\n");
+
+    let mut group = c.benchmark_group("fig3_temporal_partitioning");
+    for &nodes in &[32usize, 128, 512, 2048] {
+        let dfg = random_dfg(7, &SynthConfig { nodes, ..SynthConfig::default() });
+        for &area in &[1500u64, 5000] {
+            let device = FpgaDevice::new(area);
+            group.bench_with_input(
+                BenchmarkId::new(format!("a{area}"), nodes),
+                &nodes,
+                |b, _| b.iter(|| temporal_partition(black_box(&dfg), &device).expect("maps")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_temporal);
+criterion_main!(benches);

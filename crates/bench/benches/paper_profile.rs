@@ -1,0 +1,56 @@
+//! The second reproduction path: drive the partitioning engine with the
+//! paper's **own Table 1 profiles** (synthesised CDFGs whose blocks carry
+//! exactly the published `exec_freq`/`bb_weight` pairs), removing our
+//! frontend and applications from the loop. Regenerates Tables 2/3 rows
+//! from the authors' measurements.
+
+use amdrel_apps::paper::{
+    synthesize_profile, JPEG_CONSTRAINT, JPEG_TABLE1, OFDM_CONSTRAINT, OFDM_TABLE1,
+};
+use amdrel_coarsegrain::CgcDatapath;
+use amdrel_core::{format_paper_table, run_grid, PartitioningEngine, Platform};
+use amdrel_profiler::{AnalysisReport, WeightTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_paper_profile(c: &mut Criterion) {
+    // 18 BBs for OFDM (paper §4) — but Table 1 names BBs up to 42, so the
+    // synthetic CDFG is sized to the largest listed id; extra blocks are
+    // light glue. Same for JPEG (22 BBs, ids up to 22).
+    let ofdm = synthesize_profile(&OFDM_TABLE1, 44);
+    let jpeg = synthesize_profile(&JPEG_TABLE1, 24);
+    let table = WeightTable::paper();
+
+    println!("\n====== Paper-profile reproduction (engine driven by the authors' Table 1) ======");
+    for (name, profile, constraint) in [
+        ("OFDM (paper profile)", &ofdm, OFDM_CONSTRAINT),
+        ("JPEG (paper profile)", &jpeg, JPEG_CONSTRAINT),
+    ] {
+        let analysis = AnalysisReport::analyze(&profile.cdfg, &profile.exec_freq, &table);
+        let grid = run_grid(
+            name,
+            &profile.cdfg,
+            &analysis,
+            &Platform::paper(1500, 2),
+            &[1500, 5000],
+            &[CgcDatapath::two_2x2(), CgcDatapath::three_2x2()],
+            constraint,
+        )
+        .expect("grid runs");
+        println!("{}", format_paper_table(&grid));
+    }
+    println!("=================================================================================\n");
+
+    let analysis = AnalysisReport::analyze(&ofdm.cdfg, &ofdm.exec_freq, &table);
+    let platform = Platform::paper(1500, 3);
+    c.bench_function("paper_profile_ofdm_engine", |b| {
+        b.iter(|| {
+            PartitioningEngine::new(black_box(&ofdm.cdfg), black_box(&analysis), &platform)
+                .run(OFDM_CONSTRAINT)
+                .expect("engine runs")
+        })
+    });
+}
+
+criterion_group!(benches, bench_paper_profile);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates **Table 1** of the paper ("Ordered total weights of basic
+//! blocks") for both applications and benchmarks the analysis step
+//! (static weighting + kernel extraction) that produces it.
+
+use amdrel_apps::paper;
+use amdrel_bench::{jpeg_prepared, ofdm_prepared};
+use amdrel_profiler::{AnalysisReport, WeightTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let ofdm = ofdm_prepared();
+    let jpeg = jpeg_prepared();
+
+    println!("\n================ Table 1 reproduction ================");
+    println!(
+        "{}",
+        ofdm.analysis
+            .format_table1("OFDM transmitter (ours, 6 payload symbols)", 8)
+    );
+    println!("paper (OFDM): bb/freq/weight/total");
+    for r in &paper::OFDM_TABLE1 {
+        println!(
+            "{:<10} {:>12} {:>12} {:>14}",
+            r.bb, r.exec_freq, r.ops_weight, r.total_weight
+        );
+    }
+    println!();
+    println!(
+        "{}",
+        jpeg.analysis
+            .format_table1("JPEG encoder (ours, 256x256 image)", 8)
+    );
+    println!("paper (JPEG): bb/freq/weight/total");
+    for r in &paper::JPEG_TABLE1 {
+        println!(
+            "{:<10} {:>12} {:>12} {:>14}",
+            r.bb, r.exec_freq, r.ops_weight, r.total_weight
+        );
+    }
+    println!("======================================================\n");
+
+    let mut group = c.benchmark_group("table1_analysis");
+    group.bench_function("ofdm_analyze", |b| {
+        b.iter(|| {
+            AnalysisReport::analyze(
+                black_box(&ofdm.program.cdfg),
+                black_box(&ofdm.execution.block_counts),
+                &WeightTable::paper(),
+            )
+        })
+    });
+    group.bench_function("jpeg_analyze", |b| {
+        b.iter(|| {
+            AnalysisReport::analyze(
+                black_box(&jpeg.program.cdfg),
+                black_box(&jpeg.execution.block_counts),
+                &WeightTable::paper(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates **Table 3** of the paper ("JPEG partitioning results for
+//! timing constraint of 11×10⁶ clock cycles") and benchmarks one full
+//! partitioning-engine run per platform configuration.
+
+use amdrel_apps::paper;
+use amdrel_bench::jpeg_prepared;
+use amdrel_coarsegrain::CgcDatapath;
+use amdrel_core::{format_paper_table, run_grid, PartitioningEngine, Platform};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let app = jpeg_prepared();
+    let base = Platform::paper(1500, 2);
+
+    let grid = run_grid(
+        "JPEG encoder",
+        &app.program.cdfg,
+        &app.analysis,
+        &base,
+        &[1500, 5000],
+        &[CgcDatapath::two_2x2(), CgcDatapath::three_2x2()],
+        paper::JPEG_CONSTRAINT,
+    )
+    .expect("grid runs");
+
+    println!("\n================ Table 3 reproduction ================");
+    println!("{}", format_paper_table(&grid));
+    println!("paper Table 3 (cycle figures read as x10^3; see amdrel_apps::paper):");
+    for r in &paper::JPEG_TABLE3 {
+        println!(
+            "  A={:<5} {} 2x2 CGCs: initial {:>9}  CGC {:>8}  BBs {:?}  final {:>9}  {:>4.1}%",
+            r.area, r.cgcs, r.initial_cycles, r.cycles_in_cgc, r.moved_bbs, r.final_cycles,
+            r.reduction_percent
+        );
+    }
+    println!("======================================================\n");
+
+    let mut group = c.benchmark_group("table3_engine");
+    group.sample_size(20);
+    for (area, cgcs) in [(1500u64, 2usize), (1500, 3), (5000, 2), (5000, 3)] {
+        let platform = Platform::paper(area, cgcs);
+        group.bench_function(format!("a{area}_cgc{cgcs}"), |b| {
+            b.iter(|| {
+                PartitioningEngine::new(
+                    black_box(&app.program.cdfg),
+                    black_box(&app.analysis),
+                    &platform,
+                )
+                .run(paper::JPEG_CONSTRAINT)
+                .expect("engine runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! # amdrel-bench — shared setup for the benchmark harness
+//!
+//! Each Criterion bench under `benches/` regenerates one table or figure
+//! of the paper (printing the rows once) and times the underlying
+//! algorithms. This crate hosts the workload setup they share.
+
+#![warn(missing_docs)]
+
+use amdrel_apps::{jpeg, ofdm};
+use amdrel_minic::CompiledProgram;
+use amdrel_profiler::{AnalysisReport, Execution, Interpreter, WeightTable};
+
+/// A fully analysed application, ready for the partitioning engine.
+#[derive(Debug)]
+pub struct Prepared {
+    /// Application name.
+    pub name: String,
+    /// Compiled program (IR + CDFG).
+    pub program: CompiledProgram,
+    /// The profiling run.
+    pub execution: Execution,
+    /// The combined analysis.
+    pub analysis: AnalysisReport,
+}
+
+fn prepare(workload: &amdrel_apps::Workload) -> Prepared {
+    let program =
+        amdrel_minic::compile(&workload.source, "main").expect("workload source compiles");
+    let execution = Interpreter::new(&program.ir)
+        .run(&workload.input_refs())
+        .expect("workload runs");
+    let analysis = AnalysisReport::analyze(
+        &program.cdfg,
+        &execution.block_counts,
+        &WeightTable::paper(),
+    );
+    Prepared {
+        name: workload.name.clone(),
+        program,
+        execution,
+        analysis,
+    }
+}
+
+/// The OFDM transmitter at the paper's workload size (6 payload symbols).
+pub fn ofdm_prepared() -> Prepared {
+    prepare(&ofdm::workload(2004))
+}
+
+/// The JPEG encoder at the paper's workload size (256×256).
+pub fn jpeg_prepared() -> Prepared {
+    prepare(&jpeg::workload(jpeg::PAPER_DIM, 2004))
+}
+
+/// The JPEG encoder at a reduced 64×64 size (same structure, ~16× less
+/// interpretation work) for ablations that re-profile repeatedly.
+pub fn jpeg_small_prepared() -> Prepared {
+    prepare(&jpeg::workload(64, 2004))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ofdm_setup_works() {
+        let p = ofdm_prepared();
+        assert!(!p.analysis.kernels().is_empty());
+        assert!(p.execution.instrs_retired > 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Graphviz DOT export for DFGs and CDFGs (debugging / documentation aid).
+
+use crate::cfg::Cdfg;
+use crate::dfg::Dfg;
+use crate::op::OpClass;
+use std::fmt::Write as _;
+
+/// Render a [`Dfg`] as a Graphviz `digraph`.
+///
+/// Nodes are coloured by [`OpClass`] so a glance shows where the multipliers
+/// (the CGC-friendly word-level work) sit.
+///
+/// # Examples
+///
+/// ```
+/// use amdrel_cdfg::{dot, Dfg, OpKind};
+///
+/// let mut dfg = Dfg::new("g");
+/// dfg.add_op(OpKind::Add, 16);
+/// let text = dot::dfg_to_dot(&dfg);
+/// assert!(text.starts_with("digraph"));
+/// ```
+pub fn dfg_to_dot(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(dfg.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (id, node) in dfg.iter() {
+        let color = class_color(node.kind.class());
+        let label = match &node.label {
+            Some(l) => format!("{}\\n{} ({}b)", escape(l), node.kind, node.bitwidth),
+            None => format!("{} ({}b)", node.kind, node.bitwidth),
+        };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\", style=filled, fillcolor=\"{}\"];",
+            id, label, color
+        );
+    }
+    for id in dfg.node_ids() {
+        for &s in dfg.succs(id) {
+            let _ = writeln!(out, "  {} -> {};", id, s);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render the control side of a [`Cdfg`] as a Graphviz `digraph`.
+///
+/// Each block is annotated with its operation count and live-in/out widths.
+pub fn cdfg_to_dot(cdfg: &Cdfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(cdfg.name()));
+    let _ = writeln!(out, "  node [shape=record, fontname=\"monospace\"];");
+    for (id, block) in cdfg.iter() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{{{}|ops: {}|in/out: {}/{}}}\"];",
+            id,
+            escape(&block.label),
+            block.dfg.op_count(),
+            block.live_in,
+            block.live_out,
+        );
+    }
+    for id in cdfg.block_ids() {
+        for &s in cdfg.succs(id) {
+            let _ = writeln!(out, "  {} -> {};", id, s);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn class_color(class: OpClass) -> &'static str {
+    match class {
+        OpClass::Alu => "#cde8ff",
+        OpClass::Mul => "#ffd9b3",
+        OpClass::Div => "#ffb3b3",
+        OpClass::Mem => "#d9f2d9",
+        OpClass::Boundary => "#eeeeee",
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::BasicBlock;
+    use crate::op::OpKind;
+
+    #[test]
+    fn dfg_dot_contains_nodes_and_edges() {
+        let mut g = Dfg::new("t");
+        let a = g.add_op(OpKind::Mul, 16);
+        let b = g.add_op(OpKind::Add, 16);
+        g.add_edge(a, b).unwrap();
+        let dot = dfg_to_dot(&g);
+        assert!(dot.contains("n0 ["));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("mul"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn cdfg_dot_contains_blocks() {
+        let mut g = Cdfg::new("app");
+        let b0 = g.add_block(BasicBlock::from_dfg("init", Dfg::new("init")));
+        let b1 = g.add_block(BasicBlock::from_dfg("loop", Dfg::new("loop")));
+        g.add_edge(b0, b1).unwrap();
+        let dot = cdfg_to_dot(&g);
+        assert!(dot.contains("init"));
+        assert!(dot.contains("bb0 -> bb1;"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g = Dfg::new("quo\"te");
+        g.add_node(crate::dfg::DfgNode::with_label(OpKind::Add, 8, "a\"b"));
+        let dot = dfg_to_dot(&g);
+        assert!(dot.contains("quo\\\"te"));
+        assert!(dot.contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Deterministic synthetic DFG generation.
+//!
+//! Benches and property tests need DFGs of controlled size and shape without
+//! pulling a frontend in. The generator uses an internal SplitMix64 stream so
+//! the same seed always yields the same graph (no dependency on `rand`, no
+//! wall-clock input — reproducible across runs and machines).
+
+use crate::dfg::{Dfg, NodeId};
+use crate::op::OpKind;
+
+/// A deterministic SplitMix64 pseudo-random stream.
+///
+/// Small, fast, and good enough for structural test data. Not a
+/// cryptographic generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // small bounds used in test-data generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Shape parameters for [`random_dfg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Number of schedulable nodes to generate.
+    pub nodes: usize,
+    /// Probability of an edge between an earlier and a later node
+    /// (per candidate pair, capped by `max_fanin`).
+    pub edge_prob: f64,
+    /// Maximum predecessors per node (2 models binary operators).
+    pub max_fanin: usize,
+    /// Fraction of nodes that are multiplications (rest are ALU-class adds).
+    pub mul_fraction: f64,
+    /// Fraction of nodes that are memory loads.
+    pub load_fraction: f64,
+    /// Bitwidth stamped on every node.
+    pub bitwidth: u16,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            nodes: 32,
+            edge_prob: 0.25,
+            max_fanin: 2,
+            mul_fraction: 0.3,
+            load_fraction: 0.1,
+            bitwidth: 16,
+        }
+    }
+}
+
+/// Generate a random DAG-shaped DFG.
+///
+/// Nodes are created in topological order and edges only ever point
+/// forward, so the result is acyclic by construction. Nodes left without
+/// predecessors act as graph inputs.
+///
+/// # Examples
+///
+/// ```
+/// use amdrel_cdfg::synth::{random_dfg, SynthConfig};
+///
+/// let dfg = random_dfg(42, &SynthConfig::default());
+/// assert_eq!(dfg.len(), 32);
+/// assert!(dfg.validate().is_ok());
+/// // Determinism: same seed, same graph.
+/// assert_eq!(dfg, random_dfg(42, &SynthConfig::default()));
+/// ```
+pub fn random_dfg(seed: u64, cfg: &SynthConfig) -> Dfg {
+    let mut rng = SplitMix64::new(seed);
+    let mut dfg = Dfg::new(format!("synth_{seed}"));
+    let mut ids: Vec<NodeId> = Vec::with_capacity(cfg.nodes);
+    for i in 0..cfg.nodes {
+        let r = rng.unit_f64();
+        let kind = if r < cfg.mul_fraction {
+            OpKind::Mul
+        } else if r < cfg.mul_fraction + cfg.load_fraction {
+            OpKind::Load
+        } else {
+            OpKind::Add
+        };
+        let id = dfg.add_op(kind, cfg.bitwidth);
+        // Wire up to max_fanin random earlier nodes.
+        if i > 0 {
+            let mut fanin = 0;
+            // Sample candidate predecessors, biased toward recent nodes so
+            // the graph has depth rather than being a flat fan.
+            let attempts = (i.min(8)).max(1);
+            for _ in 0..attempts {
+                if fanin >= cfg.max_fanin || rng.unit_f64() >= cfg.edge_prob * 4.0 {
+                    continue;
+                }
+                let back = 1 + rng.below(i.min(12) as u64) as usize;
+                let pred = ids[i - back];
+                if dfg.add_edge(pred, id).is_ok() {
+                    fanin += 1;
+                }
+            }
+        }
+        ids.push(id);
+    }
+    dfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..1000 {
+            let v = rng.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_dfg_is_acyclic_across_seeds() {
+        for seed in 0..50 {
+            let dfg = random_dfg(seed, &SynthConfig::default());
+            assert!(dfg.validate().is_ok(), "seed {seed} produced a cycle");
+        }
+    }
+
+    #[test]
+    fn random_dfg_respects_node_count_and_fanin() {
+        let cfg = SynthConfig {
+            nodes: 100,
+            max_fanin: 2,
+            ..SynthConfig::default()
+        };
+        let dfg = random_dfg(9, &cfg);
+        assert_eq!(dfg.len(), 100);
+        for n in dfg.node_ids() {
+            assert!(dfg.preds(n).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn mul_fraction_zero_yields_no_muls() {
+        let cfg = SynthConfig {
+            mul_fraction: 0.0,
+            load_fraction: 0.0,
+            ..SynthConfig::default()
+        };
+        let dfg = random_dfg(3, &cfg);
+        assert!(dfg.iter().all(|(_, n)| n.kind == OpKind::Add));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the graph IR invariants.
+
+use amdrel_cdfg::synth::{random_dfg, SynthConfig};
+use amdrel_cdfg::{alap_levels, asap_levels, critical_path, mobility, path_to_sink, OpKind};
+use proptest::prelude::*;
+
+fn synth_config() -> impl Strategy<Value = SynthConfig> {
+    (2usize..120, 0.05f64..0.6, 1usize..4, 0.0f64..0.5, 0.0f64..0.3).prop_map(
+        |(nodes, edge_prob, max_fanin, mul_fraction, load_fraction)| SynthConfig {
+            nodes,
+            edge_prob,
+            max_fanin,
+            mul_fraction,
+            load_fraction,
+            bitwidth: 16,
+        },
+    )
+}
+
+proptest! {
+    /// ASAP levels strictly increase along every data edge.
+    #[test]
+    fn asap_respects_edges(seed in any::<u64>(), cfg in synth_config()) {
+        let dfg = random_dfg(seed, &cfg);
+        let lv = asap_levels(&dfg).unwrap();
+        for n in dfg.node_ids() {
+            for &s in dfg.succs(n) {
+                prop_assert!(lv.level(n) < lv.level(s));
+            }
+        }
+    }
+
+    /// ALAP levels (at the ASAP horizon) also respect all edges, and every
+    /// node's ALAP is at or after its ASAP.
+    #[test]
+    fn alap_respects_edges_and_bounds(seed in any::<u64>(), cfg in synth_config()) {
+        let dfg = random_dfg(seed, &cfg);
+        let asap = asap_levels(&dfg).unwrap();
+        let alap = alap_levels(&dfg, asap.max_level()).unwrap();
+        for n in dfg.node_ids() {
+            prop_assert!(asap.level(n) <= alap.level(n));
+            for &s in dfg.succs(n) {
+                prop_assert!(alap.level(n) < alap.level(s));
+            }
+        }
+    }
+
+    /// Mobility is exactly alap - asap and never negative (checked via the
+    /// subtraction not panicking and matching the direct computation).
+    #[test]
+    fn mobility_matches_direct(seed in any::<u64>(), cfg in synth_config()) {
+        let dfg = random_dfg(seed, &cfg);
+        let asap = asap_levels(&dfg).unwrap();
+        let alap = alap_levels(&dfg, asap.max_level()).unwrap();
+        let mob = mobility(&dfg).unwrap();
+        for n in dfg.node_ids() {
+            prop_assert_eq!(mob[n.index()], alap.level(n) - asap.level(n));
+        }
+    }
+
+    /// The unit-latency critical path equals the maximum ASAP level over
+    /// schedulable-only graphs (all synth nodes are schedulable).
+    #[test]
+    fn unit_critical_path_is_max_level(seed in any::<u64>(), cfg in synth_config()) {
+        let dfg = random_dfg(seed, &cfg);
+        let lv = asap_levels(&dfg).unwrap();
+        let cp = critical_path(&dfg, |_| 1).unwrap();
+        prop_assert_eq!(cp, u64::from(lv.max_level()));
+    }
+
+    /// path_to_sink of any source node equals the weighted critical path of
+    /// the subgraph below it; in particular the max over all nodes equals
+    /// the graph's critical path.
+    #[test]
+    fn max_path_to_sink_is_critical_path(seed in any::<u64>(), cfg in synth_config()) {
+        let dfg = random_dfg(seed, &cfg);
+        let lat = |k: OpKind| if k == OpKind::Mul { 2 } else { 1 };
+        let p = path_to_sink(&dfg, lat).unwrap();
+        let cp = critical_path(&dfg, lat).unwrap();
+        prop_assert_eq!(p.iter().copied().max().unwrap_or(0), cp);
+    }
+
+    /// Topological order emitted by the graph is a permutation of all nodes
+    /// that respects every edge.
+    #[test]
+    fn topo_order_is_valid_permutation(seed in any::<u64>(), cfg in synth_config()) {
+        let dfg = random_dfg(seed, &cfg);
+        let order = dfg.topo_order().unwrap();
+        prop_assert_eq!(order.len(), dfg.len());
+        let mut pos = vec![usize::MAX; dfg.len()];
+        for (i, n) in order.iter().enumerate() {
+            pos[n.index()] = i;
+        }
+        prop_assert!(pos.iter().all(|&p| p != usize::MAX));
+        for n in dfg.node_ids() {
+            for &s in dfg.succs(n) {
+                prop_assert!(pos[n.index()] < pos[s.index()]);
+            }
+        }
+    }
+
+    /// Generated graphs honour the configured fan-in cap.
+    #[test]
+    fn synth_fanin_cap(seed in any::<u64>(), cfg in synth_config()) {
+        let dfg = random_dfg(seed, &cfg);
+        for n in dfg.node_ids() {
+            prop_assert!(dfg.preds(n).len() <= cfg.max_fanin);
+        }
+    }
+}

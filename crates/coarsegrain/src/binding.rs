@@ -1,0 +1,316 @@
+//! Binding report: validation of a schedule against the datapath and the
+//! derived hardware statistics (CGC utilisation, chain histogram, register
+//! pressure on the register bank).
+//!
+//! §3.3: "the steps of the mapping process are: (a) scheduling of DFG
+//! operations, and (b) binding with the CGCs." The scheduler already picks
+//! concrete sites, so binding here is the verification + reporting step —
+//! exactly what a downstream RTL generator would consume.
+
+use crate::datapath::CgcDatapath;
+use crate::scheduler::{Placement, Schedule, Site};
+use crate::CoarseGrainError;
+use amdrel_cdfg::{Dfg, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics of a bound schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BindingReport {
+    /// Schedule length in `T_CGC` cycles.
+    pub length: u64,
+    /// Operations executed on CGC nodes.
+    pub cgc_ops: u64,
+    /// Operations executed on memory ports.
+    pub mem_ops: u64,
+    /// Fraction of CGC node-cycles actually used (`0.0..=1.0`).
+    pub cgc_utilization: f64,
+    /// Histogram of chain lengths (index 0 = chains of length 1, …).
+    pub chain_histogram: Vec<u64>,
+    /// Peak number of values alive across a cycle boundary (register-bank
+    /// pressure). Includes graph live-ins held for later consumers.
+    pub peak_registers: u64,
+}
+
+impl BindingReport {
+    /// Whether the peak register demand fits the datapath's register bank.
+    pub fn fits_register_bank(&self, datapath: &CgcDatapath) -> bool {
+        self.peak_registers <= u64::from(datapath.register_bank)
+    }
+}
+
+/// Validate `schedule` against `datapath` and derive the binding report.
+///
+/// Checks per-cycle slot/port capacity, chain well-formedness (each
+/// occupied `(cgc, col)` must hold rows `0..k` of a dependency chain) and
+/// precedence.
+///
+/// # Errors
+///
+/// [`CoarseGrainError::InvalidBinding`] describing the first violation.
+pub fn bind(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    datapath: &CgcDatapath,
+) -> Result<BindingReport, CoarseGrainError> {
+    let mut cgc_ops = 0u64;
+    let mut mem_ops = 0u64;
+    // (cycle, cgc, col) → rows used, with the node at each row.
+    let mut columns: HashMap<(u64, u32, u32), Vec<(u32, NodeId)>> = HashMap::new();
+    let mut ports: HashMap<(u64, u32), NodeId> = HashMap::new();
+
+    for n in dfg.node_ids() {
+        let Some(Placement { cycle, site }) = schedule.placement(n) else {
+            if dfg.node(n).kind.is_schedulable() {
+                return Err(CoarseGrainError::InvalidBinding {
+                    reason: format!("schedulable node {n} has no placement"),
+                });
+            }
+            continue;
+        };
+        match site {
+            Site::CgcNode { cgc, col, row } => {
+                let geometry = datapath.cgcs.get(cgc as usize).ok_or_else(|| {
+                    CoarseGrainError::InvalidBinding {
+                        reason: format!("node {n} bound to nonexistent CGC {cgc}"),
+                    }
+                })?;
+                if col >= geometry.cols || row >= geometry.rows {
+                    return Err(CoarseGrainError::InvalidBinding {
+                        reason: format!(
+                            "node {n} bound to ({cgc},{col},{row}) outside {geometry}"
+                        ),
+                    });
+                }
+                columns.entry((cycle, cgc, col)).or_default().push((row, n));
+                cgc_ops += 1;
+            }
+            Site::MemPort { port } => {
+                if port >= datapath.mem_ports {
+                    return Err(CoarseGrainError::InvalidBinding {
+                        reason: format!("node {n} bound to nonexistent port {port}"),
+                    });
+                }
+                if let Some(prev) = ports.insert((cycle, port), n) {
+                    return Err(CoarseGrainError::InvalidBinding {
+                        reason: format!(
+                            "port {port} double-booked at cycle {cycle} by {prev} and {n}"
+                        ),
+                    });
+                }
+                mem_ops += 1;
+            }
+        }
+    }
+
+    // No CGC node double-booked.
+    for ((cycle, cgc, col), rows) in &columns {
+        let mut seen = std::collections::HashSet::new();
+        for &(row, n) in rows {
+            if !seen.insert(row) {
+                return Err(CoarseGrainError::InvalidBinding {
+                    reason: format!(
+                        "cycle {cycle} CGC {cgc} col {col} row {row} double-booked (by {n} among others)"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Precedence: a producer must finish in an earlier cycle, or — the
+    // steering-logic chaining case — sit directly above its consumer in
+    // the same column of the same CGC in the same cycle.
+    for n in dfg.node_ids() {
+        let Some(pn) = schedule.placement(n) else { continue };
+        for &p in dfg.preds(n) {
+            let Some(pp) = schedule.placement(p) else { continue };
+            if pp.cycle < pn.cycle {
+                continue;
+            }
+            if pp.cycle > pn.cycle {
+                return Err(CoarseGrainError::InvalidBinding {
+                    reason: format!("{n} scheduled before its producer {p}"),
+                });
+            }
+            let chained = match (pp.site, pn.site) {
+                (
+                    Site::CgcNode { cgc: c1, col: k1, row: r1 },
+                    Site::CgcNode { cgc: c2, col: k2, row: r2 },
+                ) => c1 == c2 && k1 == k2 && r1 + 1 == r2,
+                _ => false,
+            };
+            if !chained {
+                return Err(CoarseGrainError::InvalidBinding {
+                    reason: format!(
+                        "{n} consumes {p} in the same cycle without being chained directly below it"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Chain histogram: maximal runs of adjacent rows where each node
+    // consumes the one above it.
+    let mut chain_histogram: Vec<u64> = Vec::new();
+    for (_, mut rows) in columns {
+        rows.sort_by_key(|&(r, _)| r);
+        let mut run = 0usize;
+        let mut prev: Option<(u32, NodeId)> = None;
+        let record = |len: usize, hist: &mut Vec<u64>| {
+            if len == 0 {
+                return;
+            }
+            if hist.len() < len {
+                hist.resize(len, 0);
+            }
+            hist[len - 1] += 1;
+        };
+        for &(row, n) in &rows {
+            let chained_onto_prev = prev
+                .is_some_and(|(pr, pn)| pr + 1 == row && dfg.preds(n).contains(&pn));
+            if chained_onto_prev {
+                run += 1;
+            } else {
+                record(run, &mut chain_histogram);
+                run = 1;
+            }
+            prev = Some((row, n));
+        }
+        record(run, &mut chain_histogram);
+    }
+
+    // Register pressure: a value is alive from its producing cycle to the
+    // last cycle that consumes it; it crosses boundary b (between cycle b
+    // and b+1) if produced ≤ b and consumed > b. Same-cycle (chained)
+    // consumption needs no register. Boundary live-ins are alive from
+    // cycle 0 to their last consumer.
+    let length = schedule.length();
+    let mut peak = 0u64;
+    if length > 1 {
+        let produced_at = |n: NodeId| schedule.placement(n).map(|p| p.cycle);
+        let mut crossings = vec![0u64; (length - 1) as usize];
+        for n in dfg.node_ids() {
+            let prod = match produced_at(n) {
+                Some(c) => Some(c),
+                None if !dfg.node(n).kind.is_schedulable() && !dfg.succs(n).is_empty() => {
+                    Some(0) // live-in/const held in the bank from the start
+                }
+                None => None,
+            };
+            let Some(prod) = prod else { continue };
+            let last_use = dfg
+                .succs(n)
+                .iter()
+                .filter_map(|&s| produced_at(s))
+                .max()
+                .unwrap_or(prod);
+            for b in prod..last_use {
+                if (b as usize) < crossings.len() {
+                    crossings[b as usize] += 1;
+                }
+            }
+        }
+        peak = crossings.into_iter().max().unwrap_or(0);
+    }
+
+    let slots = u64::from(datapath.compute_slots());
+    let denom = slots.saturating_mul(length).max(1);
+    Ok(BindingReport {
+        length,
+        cgc_ops,
+        mem_ops,
+        cgc_utilization: cgc_ops as f64 / denom as f64,
+        chain_histogram,
+        peak_registers: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{schedule_dfg, SchedulerConfig};
+    use amdrel_cdfg::synth::{random_dfg, SynthConfig};
+    use amdrel_cdfg::OpKind;
+
+    fn bound(dfg: &Dfg) -> BindingReport {
+        let dp = CgcDatapath::two_2x2();
+        let s = schedule_dfg(dfg, &dp, &SchedulerConfig::default()).unwrap();
+        bind(dfg, &s, &dp).unwrap()
+    }
+
+    #[test]
+    fn mac_report() {
+        let mut dfg = Dfg::new("mac");
+        let m = dfg.add_op(OpKind::Mul, 16);
+        let a = dfg.add_op(OpKind::Add, 32);
+        dfg.add_edge(m, a).unwrap();
+        let r = bound(&dfg);
+        assert_eq!(r.length, 1);
+        assert_eq!(r.cgc_ops, 2);
+        assert_eq!(r.chain_histogram, vec![0, 1]); // one chain of length 2
+        assert_eq!(r.peak_registers, 0); // consumed in-cycle
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        for seed in 0..10 {
+            let dfg = random_dfg(seed, &SynthConfig::default());
+            let r = bound(&dfg);
+            assert!(r.cgc_utilization > 0.0 && r.cgc_utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn register_pressure_counts_cross_cycle_values() {
+        // 8 independent adds (cycle 0..1 on 8 slots? no: 8 adds fill one
+        // cycle exactly on two 2x2) all feeding one final add in cycle 1:
+        // 8 values cross the boundary... but fan-in is limited to the
+        // add's 2 preds. Build 2 producers → 1 consumer two cycles later.
+        let mut dfg = Dfg::new("regs");
+        let p1 = dfg.add_op(OpKind::Add, 32);
+        let p2 = dfg.add_op(OpKind::Add, 32);
+        // A long chain to stretch the schedule.
+        let mut prev = dfg.add_op(OpKind::Add, 32);
+        for _ in 0..6 {
+            let n = dfg.add_op(OpKind::Add, 32);
+            dfg.add_edge(prev, n).unwrap();
+            prev = n;
+        }
+        let sink = dfg.add_op(OpKind::Add, 32);
+        dfg.add_edge(p1, sink).unwrap();
+        dfg.add_edge(p2, sink).unwrap();
+        dfg.add_edge(prev, sink).unwrap();
+        let r = bound(&dfg);
+        assert!(r.peak_registers >= 2, "p1/p2 must be banked, got {}", r.peak_registers);
+    }
+
+    #[test]
+    fn all_random_schedules_bind_cleanly() {
+        let dp = CgcDatapath::three_2x2();
+        for seed in 0..30 {
+            let dfg = random_dfg(seed, &SynthConfig { nodes: 60, ..SynthConfig::default() });
+            let s = schedule_dfg(&dfg, &dp, &SchedulerConfig::default()).unwrap();
+            let r = bind(&dfg, &s, &dp).unwrap();
+            assert_eq!(r.cgc_ops + r.mem_ops, dfg.op_count() as u64);
+        }
+    }
+
+    #[test]
+    fn corrupted_schedule_detected() {
+        // Hand-build an out-of-range binding through serde round-trip
+        // tampering: simplest is to check the nonexistent-CGC path via a
+        // schedule from a larger datapath validated against a smaller one.
+        let mut dfg = Dfg::new("w");
+        for _ in 0..12 {
+            dfg.add_op(OpKind::Add, 32);
+        }
+        let big = CgcDatapath::three_2x2();
+        let small = CgcDatapath::new(vec![crate::CgcGeometry::TWO_BY_TWO]);
+        let s = schedule_dfg(&dfg, &big, &SchedulerConfig::default()).unwrap();
+        // 12 ops on 12 slots: uses CGC 2, which 'small' lacks.
+        assert!(matches!(
+            bind(&dfg, &s, &small),
+            Err(CoarseGrainError::InvalidBinding { .. })
+        ));
+    }
+}

@@ -1,0 +1,161 @@
+//! ASCII Gantt rendering of a CGC schedule — the human-readable view of
+//! what the binding step produced, one row per execution site, one column
+//! per `T_CGC` cycle.
+
+use crate::datapath::CgcDatapath;
+use crate::scheduler::{Schedule, Site};
+use amdrel_cdfg::Dfg;
+use std::fmt::Write as _;
+
+/// Render `schedule` as an ASCII Gantt chart.
+///
+/// Rows are execution sites (`cgc0.c0.r0` … and `mem0` …); columns are
+/// cycles. Each occupied cell shows the node id; `.` marks idle site
+/// cycles. Rendering is deterministic and line-oriented, so snapshots of
+/// it are stable test fixtures.
+///
+/// # Examples
+///
+/// ```
+/// use amdrel_cdfg::{Dfg, OpKind};
+/// use amdrel_coarsegrain::{gantt, schedule_dfg, CgcDatapath, SchedulerConfig};
+///
+/// # fn main() -> Result<(), amdrel_coarsegrain::CoarseGrainError> {
+/// let mut dfg = Dfg::new("mac");
+/// let m = dfg.add_op(OpKind::Mul, 16);
+/// let a = dfg.add_op(OpKind::Add, 32);
+/// dfg.add_edge(m, a)?;
+/// let dp = CgcDatapath::two_2x2();
+/// let s = schedule_dfg(&dfg, &dp, &SchedulerConfig::default())?;
+/// let chart = gantt(&dfg, &s, &dp);
+/// assert!(chart.contains("cgc0.c0.r0"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn gantt(dfg: &Dfg, schedule: &Schedule, datapath: &CgcDatapath) -> String {
+    let cycles = schedule.length() as usize;
+    let cell = 6usize;
+
+    // Row labels in a fixed order: every CGC node, then memory ports.
+    let mut rows: Vec<(String, Vec<Option<String>>)> = Vec::new();
+    for (ci, g) in datapath.cgcs.iter().enumerate() {
+        for col in 0..g.cols {
+            for row in 0..g.rows {
+                rows.push((format!("cgc{ci}.c{col}.r{row}"), vec![None; cycles]));
+            }
+        }
+    }
+    let cgc_rows = rows.len();
+    for p in 0..datapath.mem_ports {
+        rows.push((format!("mem{p}"), vec![None; cycles]));
+    }
+
+    let row_of = |site: Site| -> usize {
+        match site {
+            Site::CgcNode { cgc, col, row } => {
+                let mut idx = 0usize;
+                for (ci, g) in datapath.cgcs.iter().enumerate() {
+                    if ci == cgc as usize {
+                        idx += (col * g.rows + row) as usize;
+                        break;
+                    }
+                    idx += (g.cols * g.rows) as usize;
+                }
+                idx
+            }
+            Site::MemPort { port } => cgc_rows + port as usize,
+        }
+    };
+
+    for n in dfg.node_ids() {
+        if let Some(p) = schedule.placement(n) {
+            let label = format!("{n}");
+            rows[row_of(p.site)].1[p.cycle as usize] = Some(label);
+        }
+    }
+
+    let mut out = String::new();
+    let _ = write!(out, "{:<12}", "site\\cycle");
+    for cy in 0..cycles {
+        let _ = write!(out, "{cy:>cell$}");
+    }
+    out.push('\n');
+    for (label, cells) in rows {
+        let _ = write!(out, "{label:<12}");
+        for c in cells {
+            match c {
+                Some(id) => {
+                    let _ = write!(out, "{id:>cell$}");
+                }
+                None => {
+                    let _ = write!(out, "{:>cell$}", ".");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{schedule_dfg, SchedulerConfig};
+    use amdrel_cdfg::OpKind;
+
+    fn mac_dfg() -> Dfg {
+        let mut dfg = Dfg::new("mac");
+        let m = dfg.add_op(OpKind::Mul, 16);
+        let a = dfg.add_op(OpKind::Add, 32);
+        dfg.add_edge(m, a).unwrap();
+        dfg
+    }
+
+    #[test]
+    fn gantt_places_chained_pair_in_one_column() {
+        let dfg = mac_dfg();
+        let dp = CgcDatapath::two_2x2();
+        let s = schedule_dfg(&dfg, &dp, &SchedulerConfig::default()).unwrap();
+        let chart = gantt(&dfg, &s, &dp);
+        // One cycle wide, nodes n0 and n1 in rows r0/r1 of the same column.
+        let lines: Vec<&str> = chart.lines().collect();
+        let r0 = lines.iter().find(|l| l.starts_with("cgc0.c0.r0")).unwrap();
+        let r1 = lines.iter().find(|l| l.starts_with("cgc0.c0.r1")).unwrap();
+        assert!(r0.contains("n0"));
+        assert!(r1.contains("n1"));
+    }
+
+    #[test]
+    fn gantt_covers_all_sites_and_cycles() {
+        let mut dfg = Dfg::new("wide");
+        for _ in 0..20 {
+            dfg.add_op(OpKind::Add, 32);
+        }
+        for _ in 0..4 {
+            dfg.add_op(OpKind::Load, 32);
+        }
+        let dp = CgcDatapath::two_2x2();
+        let s = schedule_dfg(&dfg, &dp, &SchedulerConfig::default()).unwrap();
+        let chart = gantt(&dfg, &s, &dp);
+        // 8 CGC sites + 4 ports + header = 13 lines.
+        assert_eq!(chart.lines().count(), 13);
+        // Every placed node id appears exactly once.
+        for n in dfg.node_ids() {
+            let id = format!("{n}");
+            let count = chart.matches(&id).count();
+            assert!(count >= 1, "{id} missing from chart");
+        }
+        assert!(chart.contains("mem0"));
+    }
+
+    #[test]
+    fn empty_schedule_renders_header_only_columns() {
+        let dfg = Dfg::new("empty");
+        let dp = CgcDatapath::two_2x2();
+        let s = schedule_dfg(&dfg, &dp, &SchedulerConfig::default()).unwrap();
+        let chart = gantt(&dfg, &s, &dp);
+        assert!(chart.starts_with("site\\cycle"));
+        // No cycles: rows are just labels.
+        assert!(chart.lines().all(|l| !l.contains(" 0 ")));
+    }
+}

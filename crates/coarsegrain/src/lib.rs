@@ -1,0 +1,122 @@
+//! # amdrel-coarsegrain — the CGC coarse-grain datapath
+//!
+//! Models the high-performance coarse-grain datapath of the authors'
+//! FPL'04 paper (reference \[6\] of the DATE paper) that the partitioning
+//! methodology maps kernels onto:
+//!
+//! * [`CgcDatapath`] / [`CgcGeometry`] — k CGCs of n×m mult+ALU nodes,
+//!   shared-memory ports, register bank;
+//! * [`schedule_dfg`] — the chaining-aware list scheduler (§3.3 step (a));
+//! * [`bind`] — binding verification + utilisation/register statistics
+//!   (§3.3 step (b));
+//! * [`CdfgCoarseGrainMapping`] — per-block mapping of a whole CDFG and
+//!   eq. (3)'s `t_coarse`.
+//!
+//! All coarse-grain times are in `T_CGC` cycles; the partitioning engine
+//! converts to FPGA cycles with the platform's clock ratio
+//! (`T_FPGA = 3 × T_CGC` in the paper's experiments).
+//!
+//! # Examples
+//!
+//! ```
+//! use amdrel_cdfg::{Dfg, OpKind};
+//! use amdrel_coarsegrain::{map_dfg, CgcDatapath, SchedulerConfig};
+//!
+//! # fn main() -> Result<(), amdrel_coarsegrain::CoarseGrainError> {
+//! // A multiply-accumulate: mul → add chains through one CGC column.
+//! let mut dfg = Dfg::new("mac");
+//! let m = dfg.add_op(OpKind::Mul, 16);
+//! let a = dfg.add_op(OpKind::Add, 32);
+//! dfg.add_edge(m, a)?;
+//!
+//! let mapping = map_dfg(&dfg, &CgcDatapath::two_2x2(), &SchedulerConfig::default())?;
+//! assert_eq!(mapping.cycles_per_exec(), 1);
+//! assert_eq!(mapping.report.chain_histogram, vec![0, 1]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod binding;
+mod datapath;
+pub mod gantt;
+mod mapping;
+mod scheduler;
+
+pub use binding::{bind, BindingReport};
+pub use gantt::gantt;
+pub use datapath::{CgcDatapath, CgcGeometry};
+pub use mapping::{map_dfg, CdfgCoarseGrainMapping, CoarseGrainMapping};
+pub use scheduler::{
+    length_lower_bound, schedule_dfg, Placement, Priority, Schedule, SchedulerConfig, Site,
+};
+
+use amdrel_cdfg::GraphError;
+use std::fmt;
+
+/// Errors from coarse-grain scheduling and binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoarseGrainError {
+    /// Memory operations exist but the datapath has no shared-memory
+    /// ports.
+    NoMemPorts,
+    /// The scheduler made no progress in a cycle (malformed input).
+    SchedulerStalled {
+        /// The cycle at which no operation could be placed.
+        cycle: u64,
+    },
+    /// A schedule failed binding validation.
+    InvalidBinding {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The underlying DFG was malformed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for CoarseGrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoarseGrainError::NoMemPorts => {
+                f.write_str("DFG contains memory operations but the datapath has no memory ports")
+            }
+            CoarseGrainError::SchedulerStalled { cycle } => {
+                write!(f, "scheduler stalled at cycle {cycle}")
+            }
+            CoarseGrainError::InvalidBinding { reason } => {
+                write!(f, "invalid binding: {reason}")
+            }
+            CoarseGrainError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoarseGrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoarseGrainError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoarseGrainError {
+    fn from(e: GraphError) -> Self {
+        CoarseGrainError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_well_behaved() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<CoarseGrainError>();
+        assert!(CoarseGrainError::NoMemPorts.to_string().contains("memory"));
+    }
+}

@@ -1,0 +1,398 @@
+//! The partitioning engine — the heart of the methodology (steps 2, 4 and
+//! 5 of Figure 2).
+//!
+//! "The partitioning engine moves kernels one by one to the coarse-grain
+//! hardware until the performance requirements are satisfied. After the
+//! movement of each kernel to the coarse-grain hardware, the total
+//! execution time of the application is calculated to check if the timing
+//! constraints are met."
+//!
+//! Total time follows eq. (2): `t_total = t_FPGA + t_coarse + t_comm`,
+//! with `t_FPGA` from eq. (4) (fine-grain temporal-partitioned blocks ×
+//! iteration counts), `t_coarse` from eq. (3) (CGC schedule lengths ×
+//! iteration counts, converted to FPGA cycles by the platform clock
+//! ratio) and `t_comm` from the shared-memory model.
+
+use crate::platform::Platform;
+use crate::CoreError;
+use amdrel_cdfg::{BlockId, Cdfg};
+use amdrel_coarsegrain::CdfgCoarseGrainMapping;
+use amdrel_finegrain::CdfgFineGrainMapping;
+use amdrel_profiler::AnalysisReport;
+use serde::{Deserialize, Serialize};
+
+/// Which hardware a basic block executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Assignment {
+    /// Fine-grain (embedded FPGA) hardware.
+    FineGrain,
+    /// Coarse-grain CGC datapath.
+    CoarseGrain,
+}
+
+/// The eq. (2) decomposition of total execution time, in FPGA cycles
+/// except where noted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// eq. (4): fine-grain time of the blocks still on the FPGA.
+    pub t_fpga: u64,
+    /// eq. (3) in raw CGC cycles (the paper's "Cycles in CGC" row).
+    pub t_coarse_cgc: u64,
+    /// eq. (3) converted to FPGA cycles (`ceil(t_coarse_cgc / ratio)`).
+    pub t_coarse: u64,
+    /// Shared-memory transfer time for the moved kernels.
+    pub t_comm: u64,
+}
+
+impl Breakdown {
+    /// eq. (2): `t_total = t_FPGA + t_coarse + t_comm`.
+    pub fn t_total(&self) -> u64 {
+        self.t_fpga + self.t_coarse + self.t_comm
+    }
+}
+
+/// One step of the engine's kernel-movement loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoveRecord {
+    /// The kernel moved to the coarse-grain hardware.
+    pub kernel: BlockId,
+    /// Its label.
+    pub label: String,
+    /// The timing decomposition *after* this move.
+    pub breakdown: Breakdown,
+}
+
+/// Engine policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Skip kernels whose movement would *increase* `t_total`
+    /// (communication outweighs acceleration). The paper's engine moves
+    /// unconditionally, so this defaults to `false`; the communication
+    /// ablation enables it.
+    pub skip_unprofitable: bool,
+}
+
+/// The complete outcome of a partitioning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionResult {
+    /// The timing constraint, in FPGA cycles.
+    pub constraint: u64,
+    /// All-FPGA execution time (the paper's "Initial Cycles" row).
+    pub initial_cycles: u64,
+    /// `true` if the all-FPGA mapping already met the constraint and the
+    /// flow exited at step 2.
+    pub met_without_partitioning: bool,
+    /// The kernel moves performed, in order.
+    pub moves: Vec<MoveRecord>,
+    /// Final block→hardware assignment.
+    pub assignment: Vec<Assignment>,
+    /// Final timing decomposition.
+    pub breakdown: Breakdown,
+    /// Whether the constraint was met.
+    pub met: bool,
+}
+
+impl PartitionResult {
+    /// Final total cycles (the paper's "Final cycles" row).
+    pub fn final_cycles(&self) -> u64 {
+        self.breakdown.t_total()
+    }
+
+    /// The paper's "% cycles reduction" row:
+    /// `(initial − final) / initial × 100`.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.initial_cycles == 0 {
+            return 0.0;
+        }
+        let initial = self.initial_cycles as f64;
+        (initial - self.final_cycles() as f64) / initial * 100.0
+    }
+
+    /// Block ids moved to the coarse-grain hardware (the paper's "BB no."
+    /// row), in move order.
+    pub fn moved_blocks(&self) -> Vec<BlockId> {
+        self.moves.iter().map(|m| m.kernel).collect()
+    }
+}
+
+/// The partitioning engine.
+#[derive(Debug)]
+pub struct PartitioningEngine<'a> {
+    cdfg: &'a Cdfg,
+    analysis: &'a AnalysisReport,
+    platform: &'a Platform,
+    config: EngineConfig,
+}
+
+impl<'a> PartitioningEngine<'a> {
+    /// A new engine over an analysed application and a platform.
+    pub fn new(cdfg: &'a Cdfg, analysis: &'a AnalysisReport, platform: &'a Platform) -> Self {
+        PartitioningEngine {
+            cdfg,
+            analysis,
+            platform,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Builder-style override of the engine policy.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Run the Figure 2 flow for a timing constraint in FPGA cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] if a block cannot be mapped to either fabric.
+    pub fn run(&self, constraint: u64) -> Result<PartitionResult, CoreError> {
+        let n = self.cdfg.len();
+        let exec_freq: Vec<u64> = self
+            .analysis
+            .blocks()
+            .iter()
+            .map(|b| b.exec_freq)
+            .collect();
+
+        // Step 2: map everything to the fine-grain hardware.
+        let fine = CdfgFineGrainMapping::map(self.cdfg, &self.platform.fpga)?;
+        let initial_cycles = fine.t_fpga(&exec_freq, |_| true);
+        let mut assignment = vec![Assignment::FineGrain; n];
+        if initial_cycles <= constraint {
+            return Ok(PartitionResult {
+                constraint,
+                initial_cycles,
+                met_without_partitioning: true,
+                moves: Vec::new(),
+                assignment,
+                breakdown: Breakdown {
+                    t_fpga: initial_cycles,
+                    t_coarse_cgc: 0,
+                    t_coarse: 0,
+                    t_comm: 0,
+                },
+                met: true,
+            });
+        }
+
+        // Step 5 support: coarse-grain mapping of every block (the engine
+        // only reads the ones it moves; mapping is per-block independent).
+        let coarse =
+            CdfgCoarseGrainMapping::map(self.cdfg, &self.platform.datapath, &self.platform.scheduler)?;
+
+        // Steps 3+4: drain the ordered kernel queue.
+        let mut moves = Vec::new();
+        let mut breakdown = self.breakdown_for(&assignment, &exec_freq, &fine, &coarse);
+        for &kernel in self.analysis.kernels() {
+            if breakdown.t_total() <= constraint {
+                break;
+            }
+            let prev_total = breakdown.t_total();
+            assignment[kernel.index()] = Assignment::CoarseGrain;
+            let candidate = self.breakdown_for(&assignment, &exec_freq, &fine, &coarse);
+            if self.config.skip_unprofitable && candidate.t_total() >= prev_total {
+                assignment[kernel.index()] = Assignment::FineGrain; // revert
+                continue;
+            }
+            breakdown = candidate;
+            moves.push(MoveRecord {
+                kernel,
+                label: self.cdfg.block(kernel).label.clone(),
+                breakdown,
+            });
+        }
+
+        let met = breakdown.t_total() <= constraint;
+        Ok(PartitionResult {
+            constraint,
+            initial_cycles,
+            met_without_partitioning: false,
+            moves,
+            assignment,
+            breakdown,
+            met,
+        })
+    }
+
+    fn breakdown_for(
+        &self,
+        assignment: &[Assignment],
+        exec_freq: &[u64],
+        fine: &CdfgFineGrainMapping,
+        coarse: &CdfgCoarseGrainMapping,
+    ) -> Breakdown {
+        let t_fpga = fine.t_fpga(exec_freq, |i| assignment[i] == Assignment::FineGrain);
+        let t_coarse_cgc =
+            coarse.t_coarse(exec_freq, |i| assignment[i] == Assignment::CoarseGrain);
+        let t_coarse = self.platform.cgc_to_fpga_cycles(t_coarse_cgc);
+        let t_comm: u64 = self
+            .cdfg
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| assignment[*i] == Assignment::CoarseGrain)
+            .map(|(i, (_, bb))| {
+                exec_freq[i]
+                    .saturating_mul(self.platform.comm.cycles_per_exec(bb.live_in, bb.live_out))
+            })
+            .sum();
+        Breakdown {
+            t_fpga,
+            t_coarse_cgc,
+            t_coarse,
+            t_comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdrel_minic::compile;
+    use amdrel_profiler::{Interpreter, WeightTable};
+
+    /// A program with one hot multiply-heavy loop and a cold tail.
+    const HOT_LOOP: &str = r#"
+        int data[256];
+        int out[256];
+        int main() {
+            for (int i = 0; i < 256; i++) {
+                int x = data[i];
+                out[i] = x * x * 3 + x * 7 + 11;
+            }
+            int checksum = 0;
+            for (int j = 0; j < 4; j++) {
+                checksum = checksum + out[j];
+            }
+            return checksum;
+        }
+    "#;
+
+    fn analyzed(src: &str) -> (amdrel_minic::CompiledProgram, AnalysisReport) {
+        let c = compile(src, "main").unwrap();
+        let exec = Interpreter::new(&c.ir).run(&[]).unwrap();
+        let report = AnalysisReport::analyze(&c.cdfg, &exec.block_counts, &WeightTable::paper());
+        (c, report)
+    }
+
+    #[test]
+    fn trivial_constraint_exits_at_step2() {
+        let (c, report) = analyzed(HOT_LOOP);
+        let platform = Platform::paper(5000, 2);
+        let engine = PartitioningEngine::new(&c.cdfg, &report, &platform);
+        let result = engine.run(u64::MAX).unwrap();
+        assert!(result.met_without_partitioning);
+        assert!(result.met);
+        assert!(result.moves.is_empty());
+        assert_eq!(result.final_cycles(), result.initial_cycles);
+    }
+
+    #[test]
+    fn tight_constraint_moves_kernels() {
+        let (c, report) = analyzed(HOT_LOOP);
+        let platform = Platform::paper(1500, 2);
+        let engine = PartitioningEngine::new(&c.cdfg, &report, &platform);
+        // Demand a 2× speed-up over all-FPGA.
+        let initial = engine.run(u64::MAX).unwrap().initial_cycles;
+        let result = engine.run(initial / 2).unwrap();
+        assert!(!result.met_without_partitioning);
+        assert!(!result.moves.is_empty());
+        assert!(result.final_cycles() < result.initial_cycles);
+        // The first move must be the heaviest kernel.
+        assert_eq!(result.moves[0].kernel, report.kernels()[0]);
+    }
+
+    #[test]
+    fn eq2_accounting_identity() {
+        let (c, report) = analyzed(HOT_LOOP);
+        let platform = Platform::paper(1500, 3);
+        let initial = PartitioningEngine::new(&c.cdfg, &report, &platform)
+            .run(u64::MAX)
+            .unwrap()
+            .initial_cycles;
+        let result = PartitioningEngine::new(&c.cdfg, &report, &platform)
+            .run(initial / 3)
+            .unwrap();
+        let b = result.breakdown;
+        assert_eq!(b.t_total(), b.t_fpga + b.t_coarse + b.t_comm);
+        assert_eq!(result.final_cycles(), b.t_total());
+        // Every move's breakdown satisfies the same identity.
+        for m in &result.moves {
+            assert_eq!(m.breakdown.t_total(), m.breakdown.t_fpga + m.breakdown.t_coarse + m.breakdown.t_comm);
+        }
+    }
+
+    #[test]
+    fn impossible_constraint_reports_unmet() {
+        let (c, report) = analyzed(HOT_LOOP);
+        let platform = Platform::paper(1500, 2);
+        let result = PartitioningEngine::new(&c.cdfg, &report, &platform)
+            .run(1)
+            .unwrap();
+        assert!(!result.met);
+        // All kernels were tried.
+        assert_eq!(result.moves.len(), report.kernels().len());
+    }
+
+    #[test]
+    fn moves_follow_kernel_order() {
+        let (c, report) = analyzed(HOT_LOOP);
+        let platform = Platform::paper(1500, 2);
+        let result = PartitioningEngine::new(&c.cdfg, &report, &platform)
+            .run(1)
+            .unwrap();
+        let moved = result.moved_blocks();
+        assert_eq!(&moved[..], &report.kernels()[..moved.len()]);
+    }
+
+    #[test]
+    fn assignment_matches_moves() {
+        let (c, report) = analyzed(HOT_LOOP);
+        let platform = Platform::paper(1500, 2);
+        let result = PartitioningEngine::new(&c.cdfg, &report, &platform)
+            .run(1)
+            .unwrap();
+        for (i, a) in result.assignment.iter().enumerate() {
+            let moved = result.moved_blocks().contains(&amdrel_cdfg::BlockId(i as u32));
+            assert_eq!(moved, *a == Assignment::CoarseGrain);
+        }
+    }
+
+    #[test]
+    fn reduction_percent_sane() {
+        let (c, report) = analyzed(HOT_LOOP);
+        let platform = Platform::paper(1500, 3);
+        let initial = PartitioningEngine::new(&c.cdfg, &report, &platform)
+            .run(u64::MAX)
+            .unwrap()
+            .initial_cycles;
+        let result = PartitioningEngine::new(&c.cdfg, &report, &platform)
+            .run(initial / 2)
+            .unwrap();
+        let r = result.reduction_percent();
+        assert!((0.0..100.0).contains(&r), "reduction {r}%");
+    }
+
+    #[test]
+    fn skip_unprofitable_reverts_bad_moves() {
+        let (c, report) = analyzed(HOT_LOOP);
+        // Make communication brutally expensive so moves don't pay.
+        let platform = Platform::paper(1500, 2).with_comm(crate::CommModel {
+            cycles_per_word: 10_000,
+            setup_cycles: 10_000,
+        });
+        let strict = PartitioningEngine::new(&c.cdfg, &report, &platform)
+            .with_config(EngineConfig {
+                skip_unprofitable: true,
+            })
+            .run(1)
+            .unwrap();
+        // With skipping, final must never exceed initial.
+        assert!(strict.final_cycles() <= strict.initial_cycles);
+        // Paper-faithful engine would blow past initial on this platform.
+        let faithful = PartitioningEngine::new(&c.cdfg, &report, &platform)
+            .run(1)
+            .unwrap();
+        assert!(faithful.final_cycles() > strict.final_cycles());
+    }
+}

@@ -1,0 +1,252 @@
+//! Paper-style experiment grids and their table rendering.
+//!
+//! Tables 2 and 3 of the paper evaluate four configurations per
+//! application (`A_FPGA ∈ {1500, 5000}` × {two, three} 2×2 CGCs) against
+//! one timing constraint. [`run_grid`] reproduces that sweep for any
+//! analysed application; [`format_paper_table`] renders the result in the
+//! paper's row layout.
+
+use crate::engine::{PartitionResult, PartitioningEngine};
+use crate::platform::Platform;
+use crate::CoreError;
+use amdrel_cdfg::Cdfg;
+use amdrel_coarsegrain::CgcDatapath;
+use amdrel_profiler::AnalysisReport;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One cell of the experiment grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// `A_FPGA` of this configuration.
+    pub area: u64,
+    /// Datapath description (e.g. "two 2x2 CGCs").
+    pub datapath: String,
+    /// The partitioning outcome.
+    pub result: PartitionResult,
+}
+
+/// A full experiment grid (one application, one constraint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentGrid {
+    /// Application name.
+    pub app: String,
+    /// The timing constraint in FPGA cycles.
+    pub constraint: u64,
+    /// All evaluated cells, area-major.
+    pub cells: Vec<GridCell>,
+}
+
+/// Run the engine over every `(area, datapath)` combination.
+///
+/// `base` supplies everything except the FPGA area and the CGC datapath
+/// (clock ratio, communication model, scheduler config, FPGA
+/// characterisation other than total area).
+///
+/// # Errors
+///
+/// The first configuration whose mapping fails.
+pub fn run_grid(
+    app: &str,
+    cdfg: &Cdfg,
+    analysis: &AnalysisReport,
+    base: &Platform,
+    areas: &[u64],
+    datapaths: &[CgcDatapath],
+    constraint: u64,
+) -> Result<ExperimentGrid, CoreError> {
+    let mut cells = Vec::with_capacity(areas.len() * datapaths.len());
+    for &area in areas {
+        for dp in datapaths {
+            let mut platform = base.clone();
+            platform.fpga.total_area = area;
+            platform.datapath = dp.clone();
+            let result = PartitioningEngine::new(cdfg, analysis, &platform).run(constraint)?;
+            cells.push(GridCell {
+                area,
+                datapath: dp.describe(),
+                result,
+            });
+        }
+    }
+    Ok(ExperimentGrid {
+        app: app.to_owned(),
+        constraint,
+        cells,
+    })
+}
+
+/// Render the grid in the layout of the paper's Tables 2/3:
+///
+/// ```text
+///                    A_FPGA=1500            A_FPGA=5000
+/// Initial cycles     <initial>              <initial>
+/// CGCs no.           two 2x2   three 2x2    two 2x2   three 2x2
+/// Cycles in CGC      …         …            …         …
+/// BB no.             …         …            …         …
+/// Final cycles       …         …            …         …
+/// % cycles reduction …         …            …         …
+/// ```
+pub fn format_paper_table(grid: &ExperimentGrid) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} partitioning results for timing constraint of {} cycles",
+        grid.app, grid.constraint
+    );
+    let areas: Vec<u64> = {
+        let mut a: Vec<u64> = grid.cells.iter().map(|c| c.area).collect();
+        a.dedup();
+        a
+    };
+    let col = 14usize;
+
+    // Header: areas span their datapath columns.
+    let mut header = format!("{:<20}", "");
+    for &area in &areas {
+        let span = grid.cells.iter().filter(|c| c.area == area).count();
+        header.push_str(&format!("{:<width$}", format!("A_FPGA={area}"), width = col * span));
+    }
+    let _ = writeln!(out, "{header}");
+
+    let cells_for = |area: u64| grid.cells.iter().filter(move |c| c.area == area);
+
+    let mut line = format!("{:<20}", "Initial cycles");
+    for &area in &areas {
+        let span = cells_for(area).count();
+        let initial = cells_for(area)
+            .next()
+            .map(|c| c.result.initial_cycles)
+            .unwrap_or(0);
+        line.push_str(&format!("{:<width$}", initial, width = col * span));
+    }
+    let _ = writeln!(out, "{line}");
+
+    let mut line = format!("{:<20}", "CGCs no.");
+    for &area in &areas {
+        for c in cells_for(area) {
+            let dp = c.datapath.trim_end_matches(" CGCs");
+            line.push_str(&format!("{:<col$}", dp));
+        }
+    }
+    let _ = writeln!(out, "{line}");
+
+    let mut line = format!("{:<20}", "Cycles in CGC");
+    for &area in &areas {
+        for c in cells_for(area) {
+            line.push_str(&format!("{:<col$}", c.result.breakdown.t_coarse_cgc));
+        }
+    }
+    let _ = writeln!(out, "{line}");
+
+    let mut line = format!("{:<20}", "BB no.");
+    for &area in &areas {
+        for c in cells_for(area) {
+            let moved = c.result.moved_blocks();
+            let shown: Vec<String> = moved.iter().take(3).map(|b| b.index().to_string()).collect();
+            let text = if moved.len() > 3 {
+                format!("{}+{}", shown.join(","), moved.len() - 3)
+            } else {
+                shown.join(",")
+            };
+            line.push_str(&format!("{:<col$}", text));
+        }
+    }
+    let _ = writeln!(out, "{line}");
+
+    let mut line = format!("{:<20}", "Final cycles");
+    for &area in &areas {
+        for c in cells_for(area) {
+            line.push_str(&format!("{:<col$}", c.result.final_cycles()));
+        }
+    }
+    let _ = writeln!(out, "{line}");
+
+    let mut line = format!("{:<20}", "% cycles reduction");
+    for &area in &areas {
+        for c in cells_for(area) {
+            line.push_str(&format!("{:<col$.1}", c.result.reduction_percent()));
+        }
+    }
+    let _ = writeln!(out, "{line}");
+
+    let mut line = format!("{:<20}", "constraint met");
+    for &area in &areas {
+        for c in cells_for(area) {
+            line.push_str(&format!("{:<col$}", if c.result.met { "yes" } else { "NO" }));
+        }
+    }
+    let _ = writeln!(out, "{line}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdrel_minic::compile;
+    use amdrel_profiler::{Interpreter, WeightTable};
+
+    fn grid() -> ExperimentGrid {
+        let src = r#"
+            int data[128];
+            int main() {
+                int acc = 0;
+                for (int i = 0; i < 128; i++) {
+                    acc += data[i] * data[i] * 5 + data[i];
+                }
+                return acc;
+            }
+        "#;
+        let c = compile(src, "main").unwrap();
+        let exec = Interpreter::new(&c.ir).run(&[]).unwrap();
+        let report = AnalysisReport::analyze(&c.cdfg, &exec.block_counts, &WeightTable::paper());
+        let base = Platform::paper(1500, 2);
+        let initial = PartitioningEngine::new(&c.cdfg, &report, &base)
+            .run(u64::MAX)
+            .unwrap()
+            .initial_cycles;
+        run_grid(
+            "toy",
+            &c.cdfg,
+            &report,
+            &base,
+            &[1500, 5000],
+            &[CgcDatapath::two_2x2(), CgcDatapath::three_2x2()],
+            initial / 2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grid_has_four_cells() {
+        let g = grid();
+        assert_eq!(g.cells.len(), 4);
+        assert_eq!(g.cells[0].area, 1500);
+        assert_eq!(g.cells[3].area, 5000);
+    }
+
+    #[test]
+    fn larger_area_smaller_initial() {
+        let g = grid();
+        let initial_1500 = g.cells[0].result.initial_cycles;
+        let initial_5000 = g.cells[2].result.initial_cycles;
+        assert!(initial_5000 <= initial_1500);
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let g = grid();
+        let t = format_paper_table(&g);
+        for row in [
+            "Initial cycles",
+            "CGCs no.",
+            "Cycles in CGC",
+            "BB no.",
+            "Final cycles",
+            "% cycles reduction",
+        ] {
+            assert!(t.contains(row), "missing row {row} in:\n{t}");
+        }
+        assert!(t.contains("A_FPGA=1500") && t.contains("A_FPGA=5000"));
+    }
+}

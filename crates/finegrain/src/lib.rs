@@ -1,0 +1,111 @@
+//! # amdrel-finegrain — the fine-grain (embedded FPGA) side of the platform
+//!
+//! Models the fine-grain reconfigurable hardware of the generic platform
+//! (Figure 1 of Galanis et al., DATE 2004) and implements the paper's
+//! mapping methodology for it:
+//!
+//! * [`FpgaDevice`] — parameterised timing/area characterisation
+//!   (`A_FPGA`, 70% routable fraction, reconfiguration cost);
+//! * [`temporal_partition`] — the ASAP-level temporal partitioning
+//!   algorithm, a line-by-line transcription of the paper's Figure 3;
+//! * [`map_dfg`] / [`CdfgFineGrainMapping`] — per-block execution time and
+//!   the whole-application `t_FPGA` of eq. (4), including full
+//!   reconfiguration per temporal partition.
+//!
+//! # Examples
+//!
+//! ```
+//! use amdrel_cdfg::{Dfg, OpKind};
+//! use amdrel_finegrain::{map_dfg, FpgaDevice};
+//!
+//! # fn main() -> Result<(), amdrel_finegrain::FineGrainError> {
+//! let mut dfg = Dfg::new("fir_tap");
+//! let x = dfg.add_op(OpKind::LiveIn, 16);
+//! let m = dfg.add_op(OpKind::Mul, 16);
+//! let a = dfg.add_op(OpKind::Add, 32);
+//! dfg.add_edge(x, m)?;
+//! dfg.add_edge(m, a)?;
+//!
+//! let device = FpgaDevice::new(1500); // the paper's small configuration
+//! let mapping = map_dfg(&dfg, &device)?;
+//! assert_eq!(mapping.partitioning.len(), 1);
+//! assert!(mapping.cycles_per_exec() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod device;
+mod mapping;
+pub mod report;
+mod temporal;
+
+pub use device::{AreaLibrary, FpgaDevice, FpgaLatency, ReconfigPolicy};
+pub use mapping::{map_dfg, CdfgFineGrainMapping, FineGrainMapping};
+pub use temporal::{temporal_partition, TemporalPartition, TemporalPartitioning};
+
+use amdrel_cdfg::{GraphError, NodeId};
+use std::fmt;
+
+/// Errors from fine-grain mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FineGrainError {
+    /// A single operation is larger than the usable device area.
+    NodeTooLarge {
+        /// The offending node.
+        node: NodeId,
+        /// Its area.
+        area: u64,
+        /// The usable device area.
+        usable: u64,
+    },
+    /// The underlying DFG was malformed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for FineGrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FineGrainError::NodeTooLarge { node, area, usable } => write!(
+                f,
+                "node {node} needs {area} area units but only {usable} are usable"
+            ),
+            FineGrainError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FineGrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FineGrainError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for FineGrainError {
+    fn from(e: GraphError) -> Self {
+        FineGrainError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_well_behaved() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<FineGrainError>();
+        let e = FineGrainError::NodeTooLarge {
+            node: NodeId(3),
+            area: 120,
+            usable: 70,
+        };
+        assert!(e.to_string().contains("120"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the Figure 3 temporal partitioning
+//! invariants over random DFGs.
+
+use amdrel_cdfg::synth::{random_dfg, SynthConfig};
+use amdrel_cdfg::{asap_levels, OpClass};
+use amdrel_finegrain::{map_dfg, temporal_partition, FpgaDevice, ReconfigPolicy};
+use proptest::prelude::*;
+
+fn synth_config() -> impl Strategy<Value = SynthConfig> {
+    (2usize..150, 0.05f64..0.6, 1usize..4, 0.0f64..0.5, 0.0f64..0.3).prop_map(
+        |(nodes, edge_prob, max_fanin, mul_fraction, load_fraction)| SynthConfig {
+            nodes,
+            edge_prob,
+            max_fanin,
+            mul_fraction,
+            load_fraction,
+            bitwidth: 16,
+        },
+    )
+}
+
+fn device() -> impl Strategy<Value = FpgaDevice> {
+    (1200u64..20_000, 1u64..100).prop_map(|(area, reconfig)| {
+        FpgaDevice::new(area).with_reconfig_cycles(reconfig)
+    })
+}
+
+proptest! {
+    /// Every schedulable node lands in exactly one partition; boundary
+    /// nodes in none.
+    #[test]
+    fn partition_covers_each_node_once(
+        seed in any::<u64>(),
+        cfg in synth_config(),
+        dev in device(),
+    ) {
+        let dfg = random_dfg(seed, &cfg);
+        let tp = temporal_partition(&dfg, &dev).expect("partitions");
+        let mut seen = vec![0u32; dfg.len()];
+        for p in tp.partitions() {
+            for &n in &p.nodes {
+                seen[n.index()] += 1;
+            }
+        }
+        for n in dfg.node_ids() {
+            let expected = u32::from(dfg.node(n).kind.is_schedulable());
+            prop_assert_eq!(seen[n.index()], expected, "node {}", n);
+            if expected == 1 {
+                prop_assert!(tp.partition_of(n) >= 1);
+            } else {
+                prop_assert_eq!(tp.partition_of(n), 0);
+            }
+        }
+    }
+
+    /// No partition exceeds the usable area, and recorded areas are the
+    /// sum of their nodes' areas.
+    #[test]
+    fn partition_area_bounded(
+        seed in any::<u64>(),
+        cfg in synth_config(),
+        dev in device(),
+    ) {
+        let dfg = random_dfg(seed, &cfg);
+        let tp = temporal_partition(&dfg, &dev).expect("partitions");
+        for p in tp.partitions() {
+            prop_assert!(p.area <= dev.usable_area(), "partition {} area", p.index);
+            let sum: u64 = p.nodes.iter().map(|&n| dev.area.node_area(dfg.node(n))).sum();
+            prop_assert_eq!(sum, p.area);
+        }
+    }
+
+    /// ASAP level order is preserved: nodes appear in non-decreasing
+    /// level order across the concatenated partitions (the Figure 3
+    /// traversal discipline).
+    #[test]
+    fn level_order_preserved(
+        seed in any::<u64>(),
+        cfg in synth_config(),
+        dev in device(),
+    ) {
+        let dfg = random_dfg(seed, &cfg);
+        let levels = asap_levels(&dfg).expect("acyclic");
+        let tp = temporal_partition(&dfg, &dev).expect("partitions");
+        let mut last = 0u32;
+        for p in tp.partitions() {
+            for &n in &p.nodes {
+                let lv = levels.level(n);
+                prop_assert!(lv >= last, "level regression at {}", n);
+                last = lv;
+            }
+        }
+    }
+
+    /// Partition indices are 1..=len in order, and each partition's
+    /// `levels` list is ascending and consistent with its nodes.
+    #[test]
+    fn partition_metadata_consistent(
+        seed in any::<u64>(),
+        cfg in synth_config(),
+        dev in device(),
+    ) {
+        let dfg = random_dfg(seed, &cfg);
+        let levels = asap_levels(&dfg).expect("acyclic");
+        let tp = temporal_partition(&dfg, &dev).expect("partitions");
+        for (k, p) in tp.partitions().iter().enumerate() {
+            prop_assert_eq!(p.index, k as u32 + 1);
+            prop_assert!(p.levels.windows(2).all(|w| w[0] < w[1]));
+            for &n in &p.nodes {
+                prop_assert!(p.levels.contains(&levels.level(n)));
+            }
+        }
+    }
+
+    /// A larger device never yields more partitions or more cycles.
+    #[test]
+    fn monotone_in_area(seed in any::<u64>(), cfg in synth_config()) {
+        let dfg = random_dfg(seed, &cfg);
+        let small = map_dfg(&dfg, &FpgaDevice::new(1500)).expect("maps");
+        let large = map_dfg(&dfg, &FpgaDevice::new(6000)).expect("maps");
+        prop_assert!(large.partitioning.len() <= small.partitioning.len());
+        prop_assert!(large.cycles_per_exec() <= small.cycles_per_exec());
+    }
+
+    /// Resident policy never charges more reconfiguration than
+    /// per-execution, and they agree for multi-partition mappings.
+    #[test]
+    fn reconfig_policies_ordered(seed in any::<u64>(), cfg in synth_config()) {
+        let dfg = random_dfg(seed, &cfg);
+        let per = map_dfg(&dfg, &FpgaDevice::new(2000)).expect("maps");
+        let res = map_dfg(
+            &dfg,
+            &FpgaDevice::new(2000).with_reconfig_policy(ReconfigPolicy::Resident),
+        )
+        .expect("maps");
+        prop_assert!(res.reconfig_cycles <= per.reconfig_cycles);
+        if per.partitioning.len() > 1 {
+            prop_assert_eq!(res.reconfig_cycles, per.reconfig_cycles);
+        }
+        prop_assert_eq!(res.compute_cycles, per.compute_cycles);
+    }
+
+    /// Compute cycles are bounded below by the latency-weighted critical
+    /// path (levels can only serialise further, never compress).
+    #[test]
+    fn compute_cycles_at_least_critical_path(
+        seed in any::<u64>(),
+        cfg in synth_config(),
+        dev in device(),
+    ) {
+        let dfg = random_dfg(seed, &cfg);
+        let map = map_dfg(&dfg, &dev).expect("maps");
+        let cp = amdrel_cdfg::critical_path(&dfg, |k| dev.latency.op_latency(k))
+            .expect("acyclic");
+        prop_assert!(
+            map.compute_cycles >= cp,
+            "compute {} < critical path {cp}",
+            map.compute_cycles
+        );
+    }
+
+    /// Mem-class nodes cost area too (no free loads): histograms with
+    /// memory ops yield strictly positive partition areas.
+    #[test]
+    fn areas_strictly_positive(seed in any::<u64>(), cfg in synth_config()) {
+        let dfg = random_dfg(seed, &cfg);
+        let dev = FpgaDevice::new(4000);
+        let tp = temporal_partition(&dfg, &dev).expect("partitions");
+        for p in tp.partitions() {
+            prop_assert!(p.area > 0);
+            prop_assert!(!p.nodes.is_empty());
+        }
+        // Class histogram sanity: no boundary class ever counted.
+        prop_assert!(!dfg.class_histogram().contains_key(&OpClass::Boundary));
+    }
+}

@@ -1,0 +1,427 @@
+//! Hand-written lexer for mini-C.
+//!
+//! Plays the role Lex plays in the paper's prototype framework: it is the
+//! first thing the analysis flow runs over the source. Supports `//` line
+//! and `/* */` block comments, decimal and `0x` hexadecimal literals.
+
+use crate::token::{Keyword, Span, Token, TokenKind};
+use crate::CompileError;
+
+/// Lex `src` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on unknown characters, malformed literals, or
+/// unterminated block comments.
+///
+/// # Examples
+///
+/// ```
+/// use amdrel_minic::lexer::lex;
+/// use amdrel_minic::token::TokenKind;
+///
+/// # fn main() -> Result<(), amdrel_minic::CompileError> {
+/// let tokens = lex("int x = 0x10;")?;
+/// assert_eq!(tokens.len(), 6); // int, x, =, 16, ;, EOF
+/// assert!(matches!(tokens[3].kind, TokenKind::IntLit(16)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: (usize, u32, u32)) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start.0, self.pos, start.1, start.2),
+        });
+    }
+
+    fn error(&self, start: (usize, u32, u32), message: impl Into<String>) -> CompileError {
+        CompileError::new(message, Span::new(start.0, self.pos, start.1, start.2))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match c {
+                b'0'..=b'9' => self.number(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                _ => self.symbol(start)?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.error(start, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self, start: (usize, u32, u32)) -> Result<(), CompileError> {
+        let mut value: i64 = 0;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x' | b'X')) {
+            self.bump();
+            self.bump();
+            let mut any = false;
+            while let Some(c) = self.peek() {
+                let digit = match c {
+                    b'0'..=b'9' => i64::from(c - b'0'),
+                    b'a'..=b'f' => i64::from(c - b'a' + 10),
+                    b'A'..=b'F' => i64::from(c - b'A' + 10),
+                    _ => break,
+                };
+                any = true;
+                value = value
+                    .checked_mul(16)
+                    .and_then(|v| v.checked_add(digit))
+                    .ok_or_else(|| self.error(start, "integer literal overflows i64"))?;
+                self.bump();
+            }
+            if !any {
+                return Err(self.error(start, "hexadecimal literal has no digits"));
+            }
+        } else {
+            while let Some(c @ b'0'..=b'9') = self.peek() {
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add(i64::from(c - b'0')))
+                    .ok_or_else(|| self.error(start, "integer literal overflows i64"))?;
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_')) {
+            return Err(self.error(start, "identifier characters after integer literal"));
+        }
+        self.push(TokenKind::IntLit(value), start);
+        Ok(())
+    }
+
+    fn ident(&mut self, start: (usize, u32, u32)) {
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start.0..self.pos])
+            .expect("identifier bytes are ASCII");
+        let kind = match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_owned()),
+        };
+        self.push(kind, start);
+    }
+
+    fn symbol(&mut self, start: (usize, u32, u32)) -> Result<(), CompileError> {
+        let c = self.bump().expect("symbol() called at EOF");
+        let next = self.peek();
+        let kind = match (c, next) {
+            (b'<', Some(b'<')) => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::ShlAssign
+                } else {
+                    TokenKind::Shl
+                }
+            }
+            (b'>', Some(b'>')) => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::ShrAssign
+                } else {
+                    TokenKind::Shr
+                }
+            }
+            (b'<', Some(b'=')) => {
+                self.bump();
+                TokenKind::Le
+            }
+            (b'>', Some(b'=')) => {
+                self.bump();
+                TokenKind::Ge
+            }
+            (b'=', Some(b'=')) => {
+                self.bump();
+                TokenKind::EqEq
+            }
+            (b'!', Some(b'=')) => {
+                self.bump();
+                TokenKind::Ne
+            }
+            (b'&', Some(b'&')) => {
+                self.bump();
+                TokenKind::AmpAmp
+            }
+            (b'|', Some(b'|')) => {
+                self.bump();
+                TokenKind::PipePipe
+            }
+            (b'+', Some(b'+')) => {
+                self.bump();
+                TokenKind::PlusPlus
+            }
+            (b'-', Some(b'-')) => {
+                self.bump();
+                TokenKind::MinusMinus
+            }
+            (b'+', Some(b'=')) => {
+                self.bump();
+                TokenKind::PlusAssign
+            }
+            (b'-', Some(b'=')) => {
+                self.bump();
+                TokenKind::MinusAssign
+            }
+            (b'*', Some(b'=')) => {
+                self.bump();
+                TokenKind::StarAssign
+            }
+            (b'&', Some(b'=')) => {
+                self.bump();
+                TokenKind::AmpAssign
+            }
+            (b'|', Some(b'=')) => {
+                self.bump();
+                TokenKind::PipeAssign
+            }
+            (b'^', Some(b'=')) => {
+                self.bump();
+                TokenKind::CaretAssign
+            }
+            (b'+', _) => TokenKind::Plus,
+            (b'-', _) => TokenKind::Minus,
+            (b'*', _) => TokenKind::Star,
+            (b'/', _) => TokenKind::Slash,
+            (b'%', _) => TokenKind::Percent,
+            (b'&', _) => TokenKind::Amp,
+            (b'|', _) => TokenKind::Pipe,
+            (b'^', _) => TokenKind::Caret,
+            (b'~', _) => TokenKind::Tilde,
+            (b'!', _) => TokenKind::Bang,
+            (b'<', _) => TokenKind::Lt,
+            (b'>', _) => TokenKind::Gt,
+            (b'=', _) => TokenKind::Assign,
+            (b'?', _) => TokenKind::Question,
+            (b':', _) => TokenKind::Colon,
+            (b'(', _) => TokenKind::LParen,
+            (b')', _) => TokenKind::RParen,
+            (b'{', _) => TokenKind::LBrace,
+            (b'}', _) => TokenKind::RBrace,
+            (b'[', _) => TokenKind::LBracket,
+            (b']', _) => TokenKind::RBracket,
+            (b';', _) => TokenKind::Semi,
+            (b',', _) => TokenKind::Comma,
+            _ => {
+                return Err(self.error(start, format!("unexpected character '{}'", c as char)));
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(42),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_hex_and_decimal() {
+        assert_eq!(
+            kinds("0xFF 255 0"),
+            vec![
+                TokenKind::IntLit(255),
+                TokenKind::IntLit(255),
+                TokenKind::IntLit(0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_compound_operators() {
+        assert_eq!(
+            kinds("a <<= b >>= c == d != e && f || g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::ShlAssign,
+                TokenKind::Ident("b".into()),
+                TokenKind::ShrAssign,
+                TokenKind::Ident("c".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("e".into()),
+                TokenKind::AmpAmp,
+                TokenKind::Ident("f".into()),
+                TokenKind::PipePipe,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_increment_and_shift_disambiguation() {
+        assert_eq!(
+            kinds("i++ << j--"),
+            vec![
+                TokenKind::Ident("i".into()),
+                TokenKind::PlusPlus,
+                TokenKind::Shl,
+                TokenKind::Ident("j".into()),
+                TokenKind::MinusMinus,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// line\nint /* block\nspanning */ x;";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("x".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let tokens = lex("int\n  x;").unwrap();
+        assert_eq!((tokens[0].span.line, tokens[0].span.col), (1, 1));
+        assert_eq!((tokens[1].span.line, tokens[1].span.col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = lex("/* never closed").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        let err = lex("int $x;").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn overflow_literal_errors() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn trailing_letters_after_number_error() {
+        assert!(lex("123abc").is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_eof_only() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+}

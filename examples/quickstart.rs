@@ -1,0 +1,65 @@
+//! Quickstart: run the whole partitioning methodology on a small FIR
+//! filter in one call.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use amdrel::core::{run_flow, Platform};
+
+const FIR: &str = r#"
+    /* 8-tap FIR filter over 256 samples (fixed point, >>6 scaling). */
+    int samples[264];
+    int taps[8];
+    int out[256];
+    int main() {
+        for (int i = 0; i < 256; i++) {
+            int acc = 0;
+            for (int t = 0; t < 8; t++) {
+                acc += samples[i + t] * taps[t];
+            }
+            out[i] = acc >> 6;
+        }
+        return out[0] + out[255];
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the platform (Figure 1 of the paper): A_FPGA = 1500
+    //    area units and two 2x2 CGCs, T_FPGA = 3 x T_CGC.
+    let platform = Platform::paper(1500, 2);
+
+    // 2. Pick the timing constraint the application must meet.
+    let constraint = 35_000;
+
+    // 3. Run the Figure 2 flow: compile -> profile -> analyse -> partition.
+    let samples: Vec<i64> = (0..264).map(|i| ((i * 37) % 255) - 128).collect();
+    let taps: Vec<i64> = vec![2, -3, 7, 19, 19, 7, -3, 2];
+    let outcome = run_flow(
+        FIR,
+        &[("samples", &samples), ("taps", &taps)],
+        &platform,
+        constraint,
+    )?;
+
+    let r = &outcome.result;
+    println!("FIR filter on {}:", platform.datapath.describe());
+    println!("  all-FPGA execution:   {:>8} cycles", r.initial_cycles);
+    println!("  timing constraint:    {:>8} cycles", r.constraint);
+    for m in &r.moves {
+        println!(
+            "  moved {:<22} -> t_total {:>8} cycles",
+            format!("{} ({})", m.kernel, m.label),
+            m.breakdown.t_total()
+        );
+    }
+    println!(
+        "  final: {:>8} cycles ({:.1}% reduction) — constraint {}",
+        r.final_cycles(),
+        r.reduction_percent(),
+        if r.met { "MET" } else { "NOT met" },
+    );
+    println!(
+        "  breakdown: t_FPGA {} + t_coarse {} (= {} CGC cycles) + t_comm {}",
+        r.breakdown.t_fpga, r.breakdown.t_coarse, r.breakdown.t_coarse_cgc, r.breakdown.t_comm,
+    );
+    Ok(())
+}

@@ -1,0 +1,265 @@
+//! `amdrel` — command-line driver for the partitioning methodology.
+//!
+//! ```text
+//! amdrel analyze   <src.c> [--input name=v,v,..]... [--top N]
+//! amdrel partition <src.c> --constraint N [--area A] [--cgcs K]
+//!                  [--input name=v,v,..]... [--skip-unprofitable]
+//! amdrel sweep     <src.c> --constraint N [--areas A,A,..] [--cgcs K,K,..]
+//!                  [--input name=v,v,..]...
+//! amdrel dot       <src.c> [--block N] [--input name=v,v,..]...
+//! ```
+//!
+//! Sources are mini-C (see the `amdrel-minic` crate docs for the accepted
+//! subset); `--input` binds global arrays before profiling.
+
+use amdrel::prelude::*;
+use amdrel_coarsegrain::CgcDatapath;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    source_path: String,
+    inputs: Vec<(String, Vec<i64>)>,
+    constraint: Option<u64>,
+    area: u64,
+    cgcs: usize,
+    areas: Vec<u64>,
+    cgc_list: Vec<usize>,
+    top: usize,
+    block: Option<u32>,
+    skip_unprofitable: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        source_path: String::new(),
+        inputs: Vec::new(),
+        constraint: None,
+        area: 1500,
+        cgcs: 2,
+        areas: vec![1500, 5000],
+        cgc_list: vec![2, 3],
+        top: 8,
+        block: None,
+        skip_unprofitable: false,
+    };
+    let mut it = args.iter().peekable();
+    let mut positional = Vec::new();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--input" => {
+                let v = value_of("--input")?;
+                let (name, data) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--input wants name=v,v,.. (got '{v}')"))?;
+                let values = data
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse::<i64>().map_err(|e| format!("input '{name}': {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                opts.inputs.push((name.to_owned(), values));
+            }
+            "--constraint" => {
+                opts.constraint = Some(
+                    value_of("--constraint")?
+                        .parse()
+                        .map_err(|e| format!("--constraint: {e}"))?,
+                );
+            }
+            "--area" => {
+                opts.area = value_of("--area")?
+                    .parse()
+                    .map_err(|e| format!("--area: {e}"))?;
+            }
+            "--cgcs" => {
+                opts.cgcs = value_of("--cgcs")?
+                    .parse()
+                    .map_err(|e| format!("--cgcs: {e}"))?;
+            }
+            "--areas" => {
+                opts.areas = value_of("--areas")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>().map_err(|e| format!("--areas: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--cgc-list" => {
+                opts.cgc_list = value_of("--cgc-list")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("--cgc-list: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--top" => {
+                opts.top = value_of("--top")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            "--block" => {
+                opts.block = Some(
+                    value_of("--block")?
+                        .parse()
+                        .map_err(|e| format!("--block: {e}"))?,
+                );
+            }
+            "--skip-unprofitable" => opts.skip_unprofitable = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    match positional.len() {
+        0 => Err("missing source file".to_owned()),
+        1 => {
+            opts.source_path = positional.into_iter().next().expect("len checked");
+            Ok(opts)
+        }
+        _ => Err(format!("unexpected arguments: {positional:?}")),
+    }
+}
+
+fn analyzed(
+    opts: &Options,
+) -> Result<(amdrel_minic::CompiledProgram, AnalysisReport), String> {
+    let source = std::fs::read_to_string(&opts.source_path)
+        .map_err(|e| format!("{}: {e}", opts.source_path))?;
+    let program = compile(&source, "main").map_err(|e| e.to_string())?;
+    let inputs: Vec<(&str, &[i64])> = opts
+        .inputs
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_slice()))
+        .collect();
+    let execution = Interpreter::new(&program.ir)
+        .run(&inputs)
+        .map_err(|e| e.to_string())?;
+    let analysis = AnalysisReport::analyze(
+        &program.cdfg,
+        &execution.block_counts,
+        &WeightTable::paper(),
+    );
+    Ok((program, analysis))
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(
+            "usage: amdrel <analyze|partition|sweep|dot> <src.c> [flags] (see --help)".to_owned(),
+        );
+    };
+    if command == "--help" || command == "help" {
+        println!("amdrel — hybrid reconfigurable platform partitioning");
+        println!("  amdrel analyze   <src.c> [--input name=v,v,..] [--top N]");
+        println!("  amdrel partition <src.c> --constraint N [--area A] [--cgcs K] [--skip-unprofitable]");
+        println!("  amdrel sweep     <src.c> --constraint N [--areas A,..] [--cgc-list K,..]");
+        println!("  amdrel dot       <src.c> [--block N]");
+        return Ok(());
+    }
+    let opts = parse_options(rest)?;
+    match command.as_str() {
+        "analyze" => {
+            let (program, analysis) = analyzed(&opts)?;
+            println!(
+                "{} basic blocks, {} operations",
+                program.cdfg.len(),
+                program.cdfg.total_ops()
+            );
+            print!(
+                "{}",
+                analysis.format_table1(
+                    &format!("top {} kernels by total weight", opts.top),
+                    opts.top
+                )
+            );
+            Ok(())
+        }
+        "partition" => {
+            let constraint = opts
+                .constraint
+                .ok_or("partition needs --constraint")?;
+            let (program, analysis) = analyzed(&opts)?;
+            let platform = Platform::paper(opts.area, opts.cgcs);
+            let result = PartitioningEngine::new(&program.cdfg, &analysis, &platform)
+                .with_config(EngineConfig {
+                    skip_unprofitable: opts.skip_unprofitable,
+                })
+                .run(constraint)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "platform: A_FPGA={} with {}",
+                opts.area,
+                platform.datapath.describe()
+            );
+            println!("initial (all-FPGA): {} cycles", result.initial_cycles);
+            if result.met_without_partitioning {
+                println!("constraint already met without partitioning (step-2 exit)");
+                return Ok(());
+            }
+            for m in &result.moves {
+                println!(
+                    "  move {} ({}) -> t_total {}",
+                    m.kernel,
+                    m.label,
+                    m.breakdown.t_total()
+                );
+            }
+            println!(
+                "final: {} cycles ({:.1}% reduction) — constraint {}",
+                result.final_cycles(),
+                result.reduction_percent(),
+                if result.met { "MET" } else { "NOT MET" }
+            );
+            Ok(())
+        }
+        "sweep" => {
+            let constraint = opts.constraint.ok_or("sweep needs --constraint")?;
+            let (program, analysis) = analyzed(&opts)?;
+            let datapaths: Vec<CgcDatapath> = opts
+                .cgc_list
+                .iter()
+                .map(|&k| CgcDatapath::uniform(k, amdrel_coarsegrain::CgcGeometry::TWO_BY_TWO))
+                .collect();
+            let grid = run_grid(
+                &opts.source_path,
+                &program.cdfg,
+                &analysis,
+                &Platform::paper(opts.areas[0], opts.cgc_list[0]),
+                &opts.areas,
+                &datapaths,
+                constraint,
+            )
+            .map_err(|e| e.to_string())?;
+            print!("{}", format_paper_table(&grid));
+            Ok(())
+        }
+        "dot" => {
+            let (program, _) = analyzed(&opts)?;
+            match opts.block {
+                Some(b) => {
+                    let id = BlockId(b);
+                    let bb = program
+                        .cdfg
+                        .get(id)
+                        .ok_or_else(|| format!("no block bb{b}"))?;
+                    print!("{}", amdrel::cdfg::dot::dfg_to_dot(&bb.dfg));
+                }
+                None => print!("{}", amdrel::cdfg::dot::cdfg_to_dot(&program.cdfg)),
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end tests of the `amdrel` CLI binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn write_source(name: &str, body: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("amdrel-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create");
+    f.write_all(body.as_bytes()).expect("write");
+    path
+}
+
+fn amdrel(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_amdrel"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const FIR: &str = r#"
+    int samples[40];
+    int taps[4];
+    int out[36];
+    int main() {
+        for (int i = 0; i < 36; i++) {
+            int acc = 0;
+            for (int t = 0; t < 4; t++) {
+                acc += samples[i + t] * taps[t];
+            }
+            out[i] = acc >> 2;
+        }
+        return out[0];
+    }
+"#;
+
+#[test]
+fn analyze_prints_kernel_table() {
+    let src = write_source("fir_analyze.c", FIR);
+    let (ok, stdout, stderr) = amdrel(&[
+        "analyze",
+        src.to_str().unwrap(),
+        "--input",
+        "taps=1,2,2,1",
+        "--top",
+        "4",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("basic blocks"));
+    assert!(stdout.contains("total weight"));
+}
+
+#[test]
+fn partition_reports_moves_and_verdict() {
+    let src = write_source("fir_partition.c", FIR);
+    let (ok, stdout, stderr) = amdrel(&[
+        "partition",
+        src.to_str().unwrap(),
+        "--constraint",
+        "4000",
+        "--area",
+        "1500",
+        "--cgcs",
+        "3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("initial (all-FPGA):"), "{stdout}");
+    assert!(stdout.contains("final:"), "{stdout}");
+    assert!(stdout.contains("constraint"), "{stdout}");
+}
+
+#[test]
+fn sweep_prints_paper_style_table() {
+    let src = write_source("fir_sweep.c", FIR);
+    let (ok, stdout, stderr) = amdrel(&[
+        "sweep",
+        src.to_str().unwrap(),
+        "--constraint",
+        "4000",
+        "--areas",
+        "1500,5000",
+        "--cgc-list",
+        "2,3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Initial cycles"));
+    assert!(stdout.contains("% cycles reduction"));
+    assert!(stdout.contains("A_FPGA=5000"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let src = write_source("fir_dot.c", FIR);
+    let (ok, stdout, _) = amdrel(&["dot", src.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    let (ok, stdout, _) = amdrel(&["dot", src.to_str().unwrap(), "--block", "0"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+}
+
+#[test]
+fn helpful_errors() {
+    let (ok, _, stderr) = amdrel(&["partition", "/nonexistent.c", "--constraint", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+
+    let src = write_source("fir_err.c", FIR);
+    let (ok, _, stderr) = amdrel(&["partition", src.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("--constraint"));
+
+    let (ok, _, stderr) = amdrel(&["frobnicate", src.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = amdrel(&["analyze", src.to_str().unwrap(), "--input", "oops"]);
+    assert!(!ok);
+    assert!(stderr.contains("name=v"));
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let (ok, stdout, _) = amdrel(&["--help"]);
+    assert!(ok);
+    for cmd in ["analyze", "partition", "sweep", "dot"] {
+        assert!(stdout.contains(cmd));
+    }
+}
+
+#[test]
+fn bad_source_is_reported_with_position() {
+    let src = write_source("broken.c", "int main() { return q; }");
+    let (ok, _, stderr) = amdrel(&["analyze", src.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("undeclared variable 'q'"), "{stderr}");
+}

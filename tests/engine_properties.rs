@@ -1,0 +1,154 @@
+//! Property-based tests on the partitioning engine over randomly
+//! generated applications.
+
+use amdrel::prelude::*;
+use amdrel_cdfg::synth::{random_dfg, SplitMix64, SynthConfig};
+use proptest::prelude::*;
+
+/// Build a random application CDFG: `blocks` random DFG bodies strung
+/// into one loop (so everything is a kernel candidate), plus random
+/// execution frequencies.
+fn random_app(seed: u64, blocks: usize) -> (Cdfg, Vec<u64>) {
+    let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A);
+    let mut cdfg = Cdfg::new(format!("app{seed}"));
+    let mut freqs = Vec::with_capacity(blocks);
+    for i in 0..blocks {
+        let nodes = 4 + (rng.below(40) as usize);
+        let dfg = random_dfg(seed.wrapping_add(i as u64), &SynthConfig {
+            nodes,
+            mul_fraction: 0.3,
+            load_fraction: 0.15,
+            ..SynthConfig::default()
+        });
+        cdfg.add_block(BasicBlock::from_dfg(format!("b{i}"), dfg));
+        freqs.push(1 + rng.below(2000));
+    }
+    for i in 0..blocks - 1 {
+        cdfg.add_edge(BlockId(i as u32), BlockId(i as u32 + 1))
+            .expect("edge");
+    }
+    if blocks > 1 {
+        cdfg.add_edge(BlockId(blocks as u32 - 1), BlockId(1)).expect("back edge");
+    } else {
+        cdfg.add_edge(BlockId(0), BlockId(0)).expect("self loop");
+    }
+    (cdfg, freqs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// eq. (2) accounting holds at every trace step, moves are a prefix of
+    /// the kernel ranking, and the assignment matches the moves.
+    #[test]
+    fn engine_invariants(seed in any::<u64>(), blocks in 2usize..12) {
+        let (cdfg, freqs) = random_app(seed, blocks);
+        let analysis = AnalysisReport::analyze(&cdfg, &freqs, &WeightTable::paper());
+        let platform = Platform::paper(2000, 2);
+        let r = PartitioningEngine::new(&cdfg, &analysis, &platform)
+            .run(1)
+            .expect("engine runs");
+
+        for m in &r.moves {
+            prop_assert_eq!(
+                m.breakdown.t_total(),
+                m.breakdown.t_fpga + m.breakdown.t_coarse + m.breakdown.t_comm
+            );
+        }
+        let moved = r.moved_blocks();
+        prop_assert_eq!(&moved[..], &analysis.kernels()[..moved.len()]);
+        for (i, a) in r.assignment.iter().enumerate() {
+            let in_moves = moved.contains(&BlockId(i as u32));
+            prop_assert_eq!(in_moves, *a == Assignment::CoarseGrain);
+        }
+    }
+
+    /// A constraint the all-FPGA mapping already meets exits at step 2
+    /// with no moves; an impossible constraint drains every kernel.
+    #[test]
+    fn constraint_extremes(seed in any::<u64>(), blocks in 2usize..10) {
+        let (cdfg, freqs) = random_app(seed, blocks);
+        let analysis = AnalysisReport::analyze(&cdfg, &freqs, &WeightTable::paper());
+        let platform = Platform::paper(2000, 2);
+
+        let relaxed = PartitioningEngine::new(&cdfg, &analysis, &platform)
+            .run(u64::MAX)
+            .expect("engine runs");
+        prop_assert!(relaxed.met_without_partitioning);
+        prop_assert!(relaxed.moves.is_empty());
+
+        let impossible = PartitioningEngine::new(&cdfg, &analysis, &platform)
+            .run(1)
+            .expect("engine runs");
+        prop_assert!(!impossible.met);
+        prop_assert_eq!(impossible.moves.len(), analysis.kernels().len());
+    }
+
+    /// With `skip_unprofitable` the final time never exceeds the initial
+    /// all-FPGA time, whatever the communication cost.
+    #[test]
+    fn skipping_engine_never_regresses(
+        seed in any::<u64>(),
+        blocks in 2usize..10,
+        cpw in 0u64..64,
+    ) {
+        let (cdfg, freqs) = random_app(seed, blocks);
+        let analysis = AnalysisReport::analyze(&cdfg, &freqs, &WeightTable::paper());
+        let platform = Platform::paper(2000, 2).with_comm(CommModel {
+            cycles_per_word: cpw,
+            setup_cycles: cpw,
+        });
+        let r = PartitioningEngine::new(&cdfg, &analysis, &platform)
+            .with_config(EngineConfig { skip_unprofitable: true })
+            .run(1)
+            .expect("engine runs");
+        prop_assert!(r.final_cycles() <= r.initial_cycles);
+    }
+
+    /// Initial (all-FPGA) cycles are monotonically non-increasing in the
+    /// device area.
+    #[test]
+    fn initial_cycles_monotone_in_area(seed in any::<u64>(), blocks in 2usize..8) {
+        let (cdfg, freqs) = random_app(seed, blocks);
+        let analysis = AnalysisReport::analyze(&cdfg, &freqs, &WeightTable::paper());
+        let mut last = u64::MAX;
+        for area in [1200u64, 2000, 4000, 8000, 16000] {
+            let platform = Platform::paper(area, 2);
+            let r = PartitioningEngine::new(&cdfg, &analysis, &platform)
+                .run(u64::MAX)
+                .expect("engine runs");
+            prop_assert!(
+                r.initial_cycles <= last,
+                "area {area}: {} > {last}", r.initial_cycles
+            );
+            last = r.initial_cycles;
+        }
+    }
+
+    /// More CGCs keep the coarse-grain cycle count of the fully-moved
+    /// application within a small envelope of the smaller datapath's
+    /// (greedy list scheduling is subject to Graham's anomalies, so
+    /// strict monotonicity cannot be asserted; see the coarsegrain
+    /// property suite).
+    #[test]
+    fn coarse_cycles_quasi_monotone_in_cgcs(seed in any::<u64>(), blocks in 2usize..8) {
+        let (cdfg, freqs) = random_app(seed, blocks);
+        let analysis = AnalysisReport::analyze(&cdfg, &freqs, &WeightTable::paper());
+        let mut last = u64::MAX;
+        for cgcs in [1usize, 2, 4] {
+            let platform = Platform::paper(2000, cgcs);
+            let r = PartitioningEngine::new(&cdfg, &analysis, &platform)
+                .run(1)
+                .expect("engine runs");
+            let envelope = last.saturating_add(last / 4);
+            prop_assert!(
+                r.breakdown.t_coarse_cgc <= envelope,
+                "{} CGCs: {} far above previous {}",
+                cgcs,
+                r.breakdown.t_coarse_cgc,
+                last
+            );
+            last = r.breakdown.t_coarse_cgc.min(last);
+        }
+    }
+}

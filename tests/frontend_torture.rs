@@ -1,0 +1,229 @@
+//! Frontend integration torture tests: gnarly mini-C programs through
+//! compile → interpret, validated against values computed in Rust.
+
+use amdrel::minic::compile;
+use amdrel::profiler::Interpreter;
+
+fn run(src: &str) -> i64 {
+    let ir = amdrel::minic::compile_to_ir(src, "main").expect("compiles");
+    Interpreter::new(&ir)
+        .run(&[])
+        .expect("runs")
+        .return_value
+        .expect("returns a value")
+}
+
+#[test]
+fn collatz_iteration_counts() {
+    // Iterative Collatz steps for n = 27 (known: 111 steps).
+    let src = r#"
+        int main() {
+            int n = 27;
+            int steps = 0;
+            while (n != 1) {
+                if ((n & 1) == 1) {
+                    n = 3 * n + 1;
+                } else {
+                    n = n >> 1;
+                }
+                steps++;
+            }
+            return steps;
+        }
+    "#;
+    assert_eq!(run(src), 111);
+}
+
+#[test]
+fn gcd_via_remainder() {
+    let src = r#"
+        int gcd(int a, int b) {
+            while (b != 0) {
+                int t = a % b;
+                a = b;
+                b = t;
+            }
+            return a;
+        }
+        int main() { return gcd(1071, 462) * 1000 + gcd(17, 5); }
+    "#;
+    assert_eq!(run(src), 21 * 1000 + 1);
+}
+
+#[test]
+fn sieve_of_eratosthenes() {
+    let src = r#"
+        int sieve[100];
+        int main() {
+            for (int i = 2; i < 100; i++) { sieve[i] = 1; }
+            for (int p = 2; p * p < 100; p++) {
+                if (sieve[p] == 1) {
+                    for (int m = p * p; m < 100; m += p) {
+                        sieve[m] = 0;
+                    }
+                }
+            }
+            int count = 0;
+            for (int i = 2; i < 100; i++) { count += sieve[i]; }
+            return count;
+        }
+    "#;
+    assert_eq!(run(src), 25); // primes below 100
+}
+
+#[test]
+fn ternary_chains_and_logical_mix() {
+    let src = r#"
+        int main() {
+            int score = 77;
+            int grade = score >= 90 ? 4 : score >= 80 ? 3 : score >= 70 ? 2 : score >= 60 ? 1 : 0;
+            int bonus = (score > 70 && score < 80) || score == 100 ? 10 : 0;
+            return grade * 100 + bonus;
+        }
+    "#;
+    assert_eq!(run(src), 210);
+}
+
+#[test]
+fn deeply_nested_loops_and_breaks() {
+    let src = r#"
+        int main() {
+            int found = 0;
+            for (int a = 1; a <= 20; a++) {
+                for (int b = a; b <= 20; b++) {
+                    for (int c = b; c <= 20; c++) {
+                        if (a * a + b * b == c * c) {
+                            found++;
+                        }
+                    }
+                }
+            }
+            return found;
+        }
+    "#;
+    // Pythagorean triples with 1 ≤ a ≤ b ≤ c ≤ 20:
+    // (3,4,5) (6,8,10) (5,12,13) (9,12,15) (8,15,17) (12,16,20)
+    assert_eq!(run(src), 6);
+}
+
+#[test]
+fn shadowing_and_scopes() {
+    let src = r#"
+        int main() {
+            int x = 1;
+            int sum = 0;
+            {
+                int x = 10;
+                sum += x;
+                {
+                    int x = 100;
+                    sum += x;
+                }
+                sum += x;
+            }
+            sum += x;
+            return sum;
+        }
+    "#;
+    assert_eq!(run(src), 10 + 100 + 10 + 1);
+}
+
+#[test]
+fn do_while_and_compound_ops() {
+    let src = r#"
+        int main() {
+            int v = 1;
+            int i = 0;
+            do {
+                v <<= 1;
+                v |= i & 1;
+                i++;
+            } while (i < 10);
+            return v;
+        }
+    "#;
+    let mut v = 1i64;
+    for i in 0..10 {
+        v <<= 1;
+        v |= i & 1;
+    }
+    assert_eq!(run(src), v);
+}
+
+#[test]
+fn multi_function_pipeline_inlines() {
+    let src = r#"
+        int square(int x) { return x * x; }
+        int cube(int x) { return square(x) * x; }
+        int clamp(int x, int lo, int hi) {
+            if (x < lo) { return lo; }
+            if (x > hi) { return hi; }
+            return x;
+        }
+        int main() {
+            int acc = 0;
+            for (int i = 0; i < 10; i++) {
+                acc += clamp(cube(i) - square(i), 0, 500);
+            }
+            return acc;
+        }
+    "#;
+    let expected: i64 = (0..10)
+        .map(|i: i64| (i * i * i - i * i).clamp(0, 500))
+        .sum();
+    assert_eq!(run(src), expected);
+}
+
+#[test]
+fn matrix_multiply_3x3() {
+    let src = r#"
+        int a[9]; int b[9]; int c[9];
+        int main() {
+            for (int i = 0; i < 9; i++) { a[i] = i + 1; b[i] = 9 - i; }
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 3; j++) {
+                    int s = 0;
+                    for (int k = 0; k < 3; k++) {
+                        s += a[i * 3 + k] * b[k * 3 + j];
+                    }
+                    c[i * 3 + j] = s;
+                }
+            }
+            int trace = c[0] + c[4] + c[8];
+            return trace;
+        }
+    "#;
+    // a = [[1..3],[4..6],[7..9]], b = [[9..7],[6..4],[3..1]]
+    let a = [[1i64, 2, 3], [4, 5, 6], [7, 8, 9]];
+    let b = [[9i64, 8, 7], [6, 5, 4], [3, 2, 1]];
+    let mut trace = 0;
+    for i in 0..3 {
+        let mut s = 0;
+        for k in 0..3 {
+            s += a[i][k] * b[k][i];
+        }
+        trace += s;
+    }
+    assert_eq!(run(src), trace);
+}
+
+#[test]
+fn block_counts_align_between_ir_and_cdfg() {
+    let src = r#"
+        int data[16];
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 16; i++) {
+                if (data[i] > 0) { s += data[i]; } else { s -= 1; }
+            }
+            return s;
+        }
+    "#;
+    let compiled = compile(src, "main").expect("compiles");
+    assert_eq!(compiled.ir.entry.blocks.len(), compiled.cdfg.len());
+    let exec = Interpreter::new(&compiled.ir).run(&[]).expect("runs");
+    assert_eq!(exec.block_counts.len(), compiled.cdfg.len());
+    // The if-join runs 16 times, the condition 17.
+    assert!(exec.block_counts.contains(&16));
+    assert!(exec.block_counts.contains(&17));
+}

@@ -1,0 +1,135 @@
+//! Shape assertions against the paper's published tables, via the
+//! paper-profile reproduction path (the engine driven by the authors' own
+//! Table 1 measurements).
+
+use amdrel::prelude::*;
+use amdrel_apps::paper::{
+    synthesize_profile, JPEG_CONSTRAINT, JPEG_TABLE1, JPEG_TABLE3, OFDM_CONSTRAINT, OFDM_TABLE1,
+    OFDM_TABLE2,
+};
+
+#[test]
+fn table1_constants_are_internally_consistent() {
+    for r in OFDM_TABLE1.iter().chain(&JPEG_TABLE1) {
+        assert_eq!(r.exec_freq * r.ops_weight, r.total_weight);
+    }
+    for t in [&OFDM_TABLE1[..], &JPEG_TABLE1[..]] {
+        for w in t.windows(2) {
+            assert!(w[0].total_weight >= w[1].total_weight, "Table 1 is ordered");
+        }
+    }
+}
+
+#[test]
+fn table2_and_3_constants_check_out() {
+    for r in OFDM_TABLE2.iter().chain(&JPEG_TABLE3) {
+        let computed =
+            (r.initial_cycles - r.final_cycles) as f64 / r.initial_cycles as f64 * 100.0;
+        assert!(
+            (computed - r.reduction_percent).abs() < 0.15,
+            "reduction {:.2} vs printed {:.1} (A={}, {} CGCs)",
+            computed,
+            r.reduction_percent,
+            r.area,
+            r.cgcs
+        );
+    }
+    // Constraints are satisfied by every final-cycles figure.
+    for r in &OFDM_TABLE2 {
+        assert!(r.final_cycles <= OFDM_CONSTRAINT);
+    }
+    for r in &JPEG_TABLE3 {
+        assert!(r.final_cycles <= JPEG_CONSTRAINT);
+    }
+}
+
+#[test]
+fn ofdm_paper_profile_moves_the_papers_kernels_first() {
+    let profile = synthesize_profile(&OFDM_TABLE1, 44);
+    let analysis = AnalysisReport::analyze(
+        &profile.cdfg,
+        &profile.exec_freq,
+        &WeightTable::paper(),
+    );
+    // Analysis must reproduce Table 1's ordering exactly.
+    let top: Vec<u32> = analysis.top_kernels(8).iter().map(|b| b.block.0).collect();
+    let expected: Vec<u32> = OFDM_TABLE1.iter().map(|r| r.bb).collect();
+    assert_eq!(top, expected);
+
+    // Engine on the paper's platform: the first moved BBs must open with
+    // the paper's "BB no." row (22, 12, …).
+    for (area, cgcs) in [(1500u64, 2usize), (1500, 3), (5000, 2), (5000, 3)] {
+        let platform = Platform::paper(area, cgcs);
+        let r = PartitioningEngine::new(&profile.cdfg, &analysis, &platform)
+            .run(OFDM_CONSTRAINT)
+            .expect("engine runs");
+        let moved = r.moved_blocks();
+        assert!(
+            moved.len() >= 2,
+            "A={area}/{cgcs} CGCs: expected at least 2 moves"
+        );
+        assert_eq!(moved[0].0, 22, "heaviest paper kernel first");
+        assert_eq!(moved[1].0, 12);
+        assert!(r.met, "constraint met as in the paper (A={area}, {cgcs} CGCs)");
+    }
+}
+
+#[test]
+fn jpeg_paper_profile_moves_the_papers_kernels_first() {
+    let profile = synthesize_profile(&JPEG_TABLE1, 24);
+    let analysis = AnalysisReport::analyze(
+        &profile.cdfg,
+        &profile.exec_freq,
+        &WeightTable::paper(),
+    );
+    let platform = Platform::paper(1500, 2);
+    let r = PartitioningEngine::new(&profile.cdfg, &analysis, &platform)
+        .run(JPEG_CONSTRAINT)
+        .expect("engine runs");
+    let moved = r.moved_blocks();
+    assert!(!moved.is_empty());
+    assert_eq!(moved[0].0, 6, "paper's Table 3 moves BB 6 first");
+    if moved.len() > 1 {
+        assert_eq!(moved[1].0, 2);
+    }
+    assert!(r.met);
+}
+
+#[test]
+fn ofdm_paper_profile_reduction_in_band() {
+    let profile = synthesize_profile(&OFDM_TABLE1, 44);
+    let analysis = AnalysisReport::analyze(
+        &profile.cdfg,
+        &profile.exec_freq,
+        &WeightTable::paper(),
+    );
+    let r = PartitioningEngine::new(&profile.cdfg, &analysis, &Platform::paper(1500, 3))
+        .run(OFDM_CONSTRAINT)
+        .expect("engine runs");
+    // Paper: 81.8% for this configuration.
+    let red = r.reduction_percent();
+    assert!(
+        (70.0..=90.0).contains(&red),
+        "A=1500/three-CGC reduction {red:.1}% far from the paper's 81.8%"
+    );
+}
+
+#[test]
+fn headline_claim_max_reduction_at_small_area() {
+    // "A maximum clock cycles reduction of approximately 82% … is
+    // reported for the case of AFPGA=1500" — the small FPGA must always
+    // show the larger reduction.
+    let profile = synthesize_profile(&OFDM_TABLE1, 44);
+    let analysis = AnalysisReport::analyze(
+        &profile.cdfg,
+        &profile.exec_freq,
+        &WeightTable::paper(),
+    );
+    let r1500 = PartitioningEngine::new(&profile.cdfg, &analysis, &Platform::paper(1500, 3))
+        .run(OFDM_CONSTRAINT)
+        .expect("engine runs");
+    let r5000 = PartitioningEngine::new(&profile.cdfg, &analysis, &Platform::paper(5000, 3))
+        .run(OFDM_CONSTRAINT)
+        .expect("engine runs");
+    assert!(r1500.reduction_percent() > r5000.reduction_percent());
+}
