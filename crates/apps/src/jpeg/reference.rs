@@ -8,11 +8,7 @@ use super::source::{QUANT_TABLE, ZIGZAG};
 pub fn dct_cos_q12() -> Vec<i64> {
     let mut table = Vec::with_capacity(64);
     for u in 0..8 {
-        let alpha = if u == 0 {
-            1.0 / (2.0f64).sqrt()
-        } else {
-            1.0
-        };
+        let alpha = if u == 0 { 1.0 / (2.0f64).sqrt() } else { 1.0 };
         for x in 0..8 {
             let c = alpha / 2.0
                 * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
@@ -180,8 +176,8 @@ mod tests {
         let t = dct_cos_q12();
         assert_eq!(t.len(), 64);
         // DC row: alpha(0)/2 = 1/(2*sqrt(2)) ≈ 0.35355 → 1448 in Q12.
-        for x in 0..8 {
-            assert_eq!(t[x], 1448, "DC basis element {x}");
+        for (x, &dc) in t.iter().enumerate().take(8) {
+            assert_eq!(dc, 1448, "DC basis element {x}");
         }
         // First AC row peaks at cos(pi/16)/2 ≈ 0.4904 → 2009.
         assert_eq!(t[8], 2009);
@@ -214,8 +210,11 @@ mod tests {
         let r = quant_recip();
         for (i, (&q, &rc)) in QUANT_TABLE.iter().zip(&r).enumerate() {
             // (q * rc) >> 16 == 1 exactly when rc = floor(65536/q).
-            assert_eq!((q * rc) >> 16, if 65536 % q == 0 { 1 } else { 0 } | ((q * rc) >> 16),
-                "self-check {i}");
+            assert_eq!(
+                (q * rc) >> 16,
+                if 65536 % q == 0 { 1 } else { 0 } | ((q * rc) >> 16),
+                "self-check {i}"
+            );
             assert!(rc > 0);
         }
     }

@@ -29,16 +29,16 @@ pub const PAPER_DIM: usize = 256;
 
 /// The zig-zag scan order (standard JPEG).
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// The standard JPEG luminance quantisation table (quality ~50).
 pub const QUANT_TABLE: [i64; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
-    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Worst-case bitstream capacity for a `dim × dim` image (27 bits per
@@ -53,7 +53,10 @@ pub fn bitstream_capacity(dim: usize) -> usize {
 ///
 /// Panics unless `dim` is a positive multiple of 8.
 pub fn jpeg_source(dim: usize) -> String {
-    assert!(dim > 0 && dim % 8 == 0, "image dimension must be a multiple of 8");
+    assert!(
+        dim > 0 && dim % 8 == 0,
+        "image dimension must be a multiple of 8"
+    );
     let pixels = dim * dim;
     let blocks_per_side = dim / 8;
     let capacity = bitstream_capacity(dim);
@@ -286,8 +289,7 @@ mod tests {
     fn source_compiles_for_small_dims() {
         for dim in [8, 16, 64] {
             let src = jpeg_source(dim);
-            amdrel_minic::compile(&src, "main")
-                .unwrap_or_else(|e| panic!("dim {dim}: {e}"));
+            amdrel_minic::compile(&src, "main").unwrap_or_else(|e| panic!("dim {dim}: {e}"));
         }
     }
 

@@ -124,14 +124,10 @@ pub fn transmit(bits: &[i64]) -> OfdmFrame {
 
         // Cyclic prefix.
         let base = s * 80;
-        for p in 0..16 {
-            out_re[base + p] = work_re[48 + p];
-            out_im[base + p] = work_im[48 + p];
-        }
-        for q in 0..64 {
-            out_re[base + 16 + q] = work_re[q];
-            out_im[base + 16 + q] = work_im[q];
-        }
+        out_re[base..base + 16].copy_from_slice(&work_re[48..64]);
+        out_im[base..base + 16].copy_from_slice(&work_im[48..64]);
+        out_re[base + 16..base + 80].copy_from_slice(&work_re[..64]);
+        out_im[base + 16..base + 80].copy_from_slice(&work_im[..64]);
     }
 
     let mut acc: i64 = 0;

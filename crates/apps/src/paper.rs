@@ -30,27 +30,107 @@ pub struct Table1Row {
 /// Table 1, OFDM transmitter (6 payload symbols): the 8 most
 /// computationally intensive of its 18 basic blocks.
 pub const OFDM_TABLE1: [Table1Row; 8] = [
-    Table1Row { bb: 22, exec_freq: 336, ops_weight: 115, total_weight: 38640 },
-    Table1Row { bb: 12, exec_freq: 1200, ops_weight: 25, total_weight: 30000 },
-    Table1Row { bb: 3, exec_freq: 864, ops_weight: 6, total_weight: 5184 },
-    Table1Row { bb: 5, exec_freq: 370, ops_weight: 12, total_weight: 4440 },
-    Table1Row { bb: 42, exec_freq: 800, ops_weight: 5, total_weight: 4000 },
-    Table1Row { bb: 32, exec_freq: 560, ops_weight: 6, total_weight: 3360 },
-    Table1Row { bb: 29, exec_freq: 448, ops_weight: 7, total_weight: 3136 },
-    Table1Row { bb: 21, exec_freq: 147, ops_weight: 18, total_weight: 2646 },
+    Table1Row {
+        bb: 22,
+        exec_freq: 336,
+        ops_weight: 115,
+        total_weight: 38640,
+    },
+    Table1Row {
+        bb: 12,
+        exec_freq: 1200,
+        ops_weight: 25,
+        total_weight: 30000,
+    },
+    Table1Row {
+        bb: 3,
+        exec_freq: 864,
+        ops_weight: 6,
+        total_weight: 5184,
+    },
+    Table1Row {
+        bb: 5,
+        exec_freq: 370,
+        ops_weight: 12,
+        total_weight: 4440,
+    },
+    Table1Row {
+        bb: 42,
+        exec_freq: 800,
+        ops_weight: 5,
+        total_weight: 4000,
+    },
+    Table1Row {
+        bb: 32,
+        exec_freq: 560,
+        ops_weight: 6,
+        total_weight: 3360,
+    },
+    Table1Row {
+        bb: 29,
+        exec_freq: 448,
+        ops_weight: 7,
+        total_weight: 3136,
+    },
+    Table1Row {
+        bb: 21,
+        exec_freq: 147,
+        ops_weight: 18,
+        total_weight: 2646,
+    },
 ];
 
 /// Table 1, JPEG encoder (256×256 image): the 8 most computationally
 /// intensive of its 22 basic blocks.
 pub const JPEG_TABLE1: [Table1Row; 8] = [
-    Table1Row { bb: 6, exec_freq: 355_024, ops_weight: 3, total_weight: 1_065_072 },
-    Table1Row { bb: 2, exec_freq: 8192, ops_weight: 85, total_weight: 696_320 },
-    Table1Row { bb: 1, exec_freq: 8192, ops_weight: 83, total_weight: 679_936 },
-    Table1Row { bb: 22, exec_freq: 65_536, ops_weight: 5, total_weight: 327_680 },
-    Table1Row { bb: 8, exec_freq: 30_927, ops_weight: 8, total_weight: 247_416 },
-    Table1Row { bb: 3, exec_freq: 65_536, ops_weight: 3, total_weight: 196_608 },
-    Table1Row { bb: 16, exec_freq: 63_540, ops_weight: 3, total_weight: 190_620 },
-    Table1Row { bb: 17, exec_freq: 63_540, ops_weight: 2, total_weight: 127_080 },
+    Table1Row {
+        bb: 6,
+        exec_freq: 355_024,
+        ops_weight: 3,
+        total_weight: 1_065_072,
+    },
+    Table1Row {
+        bb: 2,
+        exec_freq: 8192,
+        ops_weight: 85,
+        total_weight: 696_320,
+    },
+    Table1Row {
+        bb: 1,
+        exec_freq: 8192,
+        ops_weight: 83,
+        total_weight: 679_936,
+    },
+    Table1Row {
+        bb: 22,
+        exec_freq: 65_536,
+        ops_weight: 5,
+        total_weight: 327_680,
+    },
+    Table1Row {
+        bb: 8,
+        exec_freq: 30_927,
+        ops_weight: 8,
+        total_weight: 247_416,
+    },
+    Table1Row {
+        bb: 3,
+        exec_freq: 65_536,
+        ops_weight: 3,
+        total_weight: 196_608,
+    },
+    Table1Row {
+        bb: 16,
+        exec_freq: 63_540,
+        ops_weight: 3,
+        total_weight: 190_620,
+    },
+    Table1Row {
+        bb: 17,
+        exec_freq: 63_540,
+        ops_weight: 2,
+        total_weight: 127_080,
+    },
 ];
 
 /// One configuration column of the paper's Table 2 or 3.
@@ -80,10 +160,42 @@ pub const JPEG_CONSTRAINT: u64 = 11_000_000;
 
 /// Table 2 of the paper (OFDM transmitter).
 pub const OFDM_TABLE2: [PaperResult; 4] = [
-    PaperResult { area: 1500, cgcs: 2, initial_cycles: 263_408, cycles_in_cgc: 53_184, moved_bbs: &[22, 12, 3], final_cycles: 57_088, reduction_percent: 78.3 },
-    PaperResult { area: 1500, cgcs: 3, initial_cycles: 263_408, cycles_in_cgc: 41_472, moved_bbs: &[22, 12], final_cycles: 47_856, reduction_percent: 81.8 },
-    PaperResult { area: 5000, cgcs: 2, initial_cycles: 124_080, cycles_in_cgc: 53_184, moved_bbs: &[22, 12, 3], final_cycles: 56_864, reduction_percent: 54.1 },
-    PaperResult { area: 5000, cgcs: 3, initial_cycles: 124_080, cycles_in_cgc: 41_472, moved_bbs: &[22, 12], final_cycles: 46_512, reduction_percent: 62.5 },
+    PaperResult {
+        area: 1500,
+        cgcs: 2,
+        initial_cycles: 263_408,
+        cycles_in_cgc: 53_184,
+        moved_bbs: &[22, 12, 3],
+        final_cycles: 57_088,
+        reduction_percent: 78.3,
+    },
+    PaperResult {
+        area: 1500,
+        cgcs: 3,
+        initial_cycles: 263_408,
+        cycles_in_cgc: 41_472,
+        moved_bbs: &[22, 12],
+        final_cycles: 47_856,
+        reduction_percent: 81.8,
+    },
+    PaperResult {
+        area: 5000,
+        cgcs: 2,
+        initial_cycles: 124_080,
+        cycles_in_cgc: 53_184,
+        moved_bbs: &[22, 12, 3],
+        final_cycles: 56_864,
+        reduction_percent: 54.1,
+    },
+    PaperResult {
+        area: 5000,
+        cgcs: 3,
+        initial_cycles: 124_080,
+        cycles_in_cgc: 41_472,
+        moved_bbs: &[22, 12],
+        final_cycles: 46_512,
+        reduction_percent: 62.5,
+    },
 ];
 
 /// Table 3 of the paper (JPEG encoder), cycle figures in raw cycles.
@@ -95,10 +207,42 @@ pub const OFDM_TABLE2: [PaperResult; 4] = [
 /// (initial 18.434×10⁶, final 10.558×10⁶, …), under which every
 /// percentage in the table checks out exactly.
 pub const JPEG_TABLE3: [PaperResult; 4] = [
-    PaperResult { area: 1500, cgcs: 2, initial_cycles: 18_434_000, cycles_in_cgc: 5_817_000, moved_bbs: &[6, 2, 1], final_cycles: 10_558_000, reduction_percent: 42.7 },
-    PaperResult { area: 1500, cgcs: 3, initial_cycles: 18_434_000, cycles_in_cgc: 5_699_000, moved_bbs: &[6, 2, 1], final_cycles: 10_411_000, reduction_percent: 43.5 },
-    PaperResult { area: 5000, cgcs: 2, initial_cycles: 12_399_000, cycles_in_cgc: 5_817_000, moved_bbs: &[6, 2, 1], final_cycles: 10_423_000, reduction_percent: 15.9 },
-    PaperResult { area: 5000, cgcs: 3, initial_cycles: 12_399_000, cycles_in_cgc: 5_669_000, moved_bbs: &[6, 2, 1], final_cycles: 10_227_000, reduction_percent: 17.5 },
+    PaperResult {
+        area: 1500,
+        cgcs: 2,
+        initial_cycles: 18_434_000,
+        cycles_in_cgc: 5_817_000,
+        moved_bbs: &[6, 2, 1],
+        final_cycles: 10_558_000,
+        reduction_percent: 42.7,
+    },
+    PaperResult {
+        area: 1500,
+        cgcs: 3,
+        initial_cycles: 18_434_000,
+        cycles_in_cgc: 5_699_000,
+        moved_bbs: &[6, 2, 1],
+        final_cycles: 10_411_000,
+        reduction_percent: 43.5,
+    },
+    PaperResult {
+        area: 5000,
+        cgcs: 2,
+        initial_cycles: 12_399_000,
+        cycles_in_cgc: 5_817_000,
+        moved_bbs: &[6, 2, 1],
+        final_cycles: 10_423_000,
+        reduction_percent: 15.9,
+    },
+    PaperResult {
+        area: 5000,
+        cgcs: 3,
+        initial_cycles: 12_399_000,
+        cycles_in_cgc: 5_669_000,
+        moved_bbs: &[6, 2, 1],
+        final_cycles: 10_227_000,
+        reduction_percent: 17.5,
+    },
 ];
 
 /// A synthesised application whose analysis profile matches a paper
@@ -139,14 +283,14 @@ pub fn synthesize_profile(rows: &[Table1Row], total_blocks: usize) -> PaperProfi
     let mut cdfg = Cdfg::new("paper_profile");
     let mut exec_freq = vec![1u64; total_blocks];
 
-    for i in 0..total_blocks {
+    for (i, freq) in exec_freq.iter_mut().enumerate() {
         let row = rows.iter().find(|r| r.bb as usize == i);
         let (label, dfg) = match row {
             Some(r) => (format!("bb{}(paper)", r.bb), weight_dfg(r.ops_weight, r.bb)),
             None => (format!("bb{i}(glue)"), glue_dfg(i)),
         };
         if let Some(r) = row {
-            exec_freq[i] = r.exec_freq;
+            *freq = r.exec_freq;
         }
         cdfg.add_block(BasicBlock::from_dfg(label, dfg));
     }
@@ -160,7 +304,8 @@ pub fn synthesize_profile(rows: &[Table1Row], total_blocks: usize) -> PaperProfi
         cdfg.add_edge(BlockId(i as u32), BlockId(i as u32 + 1))
             .expect("sequential edge");
     }
-    cdfg.add_edge(BlockId(total_blocks as u32 - 1), BlockId(1)).expect("back edge");
+    cdfg.add_edge(BlockId(total_blocks as u32 - 1), BlockId(1))
+        .expect("back edge");
     PaperProfile { cdfg, exec_freq }
 }
 
@@ -198,9 +343,7 @@ fn weight_dfg(weight: u64, bb: u32) -> Dfg {
     }
     let out0 = dfg.add_op(OpKind::LiveOut, 32);
     dfg.add_edge(tail, out0).expect("edge");
-    let first_mul = dfg
-        .node_ids()
-        .find(|&n| dfg.node(n).kind == OpKind::Mul);
+    let first_mul = dfg.node_ids().find(|&n| dfg.node(n).kind == OpKind::Mul);
     if let Some(second) = first_mul {
         let out1 = dfg.add_op(OpKind::LiveOut, 32);
         dfg.add_edge(second, out1).expect("edge");
@@ -267,16 +410,9 @@ mod tests {
     #[test]
     fn synthesized_analysis_reproduces_table1_ordering() {
         let profile = synthesize_profile(&JPEG_TABLE1, 24);
-        let report = AnalysisReport::analyze(
-            &profile.cdfg,
-            &profile.exec_freq,
-            &WeightTable::paper(),
-        );
-        let top: Vec<u32> = report
-            .top_kernels(8)
-            .iter()
-            .map(|b| b.block.0)
-            .collect();
+        let report =
+            AnalysisReport::analyze(&profile.cdfg, &profile.exec_freq, &WeightTable::paper());
+        let top: Vec<u32> = report.top_kernels(8).iter().map(|b| b.block.0).collect();
         let expected: Vec<u32> = JPEG_TABLE1.iter().map(|r| r.bb).collect();
         assert_eq!(top, expected, "kernel ordering must match Table 1");
         for (row, prof) in JPEG_TABLE1.iter().zip(report.top_kernels(8)) {
@@ -287,11 +423,8 @@ mod tests {
     #[test]
     fn synthesized_blocks_are_kernel_candidates() {
         let profile = synthesize_profile(&OFDM_TABLE1, 44);
-        let report = AnalysisReport::analyze(
-            &profile.cdfg,
-            &profile.exec_freq,
-            &WeightTable::paper(),
-        );
+        let report =
+            AnalysisReport::analyze(&profile.cdfg, &profile.exec_freq, &WeightTable::paper());
         for r in &OFDM_TABLE1 {
             assert!(
                 report.kernels().contains(&BlockId(r.bb)),

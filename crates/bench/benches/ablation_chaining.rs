@@ -13,13 +13,21 @@ fn coarse_cycles(app: &Prepared, dp: &CgcDatapath, cfg: &SchedulerConfig) -> u64
     let exec_freq: Vec<u64> = app.analysis.blocks().iter().map(|b| b.exec_freq).collect();
     let map = CdfgCoarseGrainMapping::map(&app.program.cdfg, dp, cfg).expect("maps");
     let kernels = app.analysis.kernels();
-    map.t_coarse(&exec_freq, |i| kernels.contains(&amdrel_cdfg::BlockId(i as u32)))
+    map.t_coarse(&exec_freq, |i| {
+        kernels.contains(&amdrel_cdfg::BlockId(i as u32))
+    })
 }
 
 fn bench_chaining(c: &mut Criterion) {
     let apps = [ofdm_prepared(), jpeg_small_prepared()];
-    let on = SchedulerConfig { chaining: true, ..SchedulerConfig::default() };
-    let off = SchedulerConfig { chaining: false, ..SchedulerConfig::default() };
+    let on = SchedulerConfig {
+        chaining: true,
+        ..SchedulerConfig::default()
+    };
+    let off = SchedulerConfig {
+        chaining: false,
+        ..SchedulerConfig::default()
+    };
 
     println!("\n========== Ablation: CGC chaining ==========");
     println!(

@@ -23,7 +23,10 @@ fn bench_energy(c: &mut Criterion) {
         "all-FPGA {ceiling} units, floor {floor_e} units ({:.1}% max reduction)",
         floor.reduction_percent()
     );
-    println!("{:>12} {:>8} {:>12} {:>6}", "budget", "moves", "final", "met");
+    println!(
+        "{:>12} {:>8} {:>12} {:>6}",
+        "budget", "moves", "final", "met"
+    );
     for pct in [95u64, 80, 60, 40, 20, 5] {
         let budget = floor_e + (ceiling - floor_e) * pct / 100;
         let r = partition_for_energy(&app.program.cdfg, &app.analysis, &platform, &model, budget)
@@ -37,8 +40,13 @@ fn bench_energy(c: &mut Criterion) {
         );
     }
 
-    println!("\nASIC/LUT per-op energy ratio sweep (budget = floor, i.e. move-everything-that-pays):");
-    println!("{:>8} {:>12} {:>8} {:>10}", "ratio", "final", "moves", "red%");
+    println!(
+        "\nASIC/LUT per-op energy ratio sweep (budget = floor, i.e. move-everything-that-pays):"
+    );
+    println!(
+        "{:>8} {:>12} {:>8} {:>10}",
+        "ratio", "final", "moves", "red%"
+    );
     for ratio in [1u64, 2, 4, 8, 16] {
         let model = EnergyModel {
             cgc: OpEnergyTable {

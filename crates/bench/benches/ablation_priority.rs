@@ -46,7 +46,13 @@ fn bench_priority(c: &mut Criterion) {
     println!("===============================================================================\n");
 
     let mut group = c.benchmark_group("ablation_priority");
-    let dfg = random_dfg(11, &SynthConfig { nodes: 200, ..SynthConfig::default() });
+    let dfg = random_dfg(
+        11,
+        &SynthConfig {
+            nodes: 200,
+            ..SynthConfig::default()
+        },
+    );
     let dp = CgcDatapath::two_2x2();
     for priority in [Priority::LongestPath, Priority::Mobility, Priority::Fifo] {
         let cfg = SchedulerConfig {

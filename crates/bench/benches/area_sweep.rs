@@ -30,7 +30,11 @@ fn bench_area_sweep(c: &mut Criterion) {
             r.initial_cycles,
             r.final_cycles(),
             r.moves.len(),
-            if r.met_without_partitioning { "yes (step-2 exit)" } else { "no" },
+            if r.met_without_partitioning {
+                "yes (step-2 exit)"
+            } else {
+                "no"
+            },
         );
     }
     println!("==========================================================================\n");

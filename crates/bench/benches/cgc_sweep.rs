@@ -10,22 +10,37 @@ use std::hint::black_box;
 
 fn kernel_cgc_cycles(app: &Prepared, dp: &CgcDatapath) -> u64 {
     let exec_freq: Vec<u64> = app.analysis.blocks().iter().map(|b| b.exec_freq).collect();
-    let map =
-        CdfgCoarseGrainMapping::map(&app.program.cdfg, dp, &SchedulerConfig::default())
-            .expect("maps");
+    let map = CdfgCoarseGrainMapping::map(&app.program.cdfg, dp, &SchedulerConfig::default())
+        .expect("maps");
     let kernels = app.analysis.kernels();
-    map.t_coarse(&exec_freq, |i| kernels.contains(&amdrel_cdfg::BlockId(i as u32)))
+    map.t_coarse(&exec_freq, |i| {
+        kernels.contains(&amdrel_cdfg::BlockId(i as u32))
+    })
 }
 
 fn bench_cgc_sweep(c: &mut Criterion) {
     let apps = [ofdm_prepared(), jpeg_small_prepared()];
     let configs: Vec<(String, CgcDatapath)> = [1usize, 2, 3, 4, 6]
         .iter()
-        .map(|&k| (format!("{k}x 2x2"), CgcDatapath::uniform(k, CgcGeometry::TWO_BY_TWO)))
+        .map(|&k| {
+            (
+                format!("{k}x 2x2"),
+                CgcDatapath::uniform(k, CgcGeometry::TWO_BY_TWO),
+            )
+        })
         .chain([
-            ("1x 3x3".to_owned(), CgcDatapath::uniform(1, CgcGeometry::new(3, 3))),
-            ("2x 3x3".to_owned(), CgcDatapath::uniform(2, CgcGeometry::new(3, 3))),
-            ("1x 4x4".to_owned(), CgcDatapath::uniform(1, CgcGeometry::new(4, 4))),
+            (
+                "1x 3x3".to_owned(),
+                CgcDatapath::uniform(1, CgcGeometry::new(3, 3)),
+            ),
+            (
+                "2x 3x3".to_owned(),
+                CgcDatapath::uniform(2, CgcGeometry::new(3, 3)),
+            ),
+            (
+                "1x 4x4".to_owned(),
+                CgcDatapath::uniform(1, CgcGeometry::new(4, 4)),
+            ),
         ])
         .collect();
 
@@ -45,7 +60,10 @@ fn bench_cgc_sweep(c: &mut Criterion) {
     println!("======================================================\n");
 
     let mut group = c.benchmark_group("cgc_sweep_mapping");
-    for (label, dp) in configs.iter().filter(|(l, _)| l == "2x 2x2" || l == "1x 4x4") {
+    for (label, dp) in configs
+        .iter()
+        .filter(|(l, _)| l == "2x 2x2" || l == "1x 4x4")
+    {
         group.bench_function(label.replace(' ', "_"), |b| {
             b.iter(|| {
                 CdfgCoarseGrainMapping::map(

@@ -12,7 +12,13 @@ fn bench_temporal(c: &mut Criterion) {
     println!("\n========== Figure 3 algorithm: partition counts ==========");
     println!("{:>8} {:>12} {:>12}", "nodes", "parts@1500", "parts@5000");
     for &nodes in &[32usize, 128, 512, 2048] {
-        let dfg = random_dfg(7, &SynthConfig { nodes, ..SynthConfig::default() });
+        let dfg = random_dfg(
+            7,
+            &SynthConfig {
+                nodes,
+                ..SynthConfig::default()
+            },
+        );
         let p1500 = temporal_partition(&dfg, &FpgaDevice::new(1500)).expect("maps");
         let p5000 = temporal_partition(&dfg, &FpgaDevice::new(5000)).expect("maps");
         println!("{:>8} {:>12} {:>12}", nodes, p1500.len(), p5000.len());
@@ -21,7 +27,13 @@ fn bench_temporal(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig3_temporal_partitioning");
     for &nodes in &[32usize, 128, 512, 2048] {
-        let dfg = random_dfg(7, &SynthConfig { nodes, ..SynthConfig::default() });
+        let dfg = random_dfg(
+            7,
+            &SynthConfig {
+                nodes,
+                ..SynthConfig::default()
+            },
+        );
         for &area in &[1500u64, 5000] {
             let device = FpgaDevice::new(area);
             group.bench_with_input(

@@ -30,7 +30,12 @@ fn bench_table2(c: &mut Criterion) {
     for r in &paper::OFDM_TABLE2 {
         println!(
             "  A={:<5} {} 2x2 CGCs: initial {:>7}  CGC {:>6}  BBs {:?}  final {:>6}  {:>4.1}%",
-            r.area, r.cgcs, r.initial_cycles, r.cycles_in_cgc, r.moved_bbs, r.final_cycles,
+            r.area,
+            r.cgcs,
+            r.initial_cycles,
+            r.cycles_in_cgc,
+            r.moved_bbs,
+            r.final_cycles,
             r.reduction_percent
         );
     }

@@ -30,7 +30,12 @@ fn bench_table3(c: &mut Criterion) {
     for r in &paper::JPEG_TABLE3 {
         println!(
             "  A={:<5} {} 2x2 CGCs: initial {:>9}  CGC {:>8}  BBs {:?}  final {:>9}  {:>4.1}%",
-            r.area, r.cgcs, r.initial_cycles, r.cycles_in_cgc, r.moved_bbs, r.final_cycles,
+            r.area,
+            r.cgcs,
+            r.initial_cycles,
+            r.cycles_in_cgc,
+            r.moved_bbs,
+            r.final_cycles,
             r.reduction_percent
         );
     }

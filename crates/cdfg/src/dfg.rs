@@ -222,12 +222,16 @@ impl Dfg {
 
     /// Nodes with no predecessors.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.preds(n).is_empty()).collect()
+        self.node_ids()
+            .filter(|&n| self.preds(n).is_empty())
+            .collect()
     }
 
     /// Nodes with no successors.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.succs(n).is_empty()).collect()
+        self.node_ids()
+            .filter(|&n| self.succs(n).is_empty())
+            .collect()
     }
 
     /// A topological order of all nodes (Kahn's algorithm).
@@ -237,10 +241,7 @@ impl Dfg {
     /// [`GraphError::Cycle`] if the graph contains a cycle.
     pub fn topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
         let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
-        let mut queue: Vec<NodeId> = self
-            .node_ids()
-            .filter(|n| indeg[n.index()] == 0)
-            .collect();
+        let mut queue: Vec<NodeId> = self.node_ids().filter(|n| indeg[n.index()] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         let mut head = 0;
         while head < queue.len() {
@@ -276,7 +277,10 @@ impl Dfg {
 
     /// Count of *schedulable* operations (boundary pseudo-ops excluded).
     pub fn op_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind.is_schedulable()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_schedulable())
+            .count()
     }
 
     /// Histogram of schedulable operations per [`OpClass`].
@@ -293,12 +297,18 @@ impl Dfg {
     /// Number of [`LiveIn`](OpKind::LiveIn) boundary nodes — the words the
     /// block must read from shared storage per execution.
     pub fn live_in_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == OpKind::LiveIn).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == OpKind::LiveIn)
+            .count()
     }
 
     /// Number of [`LiveOut`](OpKind::LiveOut) boundary nodes.
     pub fn live_out_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == OpKind::LiveOut).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == OpKind::LiveOut)
+            .count()
     }
 }
 
@@ -361,10 +371,7 @@ mod tests {
     #[test]
     fn self_loop_rejected() {
         let (mut g, [a, ..]) = diamond();
-        assert!(matches!(
-            g.add_edge(a, a),
-            Err(GraphError::SelfLoop { .. })
-        ));
+        assert!(matches!(g.add_edge(a, a), Err(GraphError::SelfLoop { .. })));
     }
 
     #[test]
@@ -381,8 +388,7 @@ mod tests {
     fn topo_order_respects_edges() {
         let (g, _) = diamond();
         let order = g.topo_order().unwrap();
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for n in g.node_ids() {
             for &s in g.succs(n) {
                 assert!(pos[&n] < pos[&s], "{n} must precede {s}");

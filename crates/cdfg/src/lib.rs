@@ -111,10 +111,16 @@ impl fmt::Display for GraphError {
                 write!(f, "data edge {node} -> {node} would form a self-loop")
             }
             GraphError::Cycle { graph } => {
-                write!(f, "graph '{graph}' contains a cycle where a DAG is required")
+                write!(
+                    f,
+                    "graph '{graph}' contains a cycle where a DAG is required"
+                )
             }
             GraphError::HorizonTooShort { horizon } => {
-                write!(f, "ALAP horizon {horizon} is shorter than the critical path")
+                write!(
+                    f,
+                    "ALAP horizon {horizon} is shorter than the critical path"
+                )
             }
         }
     }
@@ -130,9 +136,7 @@ mod tests {
     fn errors_are_send_sync_and_display() {
         fn assert_traits<T: Send + Sync + std::error::Error>() {}
         assert_traits::<GraphError>();
-        let e = GraphError::Cycle {
-            graph: "g".into(),
-        };
+        let e = GraphError::Cycle { graph: "g".into() };
         assert!(e.to_string().contains("cycle"));
     }
 }

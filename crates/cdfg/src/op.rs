@@ -274,7 +274,7 @@ mod tests {
         // A compile error here (non-exhaustive match) is the real assertion;
         // the count pins the ALL table against it.
         for kind in OpKind::ALL {
-            let _ = match kind {
+            match kind {
                 OpKind::Add
                 | OpKind::Sub
                 | OpKind::Neg
@@ -299,7 +299,7 @@ mod tests {
                 | OpKind::LiveIn
                 | OpKind::LiveOut
                 | OpKind::Const => (),
-            };
+            }
         }
         assert_eq!(OpKind::ALL.len(), 24);
     }

@@ -122,7 +122,8 @@ pub fn alap_levels(dfg: &Dfg, horizon: u32) -> Result<Levels, GraphError> {
             .map(|s| levels[s.index()])
             .min()
             .map(|m| {
-                m.checked_sub(1).ok_or(GraphError::HorizonTooShort { horizon })
+                m.checked_sub(1)
+                    .ok_or(GraphError::HorizonTooShort { horizon })
             })
             .transpose()?
             .unwrap_or(horizon);
@@ -171,7 +172,11 @@ pub fn critical_path(dfg: &Dfg, mut latency: impl FnMut(OpKind) -> u64) -> Resul
             .max()
             .unwrap_or(0);
         let kind = dfg.node(n).kind;
-        let lat = if kind.is_schedulable() { latency(kind) } else { 0 };
+        let lat = if kind.is_schedulable() {
+            latency(kind)
+        } else {
+            0
+        };
         finish[n.index()] = start + lat;
         longest = longest.max(finish[n.index()]);
     }
@@ -199,7 +204,11 @@ pub fn path_to_sink(
             .max()
             .unwrap_or(0);
         let kind = dfg.node(n).kind;
-        let lat = if kind.is_schedulable() { latency(kind) } else { 0 };
+        let lat = if kind.is_schedulable() {
+            latency(kind)
+        } else {
+            0
+        };
         dist[n.index()] = below + lat;
     }
     Ok(dist)

@@ -117,7 +117,7 @@ pub fn random_dfg(seed: u64, cfg: &SynthConfig) -> Dfg {
             let mut fanin = 0;
             // Sample candidate predecessors, biased toward recent nodes so
             // the graph has depth rather than being a flat fan.
-            let attempts = (i.min(8)).max(1);
+            let attempts = i.clamp(1, 8);
             for _ in 0..attempts {
                 if fanin >= cfg.max_fanin || rng.unit_f64() >= cfg.edge_prob * 4.0 {
                     continue;

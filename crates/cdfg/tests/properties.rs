@@ -5,16 +5,23 @@ use amdrel_cdfg::{alap_levels, asap_levels, critical_path, mobility, path_to_sin
 use proptest::prelude::*;
 
 fn synth_config() -> impl Strategy<Value = SynthConfig> {
-    (2usize..120, 0.05f64..0.6, 1usize..4, 0.0f64..0.5, 0.0f64..0.3).prop_map(
-        |(nodes, edge_prob, max_fanin, mul_fraction, load_fraction)| SynthConfig {
-            nodes,
-            edge_prob,
-            max_fanin,
-            mul_fraction,
-            load_fraction,
-            bitwidth: 16,
-        },
+    (
+        2usize..120,
+        0.05f64..0.6,
+        1usize..4,
+        0.0f64..0.5,
+        0.0f64..0.3,
     )
+        .prop_map(
+            |(nodes, edge_prob, max_fanin, mul_fraction, load_fraction)| SynthConfig {
+                nodes,
+                edge_prob,
+                max_fanin,
+                mul_fraction,
+                load_fraction,
+                bitwidth: 16,
+            },
+        )
 }
 
 proptest! {

@@ -77,9 +77,7 @@ pub fn bind(
                 })?;
                 if col >= geometry.cols || row >= geometry.rows {
                     return Err(CoarseGrainError::InvalidBinding {
-                        reason: format!(
-                            "node {n} bound to ({cgc},{col},{row}) outside {geometry}"
-                        ),
+                        reason: format!("node {n} bound to ({cgc},{col},{row}) outside {geometry}"),
                     });
                 }
                 columns.entry((cycle, cgc, col)).or_default().push((row, n));
@@ -121,9 +119,13 @@ pub fn bind(
     // steering-logic chaining case — sit directly above its consumer in
     // the same column of the same CGC in the same cycle.
     for n in dfg.node_ids() {
-        let Some(pn) = schedule.placement(n) else { continue };
+        let Some(pn) = schedule.placement(n) else {
+            continue;
+        };
         for &p in dfg.preds(n) {
-            let Some(pp) = schedule.placement(p) else { continue };
+            let Some(pp) = schedule.placement(p) else {
+                continue;
+            };
             if pp.cycle < pn.cycle {
                 continue;
             }
@@ -134,8 +136,16 @@ pub fn bind(
             }
             let chained = match (pp.site, pn.site) {
                 (
-                    Site::CgcNode { cgc: c1, col: k1, row: r1 },
-                    Site::CgcNode { cgc: c2, col: k2, row: r2 },
+                    Site::CgcNode {
+                        cgc: c1,
+                        col: k1,
+                        row: r1,
+                    },
+                    Site::CgcNode {
+                        cgc: c2,
+                        col: k2,
+                        row: r2,
+                    },
                 ) => c1 == c2 && k1 == k2 && r1 + 1 == r2,
                 _ => false,
             };
@@ -166,8 +176,8 @@ pub fn bind(
             hist[len - 1] += 1;
         };
         for &(row, n) in &rows {
-            let chained_onto_prev = prev
-                .is_some_and(|(pr, pn)| pr + 1 == row && dfg.preds(n).contains(&pn));
+            let chained_onto_prev =
+                prev.is_some_and(|(pr, pn)| pr + 1 == row && dfg.preds(n).contains(&pn));
             if chained_onto_prev {
                 run += 1;
             } else {
@@ -281,14 +291,24 @@ mod tests {
         dfg.add_edge(p2, sink).unwrap();
         dfg.add_edge(prev, sink).unwrap();
         let r = bound(&dfg);
-        assert!(r.peak_registers >= 2, "p1/p2 must be banked, got {}", r.peak_registers);
+        assert!(
+            r.peak_registers >= 2,
+            "p1/p2 must be banked, got {}",
+            r.peak_registers
+        );
     }
 
     #[test]
     fn all_random_schedules_bind_cleanly() {
         let dp = CgcDatapath::three_2x2();
         for seed in 0..30 {
-            let dfg = random_dfg(seed, &SynthConfig { nodes: 60, ..SynthConfig::default() });
+            let dfg = random_dfg(
+                seed,
+                &SynthConfig {
+                    nodes: 60,
+                    ..SynthConfig::default()
+                },
+            );
             let s = schedule_dfg(&dfg, &dp, &SchedulerConfig::default()).unwrap();
             let r = bind(&dfg, &s, &dp).unwrap();
             assert_eq!(r.cgc_ops + r.mem_ops, dfg.op_count() as u64);

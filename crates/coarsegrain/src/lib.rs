@@ -46,8 +46,8 @@ mod mapping;
 mod scheduler;
 
 pub use binding::{bind, BindingReport};
-pub use gantt::gantt;
 pub use datapath::{CgcDatapath, CgcGeometry};
+pub use gantt::gantt;
 pub use mapping::{map_dfg, CdfgCoarseGrainMapping, CoarseGrainMapping};
 pub use scheduler::{
     length_lower_bound, schedule_dfg, Placement, Priority, Schedule, SchedulerConfig, Site,

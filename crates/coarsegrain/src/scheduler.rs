@@ -283,8 +283,7 @@ pub fn schedule_dfg(
                         continue; // pred on a memory port: no chaining
                     };
                     let (ci, coli, ri) = (cgc as usize, col as usize, row as usize);
-                    if ri + 1 < datapath.cgcs[ci].rows as usize
-                        && nodes[ci][coli][ri + 1].is_none()
+                    if ri + 1 < datapath.cgcs[ci].rows as usize && nodes[ci][coli][ri + 1].is_none()
                     {
                         candidates.push((n, ci, coli, ri + 1));
                     }
@@ -292,8 +291,7 @@ pub fn schedule_dfg(
                 if candidates.is_empty() {
                     break;
                 }
-                candidates
-                    .sort_by_key(|&(n, ..)| (std::cmp::Reverse(priorities[n.index()]), n));
+                candidates.sort_by_key(|&(n, ..)| (std::cmp::Reverse(priorities[n.index()]), n));
                 let mut extended = false;
                 for (n, ci, coli, ri) in candidates {
                     // Re-check (an earlier extension may have taken the
@@ -357,7 +355,10 @@ pub fn length_lower_bound(dfg: &Dfg, datapath: &CgcDatapath) -> u64 {
             k.is_schedulable() && !k.is_mem()
         })
         .count() as u64;
-    let mem_ops = dfg.node_ids().filter(|&n| dfg.node(n).kind.is_mem()).count() as u64;
+    let mem_ops = dfg
+        .node_ids()
+        .filter(|&n| dfg.node(n).kind.is_mem())
+        .count() as u64;
     let slots = u64::from(datapath.compute_slots()).max(1);
     let ports = u64::from(datapath.mem_ports).max(1);
     let resource = compute_ops.div_ceil(slots).max(mem_ops.div_ceil(ports));
@@ -436,8 +437,7 @@ mod tests {
             let two =
                 schedule_dfg(&dfg, &CgcDatapath::two_2x2(), &SchedulerConfig::default()).unwrap();
             let three =
-                schedule_dfg(&dfg, &CgcDatapath::three_2x2(), &SchedulerConfig::default())
-                    .unwrap();
+                schedule_dfg(&dfg, &CgcDatapath::three_2x2(), &SchedulerConfig::default()).unwrap();
             assert!(
                 three.length() <= two.length(),
                 "seed {seed}: three 2x2 ({}) slower than two 2x2 ({})",
@@ -480,8 +480,7 @@ mod tests {
                 for &p in dfg.preds(n) {
                     let Some(pp) = s.placement(p) else { continue };
                     assert!(
-                        pp.cycle < pn.cycle
-                            || (pp.cycle == pn.cycle && same_chain_below(&pp, &pn)),
+                        pp.cycle < pn.cycle || (pp.cycle == pn.cycle && same_chain_below(&pp, &pn)),
                         "seed {seed}: {p} at {pp:?} not before {n} at {pn:?}"
                     );
                 }
@@ -492,8 +491,16 @@ mod tests {
     fn same_chain_below(p: &Placement, n: &Placement) -> bool {
         match (p.site, n.site) {
             (
-                Site::CgcNode { cgc: c1, col: k1, row: r1 },
-                Site::CgcNode { cgc: c2, col: k2, row: r2 },
+                Site::CgcNode {
+                    cgc: c1,
+                    col: k1,
+                    row: r1,
+                },
+                Site::CgcNode {
+                    cgc: c2,
+                    col: k2,
+                    row: r2,
+                },
             ) => c1 == c2 && k1 == k2 && r1 < r2,
             _ => false,
         }
@@ -502,7 +509,13 @@ mod tests {
     #[test]
     fn slot_capacity_never_exceeded() {
         for seed in 0..25 {
-            let dfg = random_dfg(seed, &SynthConfig { nodes: 80, ..SynthConfig::default() });
+            let dfg = random_dfg(
+                seed,
+                &SynthConfig {
+                    nodes: 80,
+                    ..SynthConfig::default()
+                },
+            );
             let dp = CgcDatapath::two_2x2();
             let s = schedule_dfg(&dfg, &dp, &SchedulerConfig::default()).unwrap();
             let mut per_cycle: std::collections::HashMap<u64, u32> = Default::default();
@@ -533,7 +546,9 @@ mod tests {
                 priority: prio,
             };
             let s = schedule_dfg(&dfg, &CgcDatapath::two_2x2(), &cfg).unwrap();
-            assert!(s.length() >= length_lower_bound(&dfg, &CgcDatapath::two_2x2()) || s.length() > 0);
+            assert!(
+                s.length() >= length_lower_bound(&dfg, &CgcDatapath::two_2x2()) || s.length() > 0
+            );
         }
     }
 

@@ -9,16 +9,23 @@ use amdrel_coarsegrain::{
 use proptest::prelude::*;
 
 fn synth_config() -> impl Strategy<Value = SynthConfig> {
-    (2usize..120, 0.05f64..0.6, 1usize..4, 0.0f64..0.5, 0.0f64..0.3).prop_map(
-        |(nodes, edge_prob, max_fanin, mul_fraction, load_fraction)| SynthConfig {
-            nodes,
-            edge_prob,
-            max_fanin,
-            mul_fraction,
-            load_fraction,
-            bitwidth: 16,
-        },
+    (
+        2usize..120,
+        0.05f64..0.6,
+        1usize..4,
+        0.0f64..0.5,
+        0.0f64..0.3,
     )
+        .prop_map(
+            |(nodes, edge_prob, max_fanin, mul_fraction, load_fraction)| SynthConfig {
+                nodes,
+                edge_prob,
+                max_fanin,
+                mul_fraction,
+                load_fraction,
+                bitwidth: 16,
+            },
+        )
 }
 
 fn datapath() -> impl Strategy<Value = CgcDatapath> {
@@ -28,12 +35,15 @@ fn datapath() -> impl Strategy<Value = CgcDatapath> {
 }
 
 fn scheduler_config() -> impl Strategy<Value = SchedulerConfig> {
-    (any::<bool>(), prop_oneof![
-        Just(Priority::LongestPath),
-        Just(Priority::Mobility),
-        Just(Priority::Fifo),
-    ])
-    .prop_map(|(chaining, priority)| SchedulerConfig { chaining, priority })
+    (
+        any::<bool>(),
+        prop_oneof![
+            Just(Priority::LongestPath),
+            Just(Priority::Mobility),
+            Just(Priority::Fifo),
+        ],
+    )
+        .prop_map(|(chaining, priority)| SchedulerConfig { chaining, priority })
 }
 
 fn placements_ok(dfg: &amdrel_cdfg::Dfg, s: &Schedule) -> bool {

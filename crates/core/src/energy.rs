@@ -273,7 +273,10 @@ mod tests {
         let model = EnergyModel::default();
         let all_fpga = vec![Assignment::FineGrain; c.cdfg.len()];
         let e = energy_of_assignment(&c.cdfg, &a, &platform, &model, &all_fpga).unwrap();
-        assert_eq!(e.total(), e.e_fpga_ops + e.e_reconfig + e.e_cgc_ops + e.e_comm);
+        assert_eq!(
+            e.total(),
+            e.e_fpga_ops + e.e_reconfig + e.e_cgc_ops + e.e_comm
+        );
         assert_eq!(e.e_cgc_ops, 0);
         assert_eq!(e.e_comm, 0);
         assert!(e.e_fpga_ops > 0 && e.e_reconfig > 0);
@@ -308,7 +311,11 @@ mod tests {
         let floor = partition_for_energy(&c.cdfg, &a, &platform, &model, 0).unwrap();
         let budget = (floor.energy.total() + floor.initial.total()) / 2;
         let r = partition_for_energy(&c.cdfg, &a, &platform, &model, budget).unwrap();
-        assert!(r.met, "budget {budget} achievable (floor {})", floor.energy.total());
+        assert!(
+            r.met,
+            "budget {budget} achievable (floor {})",
+            floor.energy.total()
+        );
         assert!(!r.moves.is_empty());
         assert!(r.reduction_percent() > 0.0);
     }

@@ -148,12 +148,7 @@ impl<'a> PartitioningEngine<'a> {
     /// [`CoreError`] if a block cannot be mapped to either fabric.
     pub fn run(&self, constraint: u64) -> Result<PartitionResult, CoreError> {
         let n = self.cdfg.len();
-        let exec_freq: Vec<u64> = self
-            .analysis
-            .blocks()
-            .iter()
-            .map(|b| b.exec_freq)
-            .collect();
+        let exec_freq: Vec<u64> = self.analysis.blocks().iter().map(|b| b.exec_freq).collect();
 
         // Step 2: map everything to the fine-grain hardware.
         let fine = CdfgFineGrainMapping::map(self.cdfg, &self.platform.fpga)?;
@@ -178,8 +173,11 @@ impl<'a> PartitioningEngine<'a> {
 
         // Step 5 support: coarse-grain mapping of every block (the engine
         // only reads the ones it moves; mapping is per-block independent).
-        let coarse =
-            CdfgCoarseGrainMapping::map(self.cdfg, &self.platform.datapath, &self.platform.scheduler)?;
+        let coarse = CdfgCoarseGrainMapping::map(
+            self.cdfg,
+            &self.platform.datapath,
+            &self.platform.scheduler,
+        )?;
 
         // Steps 3+4: drain the ordered kernel queue.
         let mut moves = Vec::new();
@@ -223,8 +221,7 @@ impl<'a> PartitioningEngine<'a> {
         coarse: &CdfgCoarseGrainMapping,
     ) -> Breakdown {
         let t_fpga = fine.t_fpga(exec_freq, |i| assignment[i] == Assignment::FineGrain);
-        let t_coarse_cgc =
-            coarse.t_coarse(exec_freq, |i| assignment[i] == Assignment::CoarseGrain);
+        let t_coarse_cgc = coarse.t_coarse(exec_freq, |i| assignment[i] == Assignment::CoarseGrain);
         let t_coarse = self.platform.cgc_to_fpga_cycles(t_coarse_cgc);
         let t_comm: u64 = self
             .cdfg
@@ -318,7 +315,10 @@ mod tests {
         assert_eq!(result.final_cycles(), b.t_total());
         // Every move's breakdown satisfies the same identity.
         for m in &result.moves {
-            assert_eq!(m.breakdown.t_total(), m.breakdown.t_fpga + m.breakdown.t_coarse + m.breakdown.t_comm);
+            assert_eq!(
+                m.breakdown.t_total(),
+                m.breakdown.t_fpga + m.breakdown.t_coarse + m.breakdown.t_comm
+            );
         }
     }
 
@@ -353,7 +353,9 @@ mod tests {
             .run(1)
             .unwrap();
         for (i, a) in result.assignment.iter().enumerate() {
-            let moved = result.moved_blocks().contains(&amdrel_cdfg::BlockId(i as u32));
+            let moved = result
+                .moved_blocks()
+                .contains(&amdrel_cdfg::BlockId(i as u32));
             assert_eq!(moved, *a == Assignment::CoarseGrain);
         }
     }

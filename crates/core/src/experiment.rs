@@ -105,7 +105,11 @@ pub fn format_paper_table(grid: &ExperimentGrid) -> String {
     let mut header = format!("{:<20}", "");
     for &area in &areas {
         let span = grid.cells.iter().filter(|c| c.area == area).count();
-        header.push_str(&format!("{:<width$}", format!("A_FPGA={area}"), width = col * span));
+        header.push_str(&format!(
+            "{:<width$}",
+            format!("A_FPGA={area}"),
+            width = col * span
+        ));
     }
     let _ = writeln!(out, "{header}");
 
@@ -143,7 +147,11 @@ pub fn format_paper_table(grid: &ExperimentGrid) -> String {
     for &area in &areas {
         for c in cells_for(area) {
             let moved = c.result.moved_blocks();
-            let shown: Vec<String> = moved.iter().take(3).map(|b| b.index().to_string()).collect();
+            let shown: Vec<String> = moved
+                .iter()
+                .take(3)
+                .map(|b| b.index().to_string())
+                .collect();
             let text = if moved.len() > 3 {
                 format!("{}+{}", shown.join(","), moved.len() - 3)
             } else {
@@ -173,7 +181,10 @@ pub fn format_paper_table(grid: &ExperimentGrid) -> String {
     let mut line = format!("{:<20}", "constraint met");
     for &area in &areas {
         for c in cells_for(area) {
-            line.push_str(&format!("{:<col$}", if c.result.met { "yes" } else { "NO" }));
+            line.push_str(&format!(
+                "{:<col$}",
+                if c.result.met { "yes" } else { "NO" }
+            ));
         }
     }
     let _ = writeln!(out, "{line}");

@@ -59,7 +59,13 @@ pub fn run_flow(
     platform: &Platform,
     constraint: u64,
 ) -> Result<FlowOutcome, CoreError> {
-    run_flow_with(source, inputs, platform, constraint, EngineConfig::default())
+    run_flow_with(
+        source,
+        inputs,
+        platform,
+        constraint,
+        EngineConfig::default(),
+    )
 }
 
 /// [`run_flow`] with an explicit engine policy.

@@ -182,7 +182,11 @@ mod tests {
 
     #[test]
     fn pipelined_never_slower_than_sequential() {
-        for (f, c, m, n) in [(10u64, 10u64, 0u64, 5u64), (0, 7, 3, 9), (123, 456, 78, 1000)] {
+        for (f, c, m, n) in [
+            (10u64, 10u64, 0u64, 5u64),
+            (0, 7, 3, 9),
+            (123, 456, 78, 1000),
+        ] {
             let r = pipeline_report(&breakdown(f, c, m), n);
             assert!(r.pipelined_cycles <= r.sequential_cycles);
         }

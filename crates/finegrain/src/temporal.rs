@@ -279,7 +279,14 @@ mod tests {
         let mut dfg = Dfg::new("big");
         dfg.add_op(OpKind::Mul, 32); // 120 units
         let err = temporal_partition(&dfg, &device(100)).unwrap_err(); // usable 70
-        assert!(matches!(err, FineGrainError::NodeTooLarge { area: 120, usable: 70, .. }));
+        assert!(matches!(
+            err,
+            FineGrainError::NodeTooLarge {
+                area: 120,
+                usable: 70,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -7,22 +7,28 @@ use amdrel_finegrain::{map_dfg, temporal_partition, FpgaDevice, ReconfigPolicy};
 use proptest::prelude::*;
 
 fn synth_config() -> impl Strategy<Value = SynthConfig> {
-    (2usize..150, 0.05f64..0.6, 1usize..4, 0.0f64..0.5, 0.0f64..0.3).prop_map(
-        |(nodes, edge_prob, max_fanin, mul_fraction, load_fraction)| SynthConfig {
-            nodes,
-            edge_prob,
-            max_fanin,
-            mul_fraction,
-            load_fraction,
-            bitwidth: 16,
-        },
+    (
+        2usize..150,
+        0.05f64..0.6,
+        1usize..4,
+        0.0f64..0.5,
+        0.0f64..0.3,
     )
+        .prop_map(
+            |(nodes, edge_prob, max_fanin, mul_fraction, load_fraction)| SynthConfig {
+                nodes,
+                edge_prob,
+                max_fanin,
+                mul_fraction,
+                load_fraction,
+                bitwidth: 16,
+            },
+        )
 }
 
 fn device() -> impl Strategy<Value = FpgaDevice> {
-    (1200u64..20_000, 1u64..100).prop_map(|(area, reconfig)| {
-        FpgaDevice::new(area).with_reconfig_cycles(reconfig)
-    })
+    (1200u64..20_000, 1u64..100)
+        .prop_map(|(area, reconfig)| FpgaDevice::new(area).with_reconfig_cycles(reconfig))
 }
 
 proptest! {

@@ -9,8 +9,8 @@
 
 use crate::ir::{BlockIdx, Function, Instr, Operand, Terminator, VarId, VarInfo};
 use crate::lower::{HBlock, HFunction, HInstr};
-use crate::CompileError;
 use crate::token::Span;
+use crate::CompileError;
 use std::collections::HashMap;
 
 /// Inline all calls, producing the final call-free entry [`Function`].
@@ -31,9 +31,12 @@ pub(crate) fn inline_program(
         inline_calls(&mut f, &done)?;
         done.insert(f.name.clone(), f);
     }
-    let entry_fn = done
-        .remove(entry)
-        .ok_or_else(|| CompileError::new(format!("entry function '{entry}' not found"), Span::default()))?;
+    let entry_fn = done.remove(entry).ok_or_else(|| {
+        CompileError::new(
+            format!("entry function '{entry}' not found"),
+            Span::default(),
+        )
+    })?;
     finalize(entry_fn).map_err(|callee| {
         CompileError::new(
             format!("unresolved call to '{callee}' after inlining"),
@@ -95,10 +98,7 @@ fn topo_order(functions: &[HFunction], entry: &str) -> Result<Vec<usize>, Compil
 
 /// Replace every call in `f` with a spliced copy of the (already call-free)
 /// callee from `done`.
-fn inline_calls(
-    f: &mut HFunction,
-    done: &HashMap<String, HFunction>,
-) -> Result<(), CompileError> {
+fn inline_calls(f: &mut HFunction, done: &HashMap<String, HFunction>) -> Result<(), CompileError> {
     loop {
         // Find the first remaining call.
         let mut site = None;
@@ -118,7 +118,10 @@ fn inline_calls(
             unreachable!("site points at a call");
         };
         let callee_fn = done.get(&callee).ok_or_else(|| {
-            CompileError::new(format!("call to unknown function '{callee}'"), Span::default())
+            CompileError::new(
+                format!("call to unknown function '{callee}'"),
+                Span::default(),
+            )
         })?;
 
         // --- allocate remapped variables and arrays for the callee copy.
@@ -173,7 +176,9 @@ fn inline_calls(
                 .instrs
                 .iter()
                 .map(|instr| match instr {
-                    HInstr::Real(i) => HInstr::Real(remap_instr(i, &remap_operand, &remap_var, &remap_array)),
+                    HInstr::Real(i) => {
+                        HInstr::Real(remap_instr(i, &remap_operand, &remap_var, &remap_array))
+                    }
                     HInstr::Call { .. } => {
                         unreachable!("callee '{callee}' still contains calls")
                     }
@@ -181,7 +186,11 @@ fn inline_calls(
                 .collect();
             let term = match &cb.term {
                 Terminator::Jump(t) => Terminator::Jump(remap_block(*t)),
-                Terminator::Branch { cond, then_bb, else_bb } => Terminator::Branch {
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => Terminator::Branch {
                     cond: remap_operand(*cond),
                     then_bb: remap_block(*then_bb),
                     else_bb: remap_block(*else_bb),
@@ -239,7 +248,11 @@ fn remap_instr(
             array: remap_array(*array),
             index: remap_operand(*index),
         },
-        Instr::Store { array, index, value } => Instr::Store {
+        Instr::Store {
+            array,
+            index,
+            value,
+        } => Instr::Store {
             array: remap_array(*array),
             index: remap_operand(*index),
             value: remap_operand(*value),
@@ -295,9 +308,15 @@ mod tests {
         // No calls can remain by construction (finalize would have failed).
         // The callee body must appear: look for the x+1 add on a remapped var.
         let has_add = f.blocks.iter().any(|b| {
-            b.instrs
-                .iter()
-                .any(|i| matches!(i, Instr::Bin { op: crate::ast::BinOp::Add, .. }))
+            b.instrs.iter().any(|i| {
+                matches!(
+                    i,
+                    Instr::Bin {
+                        op: crate::ast::BinOp::Add,
+                        ..
+                    }
+                )
+            })
         });
         assert!(has_add);
         // Callee variables are prefixed.
@@ -315,14 +334,8 @@ mod tests {
 
     #[test]
     fn two_calls_to_same_function_get_distinct_copies() {
-        let f = inline_src(
-            "int sq(int x) { return x * x; } int main() { return sq(2) + sq(3); }",
-        );
-        let copies = f
-            .vars
-            .iter()
-            .filter(|v| v.name == "sq::x")
-            .count();
+        let f = inline_src("int sq(int x) { return x * x; } int main() { return sq(2) + sq(3); }");
+        let copies = f.vars.iter().filter(|v| v.name == "sq::x").count();
         assert_eq!(copies, 2, "each call site gets its own parameter copy");
     }
 

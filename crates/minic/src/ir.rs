@@ -145,7 +145,11 @@ impl fmt::Display for Instr {
             Instr::Un { op, dst, src } => write!(f, "{dst} = {op}{src}"),
             Instr::Copy { dst, src } => write!(f, "{dst} = {src}"),
             Instr::Load { dst, array, index } => write!(f, "{dst} = {array}[{index}]"),
-            Instr::Store { array, index, value } => write!(f, "{array}[{index}] = {value}"),
+            Instr::Store {
+                array,
+                index,
+                value,
+            } => write!(f, "{array}[{index}] = {value}"),
         }
     }
 }
@@ -173,7 +177,11 @@ impl fmt::Display for Terminator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Terminator::Jump(t) => write!(f, "jump {t}"),
-            Terminator::Branch { cond, then_bb, else_bb } => {
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 write!(f, "branch {cond} ? {then_bb} : {else_bb}")
             }
             Terminator::Return(Some(v)) => write!(f, "return {v}"),
@@ -198,7 +206,9 @@ impl Block {
     pub fn successors(&self) -> Vec<BlockIdx> {
         match &self.term {
             Terminator::Jump(t) => vec![*t],
-            Terminator::Branch { then_bb, else_bb, .. } => {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
                 if then_bb == else_bb {
                     vec![*then_bb]
                 } else {
@@ -312,7 +322,13 @@ impl IrProgram {
             let _ = writeln!(out, "global {}[{}] : i{}", g.name, g.len, g.bits);
         }
         let f = &self.entry;
-        let _ = writeln!(out, "fn {}({} vars, {} arrays):", f.name, f.vars.len(), f.arrays.len());
+        let _ = writeln!(
+            out,
+            "fn {}({} vars, {} arrays):",
+            f.name,
+            f.vars.len(),
+            f.arrays.len()
+        );
         for (i, b) in f.blocks.iter().enumerate() {
             let _ = writeln!(out, "L{i}: ; {}", b.label);
             for ins in &b.instrs {

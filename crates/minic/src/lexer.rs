@@ -180,12 +180,15 @@ impl<'a> Lexer<'a> {
     }
 
     fn ident(&mut self, start: (usize, u32, u32)) {
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.bump();
         }
-        let text = std::str::from_utf8(&self.src[start.0..self.pos])
-            .expect("identifier bytes are ASCII");
-        let kind = match Keyword::from_str(text) {
+        let text =
+            std::str::from_utf8(&self.src[start.0..self.pos]).expect("identifier bytes are ASCII");
+        let kind = match Keyword::parse(text) {
             Some(kw) => TokenKind::Keyword(kw),
             None => TokenKind::Ident(text.to_owned()),
         };

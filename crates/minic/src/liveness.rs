@@ -159,9 +159,7 @@ mod tests {
 
     #[test]
     fn dead_value_not_live_out() {
-        let (ir, lv) = liveness_of(
-            "int main() { int dead = 5; int x = 2; return x; }",
-        );
+        let (ir, lv) = liveness_of("int main() { int dead = 5; int x = 2; return x; }");
         let f = &ir.entry;
         let dead = var_named(f, "dead");
         for b in 0..f.blocks.len() {
@@ -171,16 +169,18 @@ mod tests {
 
     #[test]
     fn branch_condition_is_a_use() {
-        let (ir, lv) = liveness_of(
-            "int main() { int c = 1; if (c) { return 1; } return 0; }",
-        );
+        let (ir, lv) = liveness_of("int main() { int c = 1; if (c) { return 1; } return 0; }");
         let f = &ir.entry;
         let c = var_named(f, "c");
         // The block whose terminator branches on c must either define c or
         // have it live-in.
         let mut found = false;
         for (i, b) in f.blocks.iter().enumerate() {
-            if let Terminator::Branch { cond: Operand::Var(v), .. } = b.term {
+            if let Terminator::Branch {
+                cond: Operand::Var(v),
+                ..
+            } = b.term
+            {
                 if v == c {
                     found = true;
                     assert!(lv.defs(i).contains(&c) || lv.live_in(i).contains(&c));
@@ -192,9 +192,8 @@ mod tests {
 
     #[test]
     fn store_operands_are_uses() {
-        let (ir, lv) = liveness_of(
-            "int a[4]; int main() { int v = 3; int i = 1; a[i] = v; return a[1]; }",
-        );
+        let (ir, lv) =
+            liveness_of("int a[4]; int main() { int v = 3; int i = 1; a[i] = v; return a[1]; }");
         let f = &ir.entry;
         let v = var_named(f, "v");
         // v is used (by the store) in the block where it's defined, so it's

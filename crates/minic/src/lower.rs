@@ -7,7 +7,9 @@
 //! [`crate::inline`] pass eliminates them before the IR is published.
 
 use crate::ast::{self, BinOp, Expr, IntWidth, LValue, Stmt, UnOp};
-use crate::ir::{ArrayRef, BlockIdx, GlobalArray, Instr, LocalArray, Operand, Terminator, VarId, VarInfo};
+use crate::ir::{
+    ArrayRef, BlockIdx, GlobalArray, Instr, LocalArray, Operand, Terminator, VarId, VarInfo,
+};
 use crate::CompileError;
 use std::collections::HashMap;
 
@@ -154,7 +156,11 @@ impl<'p> FnLowerer<'p> {
 
     fn new_var(&mut self, name: String, bits: u16, is_temp: bool) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarInfo { name, bits, is_temp });
+        self.vars.push(VarInfo {
+            name,
+            bits,
+            is_temp,
+        });
         id
     }
 
@@ -220,7 +226,9 @@ impl<'p> FnLowerer<'p> {
 
     fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
         match stmt {
-            Stmt::Decl { width, name, init, .. } => {
+            Stmt::Decl {
+                width, name, init, ..
+            } => {
                 let v = self.new_var(name.clone(), width.bits(), false);
                 if let Some(init) = init {
                     self.lower_expr_into(init, v)?;
@@ -228,7 +236,9 @@ impl<'p> FnLowerer<'p> {
                 self.declare(name.clone(), Binding::Scalar(v));
                 Ok(())
             }
-            Stmt::ArrayDecl { width, name, len, .. } => {
+            Stmt::ArrayDecl {
+                width, name, len, ..
+            } => {
                 let idx = self.arrays.len() as u32;
                 self.arrays.push(LocalArray {
                     name: name.clone(),
@@ -256,12 +266,21 @@ impl<'p> FnLowerer<'p> {
                         let array = self.array_ref(name, *span)?;
                         let index = self.lower_expr(index)?;
                         let value = self.lower_expr(value)?;
-                        self.emit(HInstr::Real(Instr::Store { array, index, value }));
+                        self.emit(HInstr::Real(Instr::Store {
+                            array,
+                            index,
+                            value,
+                        }));
                     }
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let cond_op = self.lower_expr(cond)?;
                 let then_bb = self.new_block("if.then");
                 let join_bb = self.new_block("if.join");
@@ -326,7 +345,13 @@ impl<'p> FnLowerer<'p> {
                 self.current = exit_bb;
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.scopes.push(HashMap::new()); // for-header scope
                 if let Some(init) = init {
                     self.lower_stmt(init)?;
@@ -441,14 +466,20 @@ impl<'p> FnLowerer<'p> {
                 }));
                 Ok(())
             }
-            Expr::Unary { op: UnOp::Neg | UnOp::BitNot, operand, .. } => {
+            Expr::Unary {
+                op: UnOp::Neg | UnOp::BitNot,
+                operand,
+                ..
+            } => {
                 let src = self.lower_expr(operand)?;
                 if let Operand::Const(_) = src {
                     let folded = self.lower_expr(expr)?;
                     self.emit(HInstr::Real(Instr::Copy { dst, src: folded }));
                     return Ok(());
                 }
-                let Expr::Unary { op, .. } = expr else { unreachable!() };
+                let Expr::Unary { op, .. } = expr else {
+                    unreachable!()
+                };
                 self.emit(HInstr::Real(Instr::Un { op: *op, dst, src }));
                 Ok(())
             }
@@ -546,16 +577,14 @@ impl<'p> FnLowerer<'p> {
                     }
                     UnOp::Neg | UnOp::BitNot => {
                         let dst = self.new_temp(self.var_bits(src));
-                        self.emit(HInstr::Real(Instr::Un {
-                            op: *op,
-                            dst,
-                            src,
-                        }));
+                        self.emit(HInstr::Real(Instr::Un { op: *op, dst, src }));
                         Ok(Operand::Var(dst))
                     }
                 }
             }
-            Expr::Logical { is_and, lhs, rhs, .. } => {
+            Expr::Logical {
+                is_and, lhs, rhs, ..
+            } => {
                 // Short-circuit lowering with a result temp.
                 let result = self.new_temp(1);
                 let l = self.lower_expr(lhs)?;
@@ -590,7 +619,12 @@ impl<'p> FnLowerer<'p> {
                 self.current = join_bb;
                 Ok(Operand::Var(result))
             }
-            Expr::Ternary { cond, then_val, else_val, .. } => {
+            Expr::Ternary {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
                 let result = self.new_temp(32);
                 let c = self.lower_expr(cond)?;
                 let then_bb = self.new_block("sel.then");
@@ -603,11 +637,17 @@ impl<'p> FnLowerer<'p> {
                 });
                 self.current = then_bb;
                 let t = self.lower_expr(then_val)?;
-                self.emit(HInstr::Real(Instr::Copy { dst: result, src: t }));
+                self.emit(HInstr::Real(Instr::Copy {
+                    dst: result,
+                    src: t,
+                }));
                 self.seal_current(Terminator::Jump(join_bb));
                 self.current = else_bb;
                 let e = self.lower_expr(else_val)?;
-                self.emit(HInstr::Real(Instr::Copy { dst: result, src: e }));
+                self.emit(HInstr::Real(Instr::Copy {
+                    dst: result,
+                    src: e,
+                }));
                 self.seal_current(Terminator::Jump(join_bb));
                 self.current = join_bb;
                 Ok(Operand::Var(result))
@@ -767,8 +807,7 @@ mod tests {
 
     #[test]
     fn array_load_store() {
-        let (globals, fns) =
-            lower_src("int a[4]; int main() { a[0] = 7; return a[0]; }");
+        let (globals, fns) = lower_src("int a[4]; int main() { a[0] = 7; return a[0]; }");
         assert_eq!(globals[0].name, "a");
         let instrs = &fns[0].blocks[0].instrs;
         assert!(matches!(instrs[0], HInstr::Real(Instr::Store { .. })));
@@ -783,8 +822,7 @@ mod tests {
 
     #[test]
     fn call_survives_lowering_for_inline_pass() {
-        let (_, fns) =
-            lower_src("int f(int x) { return x + 1; } int main() { return f(41); }");
+        let (_, fns) = lower_src("int f(int x) { return x + 1; } int main() { return f(41); }");
         let main = fns.iter().find(|f| f.name == "main").unwrap();
         assert!(main.blocks[0]
             .instrs
@@ -809,14 +847,15 @@ mod tests {
     fn comparison_temp_is_one_bit() {
         // Nested comparison forces a temp (direct-dst lowering would give
         // the declared variable's width instead).
-        let (_, fns) =
-            lower_src("int main() { int a = 1; int b = 2; return (a < b) * 5; }");
+        let (_, fns) = lower_src("int main() { int a = 1; int b = 2; return (a < b) * 5; }");
         let f = &fns[0];
         let cmp_dst = f.blocks[0]
             .instrs
             .iter()
             .find_map(|i| match i {
-                HInstr::Real(Instr::Bin { op: BinOp::Lt, dst, .. }) => Some(*dst),
+                HInstr::Real(Instr::Bin {
+                    op: BinOp::Lt, dst, ..
+                }) => Some(*dst),
                 _ => None,
             })
             .unwrap();

@@ -73,7 +73,9 @@ fn remove_unreachable(f: &mut Function) -> bool {
 fn rewrite_targets(term: &mut Terminator, mut f: impl FnMut(BlockIdx) -> BlockIdx) {
     match term {
         Terminator::Jump(t) => *t = f(*t),
-        Terminator::Branch { then_bb, else_bb, .. } => {
+        Terminator::Branch {
+            then_bb, else_bb, ..
+        } => {
             *then_bb = f(*then_bb);
             *else_bb = f(*else_bb);
         }
@@ -86,11 +88,11 @@ fn thread_jumps(f: &mut Function) -> bool {
     // forward[i] = ultimate target when block i is an empty jump block.
     let n = f.blocks.len();
     let mut forward: Vec<BlockIdx> = (0..n as u32).map(BlockIdx).collect();
-    for i in 0..n {
+    for (i, fwd) in forward.iter_mut().enumerate() {
         if f.blocks[i].instrs.is_empty() {
             if let Terminator::Jump(t) = f.blocks[i].term {
                 if t.index() != i {
-                    forward[i] = t;
+                    *fwd = t;
                 }
             }
         }
@@ -134,10 +136,7 @@ fn merge_chains(f: &mut Function) -> bool {
     }
     let mut changed = false;
     for a in 0..n {
-        loop {
-            let Terminator::Jump(t) = f.blocks[a].term else {
-                break;
-            };
+        while let Terminator::Jump(t) = f.blocks[a].term {
             let ti = t.index();
             if ti == a || ti == 0 || pred_count[ti] != 1 {
                 break;
@@ -177,10 +176,11 @@ pub fn eliminate_dead_code(f: &mut Function) -> usize {
         let mut live = liveness.live_out(bi).clone();
         // Terminator uses stay live.
         match &block.term {
-            Terminator::Branch { cond, .. } => {
-                if let crate::ir::Operand::Var(v) = cond {
-                    live.insert(*v);
-                }
+            Terminator::Branch {
+                cond: crate::ir::Operand::Var(v),
+                ..
+            } => {
+                live.insert(*v);
             }
             Terminator::Return(Some(crate::ir::Operand::Var(v))) => {
                 live.insert(*v);
@@ -303,7 +303,11 @@ mod tests {
 
     #[test]
     fn unreachable_blocks_removed() {
-        let mut f = func(vec![jump_block("e", 2), ret_block("island"), ret_block("x")]);
+        let mut f = func(vec![
+            jump_block("e", 2),
+            ret_block("island"),
+            ret_block("x"),
+        ]);
         simplify_cfg(&mut f);
         assert!(f.blocks.iter().all(|b| b.label != "island"));
     }
@@ -479,8 +483,7 @@ mod tests {
 
     #[test]
     fn live_loop_carried_values_survive() {
-        let src =
-            "int main() { int s = 0; for (int i = 0; i < 8; i++) { s += i; } return s; }";
+        let src = "int main() { int s = 0; for (int i = 0; i < 8; i++) { s += i; } return s; }";
         let ir = crate::compile_to_ir(src, "main").unwrap();
         let exec = || {
             // Interpret manually below in the profiler crate tests; here
@@ -489,7 +492,15 @@ mod tests {
                 .blocks
                 .iter()
                 .flat_map(|b| &b.instrs)
-                .filter(|i| matches!(i, Instr::Bin { op: crate::ast::BinOp::Add, .. }))
+                .filter(|i| {
+                    matches!(
+                        i,
+                        Instr::Bin {
+                            op: crate::ast::BinOp::Add,
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
         assert!(exec() >= 2, "s += i and i++ must both survive");
@@ -504,14 +515,26 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.instrs)
-            .filter(|i| matches!(i, Instr::Bin { op: crate::ast::BinOp::Gt, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Bin {
+                        op: crate::ast::BinOp::Gt,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(cmps, 1);
     }
 
     #[test]
     fn rpo_renumber_entry_first() {
-        let mut f = func(vec![jump_block("e", 2), ret_block("second"), jump_block("mid", 1)]);
+        let mut f = func(vec![
+            jump_block("e", 2),
+            ret_block("second"),
+            jump_block("mid", 1),
+        ]);
         // add an instruction so blocks don't fully merge
         f.blocks[1].instrs.push(Instr::Copy {
             dst: VarId(0),
@@ -529,6 +552,9 @@ mod tests {
         simplify_cfg(&mut f);
         // entry is block 0 and every forward edge goes to a later index in
         // this straight-line case.
-        assert!(matches!(f.blocks.last().unwrap().term, Terminator::Return(None)));
+        assert!(matches!(
+            f.blocks.last().unwrap().term,
+            Terminator::Return(None)
+        ));
     }
 }

@@ -126,9 +126,7 @@ impl<'a> Parser<'a> {
             let is_void = matches!(self.peek(), TokenKind::Keyword(Keyword::Void));
             let is_width = matches!(
                 self.peek(),
-                TokenKind::Keyword(
-                    Keyword::Int | Keyword::Short | Keyword::Char | Keyword::Long
-                )
+                TokenKind::Keyword(Keyword::Int | Keyword::Short | Keyword::Char | Keyword::Long)
             );
             if !is_void && !is_width {
                 return Err(CompileError::new(
@@ -147,9 +145,7 @@ impl<'a> Parser<'a> {
 
     fn global_array(&mut self) -> Result<GlobalArrayDef, CompileError> {
         let start = self.span();
-        let width = self
-            .width_keyword()
-            .expect("caller checked width keyword");
+        let width = self.width_keyword().expect("caller checked width keyword");
         let (name, _) = self.expect_ident()?;
         self.expect(&TokenKind::LBracket)?;
         let len = self.int_literal()? as usize;
@@ -212,9 +208,10 @@ impl<'a> Parser<'a> {
         let return_width = if self.eat(&TokenKind::Keyword(Keyword::Void)) {
             None
         } else {
-            Some(self.width_keyword().ok_or_else(|| {
-                CompileError::new("expected return type", self.span())
-            })?)
+            Some(
+                self.width_keyword()
+                    .ok_or_else(|| CompileError::new("expected return type", self.span()))?,
+            )
         };
         let (name, _) = self.expect_ident()?;
         self.expect(&TokenKind::LParen)?;
@@ -225,9 +222,9 @@ impl<'a> Parser<'a> {
                 // nothing
             } else {
                 loop {
-                    let w = self.width_keyword().ok_or_else(|| {
-                        CompileError::new("expected parameter type", self.span())
-                    })?;
+                    let w = self
+                        .width_keyword()
+                        .ok_or_else(|| CompileError::new("expected parameter type", self.span()))?;
                     let (pname, _) = self.expect_ident()?;
                     params.push((w, pname));
                     if !self.eat(&TokenKind::Comma) {
@@ -263,9 +260,9 @@ impl<'a> Parser<'a> {
     fn stmt(&mut self) -> Result<Stmt, CompileError> {
         let span = self.span();
         match self.peek().clone() {
-            TokenKind::Keyword(
-                Keyword::Int | Keyword::Short | Keyword::Char | Keyword::Long,
-            ) => self.decl(),
+            TokenKind::Keyword(Keyword::Int | Keyword::Short | Keyword::Char | Keyword::Long) => {
+                self.decl()
+            }
             TokenKind::Keyword(Keyword::If) => self.if_stmt(),
             TokenKind::Keyword(Keyword::While) => self.while_stmt(),
             TokenKind::Keyword(Keyword::Do) => self.do_while_stmt(),
@@ -471,10 +468,7 @@ impl<'a> Parser<'a> {
                     let value = Expr::Binary {
                         op: if is_inc { BinOp::Add } else { BinOp::Sub },
                         lhs: Box::new(lvalue_to_expr(&target)),
-                        rhs: Box::new(Expr::IntLit {
-                            value: 1,
-                            span,
-                        }),
+                        rhs: Box::new(Expr::IntLit { value: 1, span }),
                         span,
                     };
                     return Ok(Stmt::Assign {
@@ -663,7 +657,11 @@ impl<'a> Parser<'a> {
                         }
                     }
                     self.expect(&TokenKind::RParen)?;
-                    Ok(Expr::Call { callee: name, args, span })
+                    Ok(Expr::Call {
+                        callee: name,
+                        args,
+                        span,
+                    })
                 } else if self.eat(&TokenKind::LBracket) {
                     let index = self.expr()?;
                     self.expect(&TokenKind::RBracket)?;
@@ -755,7 +753,12 @@ mod tests {
         let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
             panic!("expected return");
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("expected + at root, got {e:?}");
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -773,8 +776,16 @@ mod tests {
 
     #[test]
     fn parse_for_loop_with_decl_and_increment() {
-        let p = parse_src("int f() { int s = 0; for (int i = 0; i < 8; i++) { s += i; } return s; }");
-        let Stmt::For { init, cond, step, body, .. } = &p.functions[0].body[1] else {
+        let p =
+            parse_src("int f() { int s = 0; for (int i = 0; i < 8; i++) { s += i; } return s; }");
+        let Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } = &p.functions[0].body[1]
+        else {
             panic!("expected for");
         };
         assert!(init.is_some() && cond.is_some() && step.is_some());
@@ -807,12 +818,22 @@ mod tests {
 
     #[test]
     fn dangling_else_binds_inner() {
-        let p = parse_src("int f(int a, int b) { if (a) if (b) return 1; else return 2; return 3; }");
-        let Stmt::If { then_branch, else_branch, .. } = &p.functions[0].body[0] else {
+        let p =
+            parse_src("int f(int a, int b) { if (a) if (b) return 1; else return 2; return 3; }");
+        let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &p.functions[0].body[0]
+        else {
             panic!();
         };
         assert!(else_branch.is_empty(), "outer if must have no else");
-        let Stmt::If { else_branch: inner_else, .. } = &then_branch[0] else {
+        let Stmt::If {
+            else_branch: inner_else,
+            ..
+        } = &then_branch[0]
+        else {
             panic!();
         };
         assert_eq!(inner_else.len(), 1);
@@ -847,7 +868,10 @@ mod tests {
         let p = parse_src("void g() {} void f() { g(); }");
         assert!(matches!(
             p.functions[1].body[0],
-            Stmt::ExprStmt { expr: Expr::Call { .. }, .. }
+            Stmt::ExprStmt {
+                expr: Expr::Call { .. },
+                ..
+            }
         ));
     }
 
@@ -906,13 +930,19 @@ mod tests {
     #[test]
     fn chained_assignment_not_supported() {
         // `a = b = 1` is not in the subset; the second `=` must error.
-        assert!(parse(&lex("int f() { int a = 0; int b = 0; a = b = 1; return a; }").unwrap()).is_err());
+        assert!(
+            parse(&lex("int f() { int a = 0; int b = 0; a = b = 1; return a; }").unwrap()).is_err()
+        );
     }
 
     #[test]
     fn empty_for_headers_parse() {
-        let p = parse_src("int f() { int i = 0; for (;;) { i++; if (i > 3) { break; } } return i; }");
-        let Stmt::For { init, cond, step, .. } = &p.functions[0].body[1] else {
+        let p =
+            parse_src("int f() { int i = 0; for (;;) { i++; if (i > 3) { break; } } return i; }");
+        let Stmt::For {
+            init, cond, step, ..
+        } = &p.functions[0].body[1]
+        else {
             panic!("expected for");
         };
         assert!(init.is_none() && cond.is_none() && step.is_none());

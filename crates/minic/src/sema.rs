@@ -45,7 +45,9 @@ struct Scopes<'p> {
 
 impl<'p> Scopes<'p> {
     fn new() -> Self {
-        Scopes { stack: vec![HashMap::new()] }
+        Scopes {
+            stack: vec![HashMap::new()],
+        }
     }
 
     fn push(&mut self) {
@@ -163,7 +165,9 @@ impl<'p> Checker<'p> {
         loop_depth: u32,
     ) -> Result<(), CompileError> {
         match stmt {
-            Stmt::Decl { name, init, span, .. } => {
+            Stmt::Decl {
+                name, init, span, ..
+            } => {
                 if let Some(init) = init {
                     self.check_expr(init, scopes)?;
                 }
@@ -175,7 +179,9 @@ impl<'p> Checker<'p> {
                 }
                 Ok(())
             }
-            Stmt::ArrayDecl { name, len, span, .. } => {
+            Stmt::ArrayDecl {
+                name, len, span, ..
+            } => {
                 if *len == 0 {
                     return Err(CompileError::new(
                         format!("array '{name}' has zero length"),
@@ -194,7 +200,12 @@ impl<'p> Checker<'p> {
                 self.check_lvalue(target, scopes)?;
                 self.check_expr(value, scopes)
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.check_expr(cond, scopes)?;
                 self.check_body(then_branch, scopes, f, loop_depth)?;
                 self.check_body(else_branch, scopes, f, loop_depth)
@@ -207,7 +218,13 @@ impl<'p> Checker<'p> {
                 self.check_body(body, scopes, f, loop_depth + 1)?;
                 self.check_expr(cond, scopes)
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 // The for header introduces its own scope (C99 semantics).
                 scopes.push();
                 if let Some(init) = init {
@@ -247,11 +264,7 @@ impl<'p> Checker<'p> {
         }
     }
 
-    fn check_lvalue(
-        &self,
-        lv: &'p LValue,
-        scopes: &Scopes<'p>,
-    ) -> Result<(), CompileError> {
+    fn check_lvalue(&self, lv: &'p LValue, scopes: &Scopes<'p>) -> Result<(), CompileError> {
         match lv {
             LValue::Var { name, span } => match self.resolve(name, scopes) {
                 Some(NameKind::Scalar) => Ok(()),
@@ -264,28 +277,24 @@ impl<'p> Checker<'p> {
                     *span,
                 )),
             },
-            LValue::Index { name, index, span } => {
-                match self.resolve(name, scopes) {
-                    Some(NameKind::Array) => self.check_expr(index, scopes),
-                    Some(NameKind::Scalar) => Err(CompileError::new(
-                        format!("'{name}' is a scalar, not an array"),
-                        *span,
-                    )),
-                    None => Err(CompileError::new(
-                        format!("undeclared array '{name}'"),
-                        *span,
-                    )),
-                }
-            }
+            LValue::Index { name, index, span } => match self.resolve(name, scopes) {
+                Some(NameKind::Array) => self.check_expr(index, scopes),
+                Some(NameKind::Scalar) => Err(CompileError::new(
+                    format!("'{name}' is a scalar, not an array"),
+                    *span,
+                )),
+                None => Err(CompileError::new(
+                    format!("undeclared array '{name}'"),
+                    *span,
+                )),
+            },
         }
     }
 
     fn resolve(&self, name: &str, scopes: &Scopes<'p>) -> Option<NameKind> {
-        scopes.lookup(name).or_else(|| {
-            self.globals
-                .contains(name)
-                .then_some(NameKind::Array)
-        })
+        scopes
+            .lookup(name)
+            .or_else(|| self.globals.contains(name).then_some(NameKind::Array))
     }
 
     fn check_expr(&self, expr: &'p Expr, scopes: &Scopes<'p>) -> Result<(), CompileError> {
@@ -318,7 +327,12 @@ impl<'p> Checker<'p> {
                 self.check_expr(rhs, scopes)
             }
             Expr::Unary { operand, .. } => self.check_expr(operand, scopes),
-            Expr::Ternary { cond, then_val, else_val, .. } => {
+            Expr::Ternary {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
                 self.check_expr(cond, scopes)?;
                 self.check_expr(then_val, scopes)?;
                 self.check_expr(else_val, scopes)
@@ -356,9 +370,13 @@ impl<'p> Checker<'p> {
             Gray,
             Black,
         }
-        let names: Vec<&str> = self.program.functions.iter().map(|f| f.name.as_str()).collect();
-        let index: HashMap<&str, usize> =
-            names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let names: Vec<&str> = self
+            .program
+            .functions
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        let index: HashMap<&str, usize> = names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let mut marks = vec![Mark::White; names.len()];
 
         fn calls_of(body: &[Stmt], out: &mut Vec<(String, Span)>) {
@@ -375,7 +393,12 @@ impl<'p> Checker<'p> {
                         expr(rhs, out);
                     }
                     Expr::Unary { operand, .. } => expr(operand, out),
-                    Expr::Ternary { cond, then_val, else_val, .. } => {
+                    Expr::Ternary {
+                        cond,
+                        then_val,
+                        else_val,
+                        ..
+                    } => {
                         expr(cond, out);
                         expr(then_val, out);
                         expr(else_val, out);
@@ -394,7 +417,12 @@ impl<'p> Checker<'p> {
                         }
                         expr(value, out);
                     }
-                    Stmt::If { cond, then_branch, else_branch, .. } => {
+                    Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
                         expr(cond, out);
                         calls_of(then_branch, out);
                         calls_of(else_branch, out);
@@ -407,7 +435,13 @@ impl<'p> Checker<'p> {
                         calls_of(body, out);
                         expr(cond, out);
                     }
-                    Stmt::For { init, cond, step, body, .. } => {
+                    Stmt::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                        ..
+                    } => {
                         if let Some(i) = init {
                             calls_of(std::slice::from_ref(i), out);
                         }
@@ -498,8 +532,7 @@ mod tests {
 
     #[test]
     fn arity_mismatch() {
-        let e = check_src("int f(int a) { return a; } int main() { return f(1, 2); }")
-            .unwrap_err();
+        let e = check_src("int f(int a) { return a; } int main() { return f(1, 2); }").unwrap_err();
         assert!(e.to_string().contains("takes 1 arguments, 2 given"));
     }
 
@@ -529,8 +562,8 @@ mod tests {
 
     #[test]
     fn direct_recursion_rejected() {
-        let e = check_src("int main() { return 0; } int f(int n) { return f(n - 1); }")
-            .unwrap_err();
+        let e =
+            check_src("int main() { return 0; } int f(int n) { return f(n - 1); }").unwrap_err();
         assert!(e.to_string().contains("recursion"));
     }
 
@@ -551,8 +584,7 @@ mod tests {
 
     #[test]
     fn continue_in_for_step_scope_allowed() {
-        check_src("int main() { for (int i = 0; i < 4; i++) { continue; } return 0; }")
-            .unwrap();
+        check_src("int main() { for (int i = 0; i < 4; i++) { continue; } return 0; }").unwrap();
     }
 
     #[test]

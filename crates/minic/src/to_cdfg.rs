@@ -204,9 +204,11 @@ impl<'a> DfgBuilder<'a> {
                 self.sym.insert(*dst, sym);
                 let kind = bin_opkind(*op);
                 let bits = self.f.var(*dst).bits;
-                let n = self
-                    .dfg
-                    .add_node(DfgNode::with_label(kind, bits, self.f.var(*dst).name.clone()));
+                let n = self.dfg.add_node(DfgNode::with_label(
+                    kind,
+                    bits,
+                    self.f.var(*dst).name.clone(),
+                ));
                 self.link(l, n);
                 self.link(r, n);
                 self.def.insert(*dst, n);
@@ -221,9 +223,11 @@ impl<'a> DfgBuilder<'a> {
                 let sym = self.fresh_root();
                 self.sym.insert(*dst, sym);
                 let bits = self.f.var(*dst).bits;
-                let n = self
-                    .dfg
-                    .add_node(DfgNode::with_label(kind, bits, self.f.var(*dst).name.clone()));
+                let n = self.dfg.add_node(DfgNode::with_label(
+                    kind,
+                    bits,
+                    self.f.var(*dst).name.clone(),
+                ));
                 self.link(s, n);
                 self.def.insert(*dst, n);
             }
@@ -264,7 +268,11 @@ impl<'a> DfgBuilder<'a> {
                 self.sym.insert(*dst, sym);
                 self.def.insert(*dst, n);
             }
-            Instr::Store { array, index, value } => {
+            Instr::Store {
+                array,
+                index,
+                value,
+            } => {
                 let idx = self.operand(*index);
                 let val = self.operand(*value);
                 let addr = self.sym_of(*index);
@@ -380,7 +388,11 @@ fn block_to_dfg(ir: &IrProgram, f: &Function, block_idx: usize, liveness: &Liven
 
     // The branch condition leaves the datapath toward the sequencer when it
     // is computed in this block.
-    if let Terminator::Branch { cond: Operand::Var(v), .. } = block.term {
+    if let Terminator::Branch {
+        cond: Operand::Var(v),
+        ..
+    } = block.term
+    {
         if let Some(&src) = b.def.get(&v) {
             if b.dfg.node(src).kind != OpKind::LiveIn {
                 let out = b.dfg.add_node(DfgNode::with_label(
@@ -416,8 +428,11 @@ mod tests {
 
     #[test]
     fn straight_line_block_structure() {
-        let c = compile("int main() { int x = 3; int y = x * 4; return y + 1; }", "main")
-            .unwrap();
+        let c = compile(
+            "int main() { int x = 3; int y = x * 4; return y + 1; }",
+            "main",
+        )
+        .unwrap();
         let cdfg = &c.cdfg;
         assert_eq!(cdfg.len(), 1);
         let dfg = &cdfg.block(cdfg.entry()).dfg;
@@ -431,8 +446,11 @@ mod tests {
 
     #[test]
     fn copies_are_transparent() {
-        let c = compile("int main() { int a = 5; int b = a; int d = b; return d; }", "main")
-            .unwrap();
+        let c = compile(
+            "int main() { int a = 5; int b = a; int d = b; return d; }",
+            "main",
+        )
+        .unwrap();
         let dfg = &c.cdfg.block(c.cdfg.entry()).dfg;
         // No ALU work at all: just const + live-out of the returned const.
         assert_eq!(dfg.op_count(), 0);
@@ -512,7 +530,11 @@ mod tests {
 
     #[test]
     fn constants_are_shared() {
-        let c = compile("int main() { int a = 7 + 1; int b = a * 8; int d = b - 8; return d; }", "main").unwrap();
+        let c = compile(
+            "int main() { int a = 7 + 1; int b = a * 8; int d = b - 8; return d; }",
+            "main",
+        )
+        .unwrap();
         let dfg = &c.cdfg.block(c.cdfg.entry()).dfg;
         let const8 = dfg
             .iter()

@@ -83,7 +83,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Look up a keyword by its source spelling.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn parse(s: &str) -> Option<Keyword> {
         Some(match s {
             "int" => Keyword::Int,
             "short" => Keyword::Short,
@@ -299,9 +299,9 @@ mod tests {
             Keyword::Break,
             Keyword::Continue,
         ] {
-            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+            assert_eq!(Keyword::parse(kw.as_str()), Some(kw));
         }
-        assert_eq!(Keyword::from_str("float"), None);
+        assert_eq!(Keyword::parse("float"), None);
     }
 
     #[test]

@@ -29,10 +29,22 @@ fn expr() -> impl Strategy<Value = E> {
         prop_oneof![
             (
                 prop_oneof![
-                    Just("+"), Just("-"), Just("*"), Just("/"), Just("%"),
-                    Just("&"), Just("|"), Just("^"),
-                    Just("<"), Just("<="), Just(">"), Just(">="),
-                    Just("=="), Just("!="), Just("&&"), Just("||"),
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("%"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just("<"),
+                    Just("<="),
+                    Just(">"),
+                    Just(">="),
+                    Just("=="),
+                    Just("!="),
+                    Just("&&"),
+                    Just("||"),
                 ],
                 inner.clone(),
                 inner.clone(),
@@ -40,8 +52,11 @@ fn expr() -> impl Strategy<Value = E> {
                 .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
             (prop_oneof![Just("-"), Just("~"), Just("!")], inner.clone())
                 .prop_map(|(op, a)| E::Un(op, Box::new(a))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| E::Ternary(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| E::Ternary(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }

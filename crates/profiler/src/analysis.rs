@@ -143,7 +143,10 @@ mod tests {
     use super::*;
     use amdrel_minic::compile;
 
-    fn analyze_src(src: &str, inputs: &[(&str, &[i64])]) -> (amdrel_minic::CompiledProgram, AnalysisReport) {
+    fn analyze_src(
+        src: &str,
+        inputs: &[(&str, &[i64])],
+    ) -> (amdrel_minic::CompiledProgram, AnalysisReport) {
         let c = compile(src, "main").unwrap();
         let exec = crate::Interpreter::new(&c.ir).run(inputs).unwrap();
         let report = AnalysisReport::analyze(&c.cdfg, &exec.block_counts, &WeightTable::paper());

@@ -91,8 +91,7 @@ impl<'p> Interpreter<'p> {
     /// by zero, out-of-range shifts/indices, or step-budget exhaustion.
     pub fn run(&self, inputs: &[(&str, &[i64])]) -> Result<Execution, ProfileError> {
         let f = &self.ir.entry;
-        let mut globals: Vec<Vec<i64>> =
-            self.ir.globals.iter().map(|g| g.init.clone()).collect();
+        let mut globals: Vec<Vec<i64>> = self.ir.globals.iter().map(|g| g.init.clone()).collect();
         for (name, data) in inputs {
             let gi = self
                 .ir
@@ -131,8 +130,16 @@ impl<'p> Interpreter<'p> {
             }
             match &b.term {
                 Terminator::Jump(t) => block = *t,
-                Terminator::Branch { cond, then_bb, else_bb } => {
-                    block = if read(*cond, &vars) != 0 { *then_bb } else { *else_bb };
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    block = if read(*cond, &vars) != 0 {
+                        *then_bb
+                    } else {
+                        *else_bb
+                    };
                 }
                 Terminator::Return(v) => break v.map(|v| read(v, &vars)),
             }
@@ -184,7 +191,11 @@ impl<'p> Interpreter<'p> {
                 let v = checked_index(slice, i, name)?;
                 vars[dst.index()] = v;
             }
-            Instr::Store { array, index, value } => {
+            Instr::Store {
+                array,
+                index,
+                value,
+            } => {
                 let i = read(*index, vars);
                 let v = read(*value, vars);
                 let name = self.array_name(*array);
@@ -310,7 +321,9 @@ mod tests {
 
     #[test]
     fn arithmetic_and_logic() {
-        let e = run("int main() { int a = 7; int b = 3; return (a / b) * 100 + (a % b) * 10 + (a ^ b); }");
+        let e = run(
+            "int main() { int a = 7; int b = 3; return (a / b) * 100 + (a % b) * 10 + (a ^ b); }",
+        );
         assert_eq!(e.return_value, Some(200 + 10 + 4));
     }
 
@@ -341,14 +354,17 @@ mod tests {
 
     #[test]
     fn do_while_executes_at_least_once() {
-        let e = run("int main() { int i = 100; int n = 0; do { n++; i++; } while (i < 0); return n; }");
+        let e =
+            run("int main() { int i = 100; int n = 0; do { n++; i++; } while (i < 0); return n; }");
         assert_eq!(e.return_value, Some(1));
     }
 
     #[test]
     fn short_circuit_semantics() {
         // Division by zero on the RHS must NOT run when the LHS is false.
-        let e = run("int main() { int zero = 0; int t = 0; if (zero && (1 / zero)) { t = 1; } return t; }");
+        let e = run(
+            "int main() { int zero = 0; int t = 0; if (zero && (1 / zero)) { t = 1; } return t; }",
+        );
         assert_eq!(e.return_value, Some(0));
     }
 
@@ -395,19 +411,32 @@ mod tests {
     #[test]
     fn index_out_of_bounds_reported() {
         let e = run_err("int a[4]; int main() { int i = 9; return a[i]; }");
-        assert!(matches!(e, ProfileError::IndexOutOfBounds { index: 9, len: 4, .. }));
+        assert!(matches!(
+            e,
+            ProfileError::IndexOutOfBounds {
+                index: 9,
+                len: 4,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn negative_index_reported() {
         let e = run_err("int a[4]; int main() { int i = 0 - 1; return a[i]; }");
-        assert!(matches!(e, ProfileError::IndexOutOfBounds { index: -1, .. }));
+        assert!(matches!(
+            e,
+            ProfileError::IndexOutOfBounds { index: -1, .. }
+        ));
     }
 
     #[test]
     fn step_limit_stops_infinite_loop() {
-        let ir = compile_to_ir("int main() { int x = 1; while (1) { x++; } return x; }", "main")
-            .unwrap();
+        let ir = compile_to_ir(
+            "int main() { int x = 1; while (1) { x++; } return x; }",
+            "main",
+        )
+        .unwrap();
         let e = Interpreter::new(&ir)
             .with_step_limit(10_000)
             .run(&[])

@@ -102,7 +102,11 @@ impl fmt::Display for ProfileError {
             ProfileError::UnknownInput { name } => {
                 write!(f, "input '{name}' does not name a global array")
             }
-            ProfileError::InputTooLong { name, len, capacity } => write!(
+            ProfileError::InputTooLong {
+                name,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "input '{name}' has {len} values but the array holds {capacity}"
             ),

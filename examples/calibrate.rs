@@ -24,9 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("paper targets: OFDM init ratio 2.12, CGC ratio 1.28, red 78-82% (A=1500) / 54-63% (A=5000)");
     println!("               JPEG init ratio 1.49, CGC ratio 1.02, red 43% / 16-18%");
     println!();
-    println!("{:>5} {:>8} | {:>10} {:>8} {:>7} {:>7} | {:>10} {:>8} {:>7} {:>7}",
-        "scale", "reconfig", "ofdm_init", "ofdm_cgc", "red1500", "red5000",
-        "jpeg_init", "jpeg_cgc", "red1500", "red5000");
+    println!(
+        "{:>5} {:>8} | {:>10} {:>8} {:>7} {:>7} | {:>10} {:>8} {:>7} {:>7}",
+        "scale",
+        "reconfig",
+        "ofdm_init",
+        "ofdm_cgc",
+        "red1500",
+        "red5000",
+        "jpeg_init",
+        "jpeg_cgc",
+        "red1500",
+        "red5000"
+    );
 
     for scale in [1.0f64, 2.0, 4.0, 6.0, 8.0, 12.0] {
         for reconfig in [10u64, 20, 30, 60] {

@@ -40,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut initial = 0;
         for &k in &cgc_counts {
             let platform = Platform::paper(area, k);
-            let result = PartitioningEngine::new(&program.cdfg, &analysis, &platform)
-                .run(constraint)?;
+            let result =
+                PartitioningEngine::new(&program.cdfg, &analysis, &platform).run(constraint)?;
             initial = result.initial_cycles;
             let marker = if result.met_without_partitioning {
                 "=" // all-FPGA already meets the constraint

@@ -37,12 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &WeightTable::paper(),
     );
     println!();
-    println!("{}", analysis.format_table1("Table 1 analogue — ordered total weights", 8));
+    println!(
+        "{}",
+        analysis.format_table1("Table 1 analogue — ordered total weights", 8)
+    );
 
     // Scale the constraint with the image area so small trial runs keep
     // the paper's constraint-to-workload proportion.
-    let constraint = paper::JPEG_CONSTRAINT * (dim * dim) as u64
-        / (jpeg::PAPER_DIM * jpeg::PAPER_DIM) as u64;
+    let constraint =
+        paper::JPEG_CONSTRAINT * (dim * dim) as u64 / (jpeg::PAPER_DIM * jpeg::PAPER_DIM) as u64;
     let base = Platform::paper(1500, 2);
     let grid = run_grid(
         "JPEG encoder",

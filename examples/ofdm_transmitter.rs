@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &WeightTable::paper(),
     );
     println!();
-    println!("{}", analysis.format_table1("Table 1 analogue — ordered total weights", 8));
+    println!(
+        "{}",
+        analysis.format_table1("Table 1 analogue — ordered total weights", 8)
+    );
 
     let base = Platform::paper(1500, 2);
     let grid = run_grid(

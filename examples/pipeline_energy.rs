@@ -18,22 +18,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::paper(1500, 3);
 
     // ---- timing-constrained partitioning (the paper's core flow) ----
-    let result = PartitioningEngine::new(&program.cdfg, &analysis, &platform)
-        .run(paper::OFDM_CONSTRAINT)?;
-    println!("timing flow: initial {} -> final {} cycles ({:.1}%)",
-        result.initial_cycles, result.final_cycles(), result.reduction_percent());
+    let result =
+        PartitioningEngine::new(&program.cdfg, &analysis, &platform).run(paper::OFDM_CONSTRAINT)?;
+    println!(
+        "timing flow: initial {} -> final {} cycles ({:.1}%)",
+        result.initial_cycles,
+        result.final_cycles(),
+        result.reduction_percent()
+    );
 
     // ---- frame pipelining over a 100-frame stream ----
     println!("\n== frame pipelining (on-going work in the paper) ==");
     let frames = 100;
     let r = pipeline_report(&result.breakdown, frames);
-    println!("per-frame stages: FPGA {} cycles, CGC+comm {} cycles",
+    println!(
+        "per-frame stages: FPGA {} cycles, CGC+comm {} cycles",
         result.breakdown.t_fpga,
-        result.breakdown.t_coarse + result.breakdown.t_comm);
-    println!("initiation interval {} cycles, bottleneck {:?}", r.interval, r.bottleneck);
+        result.breakdown.t_coarse + result.breakdown.t_comm
+    );
+    println!(
+        "initiation interval {} cycles, bottleneck {:?}",
+        r.interval, r.bottleneck
+    );
     println!(
         "{} frames: sequential {} vs pipelined {} cycles -> {:.2}x speedup ({:.2}x asymptotic)",
-        frames, r.sequential_cycles, r.pipelined_cycles, r.speedup(), r.asymptotic_speedup()
+        frames,
+        r.sequential_cycles,
+        r.pipelined_cycles,
+        r.speedup(),
+        r.asymptotic_speedup()
     );
     println!(
         "steady-state utilisation: FPGA {:.0}%, CGC {:.0}%",

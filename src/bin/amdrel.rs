@@ -70,7 +70,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let values = data
                     .split(',')
                     .filter(|s| !s.is_empty())
-                    .map(|s| s.trim().parse::<i64>().map_err(|e| format!("input '{name}': {e}")))
+                    .map(|s| {
+                        s.trim()
+                            .parse::<i64>()
+                            .map_err(|e| format!("input '{name}': {e}"))
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
                 opts.inputs.push((name.to_owned(), values));
             }
@@ -100,7 +104,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--cgc-list" => {
                 opts.cgc_list = value_of("--cgc-list")?
                     .split(',')
-                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("--cgc-list: {e}")))
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--cgc-list: {e}"))
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
             }
             "--top" => {
@@ -132,9 +140,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
 }
 
-fn analyzed(
-    opts: &Options,
-) -> Result<(amdrel_minic::CompiledProgram, AnalysisReport), String> {
+fn analyzed(opts: &Options) -> Result<(amdrel_minic::CompiledProgram, AnalysisReport), String> {
     let source = std::fs::read_to_string(&opts.source_path)
         .map_err(|e| format!("{}: {e}", opts.source_path))?;
     let program = compile(&source, "main").map_err(|e| e.to_string())?;
@@ -163,7 +169,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
     if command == "--help" || command == "help" {
         println!("amdrel — hybrid reconfigurable platform partitioning");
         println!("  amdrel analyze   <src.c> [--input name=v,v,..] [--top N]");
-        println!("  amdrel partition <src.c> --constraint N [--area A] [--cgcs K] [--skip-unprofitable]");
+        println!(
+            "  amdrel partition <src.c> --constraint N [--area A] [--cgcs K] [--skip-unprofitable]"
+        );
         println!("  amdrel sweep     <src.c> --constraint N [--areas A,..] [--cgc-list K,..]");
         println!("  amdrel dot       <src.c> [--block N]");
         return Ok(());
@@ -187,9 +195,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "partition" => {
-            let constraint = opts
-                .constraint
-                .ok_or("partition needs --constraint")?;
+            let constraint = opts.constraint.ok_or("partition needs --constraint")?;
             let (program, analysis) = analyzed(&opts)?;
             let platform = Platform::paper(opts.area, opts.cgcs);
             let result = PartitioningEngine::new(&program.cdfg, &analysis, &platform)

@@ -14,12 +14,15 @@ fn random_app(seed: u64, blocks: usize) -> (Cdfg, Vec<u64>) {
     let mut freqs = Vec::with_capacity(blocks);
     for i in 0..blocks {
         let nodes = 4 + (rng.below(40) as usize);
-        let dfg = random_dfg(seed.wrapping_add(i as u64), &SynthConfig {
-            nodes,
-            mul_fraction: 0.3,
-            load_fraction: 0.15,
-            ..SynthConfig::default()
-        });
+        let dfg = random_dfg(
+            seed.wrapping_add(i as u64),
+            &SynthConfig {
+                nodes,
+                mul_fraction: 0.3,
+                load_fraction: 0.15,
+                ..SynthConfig::default()
+            },
+        );
         cdfg.add_block(BasicBlock::from_dfg(format!("b{i}"), dfg));
         freqs.push(1 + rng.below(2000));
     }
@@ -28,7 +31,8 @@ fn random_app(seed: u64, blocks: usize) -> (Cdfg, Vec<u64>) {
             .expect("edge");
     }
     if blocks > 1 {
-        cdfg.add_edge(BlockId(blocks as u32 - 1), BlockId(1)).expect("back edge");
+        cdfg.add_edge(BlockId(blocks as u32 - 1), BlockId(1))
+            .expect("back edge");
     } else {
         cdfg.add_edge(BlockId(0), BlockId(0)).expect("self loop");
     }

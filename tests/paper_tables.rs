@@ -23,8 +23,7 @@ fn table1_constants_are_internally_consistent() {
 #[test]
 fn table2_and_3_constants_check_out() {
     for r in OFDM_TABLE2.iter().chain(&JPEG_TABLE3) {
-        let computed =
-            (r.initial_cycles - r.final_cycles) as f64 / r.initial_cycles as f64 * 100.0;
+        let computed = (r.initial_cycles - r.final_cycles) as f64 / r.initial_cycles as f64 * 100.0;
         assert!(
             (computed - r.reduction_percent).abs() < 0.15,
             "reduction {:.2} vs printed {:.1} (A={}, {} CGCs)",
@@ -46,11 +45,8 @@ fn table2_and_3_constants_check_out() {
 #[test]
 fn ofdm_paper_profile_moves_the_papers_kernels_first() {
     let profile = synthesize_profile(&OFDM_TABLE1, 44);
-    let analysis = AnalysisReport::analyze(
-        &profile.cdfg,
-        &profile.exec_freq,
-        &WeightTable::paper(),
-    );
+    let analysis =
+        AnalysisReport::analyze(&profile.cdfg, &profile.exec_freq, &WeightTable::paper());
     // Analysis must reproduce Table 1's ordering exactly.
     let top: Vec<u32> = analysis.top_kernels(8).iter().map(|b| b.block.0).collect();
     let expected: Vec<u32> = OFDM_TABLE1.iter().map(|r| r.bb).collect();
@@ -70,18 +66,18 @@ fn ofdm_paper_profile_moves_the_papers_kernels_first() {
         );
         assert_eq!(moved[0].0, 22, "heaviest paper kernel first");
         assert_eq!(moved[1].0, 12);
-        assert!(r.met, "constraint met as in the paper (A={area}, {cgcs} CGCs)");
+        assert!(
+            r.met,
+            "constraint met as in the paper (A={area}, {cgcs} CGCs)"
+        );
     }
 }
 
 #[test]
 fn jpeg_paper_profile_moves_the_papers_kernels_first() {
     let profile = synthesize_profile(&JPEG_TABLE1, 24);
-    let analysis = AnalysisReport::analyze(
-        &profile.cdfg,
-        &profile.exec_freq,
-        &WeightTable::paper(),
-    );
+    let analysis =
+        AnalysisReport::analyze(&profile.cdfg, &profile.exec_freq, &WeightTable::paper());
     let platform = Platform::paper(1500, 2);
     let r = PartitioningEngine::new(&profile.cdfg, &analysis, &platform)
         .run(JPEG_CONSTRAINT)
@@ -98,11 +94,8 @@ fn jpeg_paper_profile_moves_the_papers_kernels_first() {
 #[test]
 fn ofdm_paper_profile_reduction_in_band() {
     let profile = synthesize_profile(&OFDM_TABLE1, 44);
-    let analysis = AnalysisReport::analyze(
-        &profile.cdfg,
-        &profile.exec_freq,
-        &WeightTable::paper(),
-    );
+    let analysis =
+        AnalysisReport::analyze(&profile.cdfg, &profile.exec_freq, &WeightTable::paper());
     let r = PartitioningEngine::new(&profile.cdfg, &analysis, &Platform::paper(1500, 3))
         .run(OFDM_CONSTRAINT)
         .expect("engine runs");
@@ -120,11 +113,8 @@ fn headline_claim_max_reduction_at_small_area() {
     // reported for the case of AFPGA=1500" — the small FPGA must always
     // show the larger reduction.
     let profile = synthesize_profile(&OFDM_TABLE1, 44);
-    let analysis = AnalysisReport::analyze(
-        &profile.cdfg,
-        &profile.exec_freq,
-        &WeightTable::paper(),
-    );
+    let analysis =
+        AnalysisReport::analyze(&profile.cdfg, &profile.exec_freq, &WeightTable::paper());
     let r1500 = PartitioningEngine::new(&profile.cdfg, &analysis, &Platform::paper(1500, 3))
         .run(OFDM_CONSTRAINT)
         .expect("engine runs");

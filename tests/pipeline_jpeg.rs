@@ -24,7 +24,7 @@ fn constraint() -> u64 {
 #[test]
 fn encoder_is_bit_exact_against_reference() {
     let w = jpeg::workload(DIM, 99);
-    let (program, execution) = w.compile_and_profile().expect("runs");
+    let (_program, execution) = w.compile_and_profile().expect("runs");
     let expected = jpeg::encode(&w.inputs[0].1, DIM);
     assert_eq!(execution.return_value, Some(expected.bit_count));
     let bits = execution.global("bitstream").expect("bitstream global");

@@ -13,7 +13,10 @@ fn platform_models_every_figure1_component() {
     // Fine-grain reconfigurable hardware block.
     assert_eq!(p.fpga.total_area, 1500);
     assert!(p.fpga.usable_fraction > 0.0 && p.fpga.usable_fraction <= 1.0);
-    assert!(p.fpga.reconfig_cycles > 0, "dynamic reconfiguration is modelled");
+    assert!(
+        p.fpga.reconfig_cycles > 0,
+        "dynamic reconfiguration is modelled"
+    );
 
     // Coarse-grain reconfigurable hardware blocks (CGCs).
     assert_eq!(p.datapath.cgcs.len(), 2);
@@ -70,5 +73,8 @@ fn platform_is_serializable_and_debuggable() {
     let p = Platform::paper(5000, 3);
     assert_serialize(&p);
     let debug = format!("{p:?}");
-    assert!(debug.contains("5000"), "Debug must expose the area: {debug}");
+    assert!(
+        debug.contains("5000"),
+        "Debug must expose the area: {debug}"
+    );
 }

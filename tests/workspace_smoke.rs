@@ -1,0 +1,53 @@
+//! Workspace wiring smoke test: the facade's front-page example must keep
+//! working end-to-end (compile → profile → analyse → partition), pulling
+//! every crate of the workspace in through the `amdrel` facade.
+
+use amdrel::core::{run_flow, Platform};
+use amdrel::prelude::*;
+
+/// The 64-element kernel from `src/lib.rs`'s crate-level doc example.
+const DOC_KERNEL: &str = r#"
+    int x[64];
+    int y[64];
+    int main() {
+        for (int i = 0; i < 64; i++) {
+            y[i] = x[i] * x[i] * 3 + 5;
+        }
+        return y[63];
+    }
+"#;
+
+#[test]
+fn doc_example_flow_completes_and_never_increases_cycles() {
+    let platform = Platform::paper(1500, 2);
+    let outcome = run_flow(DOC_KERNEL, &[], &platform, 2_000).expect("doc example flow runs");
+    assert!(
+        outcome.result.final_cycles() <= outcome.result.initial_cycles,
+        "partitioning must never make the application slower: {} -> {}",
+        outcome.result.initial_cycles,
+        outcome.result.final_cycles(),
+    );
+}
+
+#[test]
+fn doc_example_flow_is_deterministic() {
+    let platform = Platform::paper(1500, 2);
+    let a = run_flow(DOC_KERNEL, &[], &platform, 2_000).expect("first run");
+    let b = run_flow(DOC_KERNEL, &[], &platform, 2_000).expect("second run");
+    assert_eq!(a.result.initial_cycles, b.result.initial_cycles);
+    assert_eq!(a.result.final_cycles(), b.result.final_cycles());
+    assert_eq!(a.result.moves.len(), b.result.moves.len());
+}
+
+#[test]
+fn prelude_reaches_every_workspace_crate() {
+    // One symbol per crate, through the facade's prelude: a compile error
+    // here means the workspace dependency DAG lost a member.
+    let _weights: WeightTable = WeightTable::paper(); // amdrel-profiler
+    let _device = FpgaDevice::new(1500); // amdrel-finegrain
+    let _datapath = CgcDatapath::two_2x2(); // amdrel-coarsegrain
+    let _platform = Platform::paper(1500, 2); // amdrel-core
+    let program = compile(DOC_KERNEL, "main").expect("minic compiles"); // amdrel-minic
+    assert!(!program.cdfg.is_empty()); // amdrel-cdfg type in use
+    let _workload = ofdm::workload(1); // amdrel-apps
+}

@@ -1,0 +1,74 @@
+//! The stand-in harness must actually generate cases and surface failures.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ranges_honour_bounds(x in 10i64..20, f in 0.25f64..0.75) {
+        prop_assert!((10..20).contains(&x));
+        prop_assert!((0.25..0.75).contains(&f));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(7))]
+    #[test]
+    fn config_cases_are_respected(_x in any::<u64>()) {
+        // Counted via a static: exactly 7 cases must run.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static RUNS: AtomicU32 = AtomicU32::new(0);
+        let n = RUNS.fetch_add(1, Ordering::SeqCst) + 1;
+        prop_assert!(n <= 7);
+    }
+}
+
+#[test]
+fn failing_property_panics_with_inputs() {
+    let result = std::panic::catch_unwind(|| {
+        // No #[test] attribute here: the fn is generated plain and called
+        // directly so the failure can be observed via catch_unwind.
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    });
+    let err = result.expect_err("a failing property must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("panic carries a message");
+    assert!(
+        msg.contains("always_fails"),
+        "message names the test: {msg}"
+    );
+    assert!(msg.contains("inputs"), "message shows the inputs: {msg}");
+}
+
+#[test]
+fn oneof_and_recursive_terminate() {
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(n) => u32::from(*n > 100), // leaves stay in range, depth 0
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+    let strat = (0i64..100)
+        .prop_map(Tree::Leaf)
+        .prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+    let mut rng = proptest::TestRng::from_seed(42);
+    let mut saw_node = false;
+    for _ in 0..200 {
+        let t = strat.sample(&mut rng);
+        assert!(depth(&t) <= 4, "depth capped");
+        saw_node |= matches!(t, Tree::Node(..));
+    }
+    assert!(saw_node, "recursion must actually recurse");
+}

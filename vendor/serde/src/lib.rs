@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace uses serde only as `#[derive(Serialize, Deserialize)]`
+//! annotations and occasional `T: Serialize` bounds; no code performs
+//! runtime serialisation. The traits here are therefore markers with
+//! blanket implementations, and the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Blanket-implemented for every type so that derive annotations and
+/// `T: Serialize` bounds in the workspace compile unchanged.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// Blanket-implemented for every type so that derive annotations and
+/// `T: Deserialize<'de>` bounds in the workspace compile unchanged.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module (trait re-exports only).
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module (trait re-exports only).
+pub mod ser {
+    pub use super::Serialize;
+}

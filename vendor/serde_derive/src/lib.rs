@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace only uses serde derives as annotations — nothing calls a
+//! serializer at runtime — and the companion `serde` stand-in blanket-
+//! implements both traits, so these derives can expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Derive stand-in for `serde::Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive stand-in for `serde::Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
