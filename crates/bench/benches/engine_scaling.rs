@@ -1,0 +1,77 @@
+//! Engine-loop scaling: cost of the kernel-movement loop as the
+//! application grows. The engine precomputes per-block cost vectors and
+//! updates running sums, so the per-move cost must stay flat (O(1))
+//! instead of growing with the block count — this bench prints the
+//! measured ns/move across app sizes so regressions to an O(n)-per-move
+//! loop are visible as superlinear growth.
+//!
+//! Mappings are served from a pre-warmed [`MappingCache`] so the timed
+//! region is the engine loop itself, not the fabric mappers.
+
+use amdrel_bench::synthetic_app;
+use amdrel_core::{MappingCache, PartitioningEngine, Platform};
+use amdrel_profiler::{AnalysisReport, WeightTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [8, 32, 128, 512];
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    println!("\n========== Engine move-loop scaling (impossible constraint: all kernels move) ==========");
+    println!(
+        "{:>8} {:>8} {:>14} {:>12}",
+        "blocks", "moves", "ns/run", "ns/move"
+    );
+
+    let mut group = c.benchmark_group("engine_scaling");
+    for blocks in SIZES {
+        let (cdfg, freqs) = synthetic_app(blocks);
+        let analysis = AnalysisReport::analyze(&cdfg, &freqs, &WeightTable::paper());
+        let platform = Platform::paper(2000, 2);
+        let cache = MappingCache::new();
+
+        // Warm the cache so the timed region is the engine loop, not the
+        // fabric mappers.
+        let warm = PartitioningEngine::new(&cdfg, &analysis, &platform)
+            .with_mapping_cache(&cache)
+            .run(1)
+            .expect("engine runs");
+        let moves = warm.moves.len().max(1) as u128;
+
+        // Hand-rolled per-move report (the criterion stand-in reports
+        // whole-run means only).
+        let iters: u128 = 64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(
+                PartitioningEngine::new(&cdfg, &analysis, &platform)
+                    .with_mapping_cache(&cache)
+                    .run(1)
+                    .expect("engine runs"),
+            );
+        }
+        let per_run = start.elapsed().as_nanos() / iters;
+        println!(
+            "{:>8} {:>8} {:>14} {:>12}",
+            blocks,
+            warm.moves.len(),
+            per_run,
+            per_run / moves
+        );
+
+        group.bench_function(BenchmarkId::from_parameter(blocks), |b| {
+            b.iter(|| {
+                PartitioningEngine::new(black_box(&cdfg), black_box(&analysis), &platform)
+                    .with_mapping_cache(&cache)
+                    .run(1)
+                    .expect("engine runs")
+            })
+        });
+    }
+    group.finish();
+    println!("=========================================================================================\n");
+}
+
+criterion_group!(benches, bench_engine_scaling);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Design-space sweep with and without the mapping cache, sequential and
+//! parallel. An `A × D` grid needs only `A` fine-grain and `D`
+//! coarse-grain mappings; the uncached baseline recomputes both per cell
+//! (`A·D` of each), which is what `run_grid` did before the cache landed.
+
+use amdrel_apps::paper;
+use amdrel_bench::ofdm_prepared;
+use amdrel_coarsegrain::CgcDatapath;
+use amdrel_core::{
+    run_grid_cached, run_grid_parallel_cached, GridSpec, MappingCache, PartitioningEngine, Platform,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const AREAS: [u64; 4] = [1200, 1500, 5000, 20_000];
+
+fn datapaths() -> Vec<CgcDatapath> {
+    vec![CgcDatapath::two_2x2(), CgcDatapath::three_2x2()]
+}
+
+/// The pre-cache behaviour: every cell maps both fabrics privately.
+fn sweep_uncached(spec: &GridSpec<'_>) -> usize {
+    let mut cells = 0;
+    for &area in spec.areas {
+        for dp in spec.datapaths {
+            let mut platform = spec.base.clone();
+            platform.fpga.total_area = area;
+            platform.datapath = dp.clone();
+            black_box(
+                PartitioningEngine::new(spec.cdfg, spec.analysis, &platform)
+                    .run(spec.constraint)
+                    .expect("engine runs"),
+            );
+            cells += 1;
+        }
+    }
+    cells
+}
+
+fn bench_sweep_cached(c: &mut Criterion) {
+    let app = ofdm_prepared();
+    let base = Platform::paper(AREAS[0], 2);
+    let dps = datapaths();
+    let spec = GridSpec {
+        app: &app.name,
+        cdfg: &app.program.cdfg,
+        analysis: &app.analysis,
+        base: &base,
+        areas: &AREAS,
+        datapaths: &dps,
+        constraint: paper::OFDM_CONSTRAINT,
+    };
+
+    let cache = MappingCache::new();
+    let sequential = run_grid_cached(&spec, &cache).expect("grid runs");
+    let parallel = run_grid_parallel_cached(&spec, &cache).expect("grid runs");
+    assert_eq!(sequential, parallel, "parallel grid must match sequential");
+    let stats = cache.stats();
+    println!(
+        "\n========== Cached sweep (OFDM, {} areas × {} datapaths) ==========",
+        AREAS.len(),
+        dps.len()
+    );
+    println!(
+        "cells evaluated twice (sequential + parallel): {}; mappings computed: {} fine-grain, {} coarse-grain; cache hits: {}",
+        2 * sequential.cells.len(),
+        stats.fine_misses,
+        stats.coarse_misses,
+        stats.hits(),
+    );
+    println!(
+        "uncached baseline would have computed {} fine-grain and {} coarse-grain mappings",
+        2 * sequential.cells.len(),
+        2 * sequential.cells.len(),
+    );
+    println!("===================================================================\n");
+
+    c.bench_function("sweep/uncached_per_cell", |b| {
+        b.iter(|| sweep_uncached(black_box(&spec)))
+    });
+    c.bench_function("sweep/run_grid_cached", |b| {
+        // A fresh cache per iteration: measures one cold A+D sweep.
+        b.iter(|| run_grid_cached(black_box(&spec), &MappingCache::new()).expect("grid runs"))
+    });
+    c.bench_function("sweep/run_grid_parallel", |b| {
+        b.iter(|| {
+            run_grid_parallel_cached(black_box(&spec), &MappingCache::new()).expect("grid runs")
+        })
+    });
+    c.bench_function("sweep/run_grid_warm_cache", |b| {
+        // Shared warm cache: the steady state of constraint exploration.
+        b.iter(|| run_grid_cached(black_box(&spec), &cache).expect("grid runs"))
+    });
+}
+
+criterion_group!(benches, bench_sweep_cached);
+criterion_main!(benches);

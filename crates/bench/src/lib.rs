@@ -58,6 +58,42 @@ pub fn jpeg_small_prepared() -> Prepared {
     prepare(&jpeg::workload(64, 2004))
 }
 
+/// A synthetic application for scaling studies: `blocks` random DFG
+/// bodies strung into one loop (so every block is a kernel candidate)
+/// with random execution frequencies. Deterministic in `blocks`, and
+/// shared between the `engine_scaling` bench and the `bench_report`
+/// example so the committed `BENCH_engine.json` baseline and the bench
+/// measure the same workload.
+pub fn synthetic_app(blocks: usize) -> (amdrel_cdfg::Cdfg, Vec<u64>) {
+    use amdrel_cdfg::synth::{random_dfg, SplitMix64, SynthConfig};
+    use amdrel_cdfg::{BasicBlock, BlockId, Cdfg};
+
+    assert!(blocks >= 2, "a synthetic app needs at least 2 blocks");
+    let mut rng = SplitMix64::new(0x5CA1_AB1E ^ blocks as u64);
+    let mut cdfg = Cdfg::new(format!("synth{blocks}"));
+    let mut freqs = Vec::with_capacity(blocks);
+    for i in 0..blocks {
+        let dfg = random_dfg(
+            blocks as u64 * 1000 + i as u64,
+            &SynthConfig {
+                nodes: 6 + (rng.below(24) as usize),
+                mul_fraction: 0.3,
+                load_fraction: 0.15,
+                ..SynthConfig::default()
+            },
+        );
+        cdfg.add_block(BasicBlock::from_dfg(format!("b{i}"), dfg));
+        freqs.push(1 + rng.below(2000));
+    }
+    for i in 0..blocks - 1 {
+        cdfg.add_edge(BlockId(i as u32), BlockId(i as u32 + 1))
+            .expect("edge");
+    }
+    cdfg.add_edge(BlockId(blocks as u32 - 1), BlockId(0))
+        .expect("back edge");
+    (cdfg, freqs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,6 +59,9 @@ impl fmt::Display for CgcGeometry {
 
 /// The coarse-grain datapath: CGCs + register bank + shared-memory ports.
 ///
+/// Implements [`Hash`] (all fields are structural) so a datapath can key
+/// memoised coarse-grain mappings directly.
+///
 /// # Examples
 ///
 /// ```
@@ -69,7 +72,7 @@ impl fmt::Display for CgcGeometry {
 /// let dp3 = CgcDatapath::three_2x2();
 /// assert_eq!(dp3.compute_slots(), 12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CgcDatapath {
     /// The CGC instances.
     pub cgcs: Vec<CgcGeometry>,

@@ -68,6 +68,23 @@ impl CdfgCoarseGrainMapping {
         Ok(CdfgCoarseGrainMapping { blocks })
     }
 
+    /// Per-block cost vector: `t_to_coarse(BB_i) × Iter(BB_i)` in CGC
+    /// cycles for every block. [`Self::t_coarse`] over any subset equals
+    /// the sum of the corresponding entries, so callers (the partitioning
+    /// engine) can maintain running sums and update them in O(1) per
+    /// kernel move instead of rescanning all blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec_freq` is shorter than the block list.
+    pub fn block_costs(&self, exec_freq: &[u64]) -> Vec<u64> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.cycles_per_exec().saturating_mul(exec_freq[i]))
+            .collect()
+    }
+
     /// eq. (3): `t_coarse = Σ_i t_to_coarse(BB_i) × Iter(BB_i)` in CGC
     /// cycles, over the subset of blocks selected by `on_coarse`.
     ///
@@ -116,6 +133,20 @@ mod tests {
         assert_eq!(t, 100 + 20);
         let t_b1_only = map.t_coarse(&[100, 10], |i| i == 1);
         assert_eq!(t_b1_only, 20);
+    }
+
+    #[test]
+    fn block_costs_agree_with_t_coarse() {
+        let cdfg = two_block_cdfg();
+        let dp = CgcDatapath::two_2x2();
+        let map = CdfgCoarseGrainMapping::map(&cdfg, &dp, &SchedulerConfig::default()).unwrap();
+        let freqs = [100u64, 10];
+        let costs = map.block_costs(&freqs);
+        assert_eq!(costs, vec![100, 20]);
+        assert_eq!(costs.iter().sum::<u64>(), map.t_coarse(&freqs, |_| true));
+        for (i, &cost) in costs.iter().enumerate() {
+            assert_eq!(cost, map.t_coarse(&freqs, |j| j == i));
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub struct Placement {
 }
 
 /// List-scheduler priority function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Priority {
     /// Longest path to a sink, descending — the classic critical-path
     /// list scheduler. The default.
@@ -62,8 +62,9 @@ pub enum Priority {
     Fifo,
 }
 
-/// Scheduler knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Scheduler knobs. Implements [`Hash`] so that, together with
+/// [`crate::CgcDatapath`], it can key memoised coarse-grain mappings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SchedulerConfig {
     /// Allow same-cycle chaining through the CGC steering logic.
     pub chaining: bool,

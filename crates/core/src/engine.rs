@@ -12,7 +12,19 @@
 //! iteration counts), `t_coarse` from eq. (3) (CGC schedule lengths ×
 //! iteration counts, converted to FPGA cycles by the platform clock
 //! ratio) and `t_comm` from the shared-memory model.
+//!
+//! The inner loop is incremental: at `run()` entry the engine computes,
+//! once per block, its fine-grain cycle contribution, its raw CGC cycle
+//! contribution and its communication cycles (each already
+//! `exec_freq`-scaled), then maintains running sums so each kernel move —
+//! and each `skip_unprofitable` revert — is an O(1) delta update rather
+//! than an O(n) rescan of all blocks. The raw `t_coarse_cgc` sum is kept
+//! exact and the `cgc_to_fpga_cycles` ceiling is applied only when a
+//! [`Breakdown`] is read, so the results are bit-identical to a full
+//! recomputation (the differential tests below and in
+//! `tests/engine_properties.rs` assert exactly that).
 
+use crate::cache::{CdfgFingerprint, MappingCache};
 use crate::platform::Platform;
 use crate::CoreError;
 use amdrel_cdfg::{BlockId, Cdfg};
@@ -20,6 +32,7 @@ use amdrel_coarsegrain::CdfgCoarseGrainMapping;
 use amdrel_finegrain::CdfgFineGrainMapping;
 use amdrel_profiler::AnalysisReport;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which hardware a basic block executes on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -115,6 +128,64 @@ impl PartitionResult {
     }
 }
 
+/// The per-block cost vectors precomputed at `run()` entry, plus the
+/// running sums over them. Moving a kernel (or reverting a move) touches
+/// three additions — no rescan of the block list.
+struct RunningSums {
+    /// `t_to_FPGA(BB_i) × Iter(BB_i)` per block.
+    fine_costs: Vec<u64>,
+    /// `t_to_coarse(BB_i) × Iter(BB_i)` per block, in raw CGC cycles.
+    coarse_costs: Vec<u64>,
+    /// Shared-memory cycles per block (`exec_freq`-scaled).
+    comm_costs: Vec<u64>,
+    /// Σ fine_costs over blocks currently on the FPGA.
+    t_fpga: u64,
+    /// Σ coarse_costs over moved blocks, kept in raw CGC cycles — the
+    /// clock-ratio ceiling is applied only at read time so the sum stays
+    /// exactly revertible.
+    t_coarse_cgc: u64,
+    /// Σ comm_costs over moved blocks.
+    t_comm: u64,
+}
+
+impl RunningSums {
+    fn new(fine_costs: Vec<u64>, coarse_costs: Vec<u64>, comm_costs: Vec<u64>) -> Self {
+        let t_fpga = fine_costs.iter().sum();
+        RunningSums {
+            fine_costs,
+            coarse_costs,
+            comm_costs,
+            t_fpga,
+            t_coarse_cgc: 0,
+            t_comm: 0,
+        }
+    }
+
+    /// Move block `i` to the coarse-grain hardware.
+    fn move_to_coarse(&mut self, i: usize) {
+        self.t_fpga -= self.fine_costs[i];
+        self.t_coarse_cgc += self.coarse_costs[i];
+        self.t_comm += self.comm_costs[i];
+    }
+
+    /// Undo [`Self::move_to_coarse`] for block `i`.
+    fn revert(&mut self, i: usize) {
+        self.t_fpga += self.fine_costs[i];
+        self.t_coarse_cgc -= self.coarse_costs[i];
+        self.t_comm -= self.comm_costs[i];
+    }
+
+    /// The eq. (2) decomposition at the current assignment.
+    fn breakdown(&self, platform: &Platform) -> Breakdown {
+        Breakdown {
+            t_fpga: self.t_fpga,
+            t_coarse_cgc: self.t_coarse_cgc,
+            t_coarse: platform.cgc_to_fpga_cycles(self.t_coarse_cgc),
+            t_comm: self.t_comm,
+        }
+    }
+}
+
 /// The partitioning engine.
 #[derive(Debug)]
 pub struct PartitioningEngine<'a> {
@@ -122,6 +193,7 @@ pub struct PartitioningEngine<'a> {
     analysis: &'a AnalysisReport,
     platform: &'a Platform,
     config: EngineConfig,
+    cache: Option<&'a MappingCache>,
 }
 
 impl<'a> PartitioningEngine<'a> {
@@ -132,6 +204,7 @@ impl<'a> PartitioningEngine<'a> {
             analysis,
             platform,
             config: EngineConfig::default(),
+            cache: None,
         }
     }
 
@@ -139,6 +212,51 @@ impl<'a> PartitioningEngine<'a> {
     pub fn with_config(mut self, config: EngineConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Serve the fabric mappings from (and record them into) a shared
+    /// [`MappingCache`] instead of computing them privately per run.
+    pub fn with_mapping_cache(mut self, cache: &'a MappingCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The cache fingerprint of the application, computed at most once
+    /// per run (both lookups of a run share it).
+    fn cache_fingerprint(&self) -> Option<CdfgFingerprint> {
+        self.cache.map(|_| MappingCache::fingerprint(self.cdfg))
+    }
+
+    fn fine_mapping(
+        &self,
+        fp: Option<CdfgFingerprint>,
+    ) -> Result<Arc<CdfgFineGrainMapping>, CoreError> {
+        match (self.cache, fp) {
+            (Some(cache), Some(fp)) => cache.fine_keyed(fp, self.cdfg, &self.platform.fpga),
+            _ => Ok(Arc::new(CdfgFineGrainMapping::map(
+                self.cdfg,
+                &self.platform.fpga,
+            )?)),
+        }
+    }
+
+    fn coarse_mapping(
+        &self,
+        fp: Option<CdfgFingerprint>,
+    ) -> Result<Arc<CdfgCoarseGrainMapping>, CoreError> {
+        match (self.cache, fp) {
+            (Some(cache), Some(fp)) => cache.coarse_keyed(
+                fp,
+                self.cdfg,
+                &self.platform.datapath,
+                &self.platform.scheduler,
+            ),
+            _ => Ok(Arc::new(CdfgCoarseGrainMapping::map(
+                self.cdfg,
+                &self.platform.datapath,
+                &self.platform.scheduler,
+            )?)),
+        }
     }
 
     /// Run the Figure 2 flow for a timing constraint in FPGA cycles.
@@ -149,9 +267,10 @@ impl<'a> PartitioningEngine<'a> {
     pub fn run(&self, constraint: u64) -> Result<PartitionResult, CoreError> {
         let n = self.cdfg.len();
         let exec_freq: Vec<u64> = self.analysis.blocks().iter().map(|b| b.exec_freq).collect();
+        let fp = self.cache_fingerprint();
 
         // Step 2: map everything to the fine-grain hardware.
-        let fine = CdfgFineGrainMapping::map(self.cdfg, &self.platform.fpga)?;
+        let fine = self.fine_mapping(fp)?;
         let initial_cycles = fine.t_fpga(&exec_freq, |_| true);
         let mut assignment = vec![Assignment::FineGrain; n];
         if initial_cycles <= constraint {
@@ -173,13 +292,90 @@ impl<'a> PartitioningEngine<'a> {
 
         // Step 5 support: coarse-grain mapping of every block (the engine
         // only reads the ones it moves; mapping is per-block independent).
-        let coarse = CdfgCoarseGrainMapping::map(
-            self.cdfg,
-            &self.platform.datapath,
-            &self.platform.scheduler,
-        )?;
+        let coarse = self.coarse_mapping(fp)?;
+
+        // Per-block cost vectors, computed once; the kernel loop below
+        // only does O(1) delta updates against these.
+        let comm_costs: Vec<u64> = self
+            .cdfg
+            .iter()
+            .enumerate()
+            .map(|(i, (_, bb))| {
+                exec_freq[i]
+                    .saturating_mul(self.platform.comm.cycles_per_exec(bb.live_in, bb.live_out))
+            })
+            .collect();
+        let mut sums = RunningSums::new(
+            fine.block_costs(&exec_freq),
+            coarse.block_costs(&exec_freq),
+            comm_costs,
+        );
 
         // Steps 3+4: drain the ordered kernel queue.
+        let mut moves = Vec::new();
+        let mut breakdown = sums.breakdown(self.platform);
+        for &kernel in self.analysis.kernels() {
+            if breakdown.t_total() <= constraint {
+                break;
+            }
+            let prev_total = breakdown.t_total();
+            sums.move_to_coarse(kernel.index());
+            let candidate = sums.breakdown(self.platform);
+            if self.config.skip_unprofitable && candidate.t_total() >= prev_total {
+                sums.revert(kernel.index());
+                continue;
+            }
+            assignment[kernel.index()] = Assignment::CoarseGrain;
+            breakdown = candidate;
+            moves.push(MoveRecord {
+                kernel,
+                label: self.cdfg.block(kernel).label.clone(),
+                breakdown,
+            });
+        }
+
+        let met = breakdown.t_total() <= constraint;
+        Ok(PartitionResult {
+            constraint,
+            initial_cycles,
+            met_without_partitioning: false,
+            moves,
+            assignment,
+            breakdown,
+            met,
+        })
+    }
+
+    /// The seed implementation of the kernel loop, retained verbatim as
+    /// the differential-testing oracle: every breakdown is an O(n)
+    /// recomputation from the assignment.
+    #[cfg(test)]
+    fn run_naive(&self, constraint: u64) -> Result<PartitionResult, CoreError> {
+        let n = self.cdfg.len();
+        let exec_freq: Vec<u64> = self.analysis.blocks().iter().map(|b| b.exec_freq).collect();
+
+        let fp = self.cache_fingerprint();
+        let fine = self.fine_mapping(fp)?;
+        let initial_cycles = fine.t_fpga(&exec_freq, |_| true);
+        let mut assignment = vec![Assignment::FineGrain; n];
+        if initial_cycles <= constraint {
+            return Ok(PartitionResult {
+                constraint,
+                initial_cycles,
+                met_without_partitioning: true,
+                moves: Vec::new(),
+                assignment,
+                breakdown: Breakdown {
+                    t_fpga: initial_cycles,
+                    t_coarse_cgc: 0,
+                    t_coarse: 0,
+                    t_comm: 0,
+                },
+                met: true,
+            });
+        }
+
+        let coarse = self.coarse_mapping(fp)?;
         let mut moves = Vec::new();
         let mut breakdown = self.breakdown_for(&assignment, &exec_freq, &fine, &coarse);
         for &kernel in self.analysis.kernels() {
@@ -213,6 +409,7 @@ impl<'a> PartitioningEngine<'a> {
         })
     }
 
+    #[cfg(test)]
     fn breakdown_for(
         &self,
         assignment: &[Assignment],
@@ -396,5 +593,89 @@ mod tests {
             .run(1)
             .unwrap();
         assert!(faithful.final_cycles() > strict.final_cycles());
+    }
+
+    /// Differential property: across random applications, platforms and
+    /// constraints, the incremental engine must produce a result equal in
+    /// every field (every `MoveRecord.breakdown` included) to the retained
+    /// naive O(n)-per-move oracle.
+    #[test]
+    fn incremental_engine_matches_naive_oracle() {
+        use amdrel_cdfg::synth::{random_dfg, SplitMix64, SynthConfig};
+        use amdrel_cdfg::BasicBlock;
+        use amdrel_profiler::WeightTable;
+
+        for seed in 0u64..64 {
+            let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1FF);
+            let blocks = 2 + rng.below(10) as usize;
+            let mut cdfg = Cdfg::new(format!("diff{seed}"));
+            let mut freqs = Vec::with_capacity(blocks);
+            for i in 0..blocks {
+                let dfg = random_dfg(
+                    seed.wrapping_add(i as u64 * 131),
+                    &SynthConfig {
+                        nodes: 4 + rng.below(36) as usize,
+                        mul_fraction: 0.3,
+                        load_fraction: 0.15,
+                        ..SynthConfig::default()
+                    },
+                );
+                cdfg.add_block(BasicBlock::from_dfg(format!("b{i}"), dfg));
+                freqs.push(1 + rng.below(3000));
+            }
+            for i in 0..blocks - 1 {
+                cdfg.add_edge(BlockId(i as u32), BlockId(i as u32 + 1))
+                    .unwrap();
+            }
+            cdfg.add_edge(BlockId(blocks as u32 - 1), BlockId(0))
+                .unwrap();
+
+            let analysis = AnalysisReport::analyze(&cdfg, &freqs, &WeightTable::paper());
+            let area = [1200u64, 1500, 2000, 5000][rng.below(4) as usize];
+            let cgcs = 1 + rng.below(3) as usize;
+            let ratio = 1 + rng.below(4);
+            let platform = Platform::paper(area, cgcs)
+                .with_clock_ratio(ratio)
+                .with_comm(crate::CommModel {
+                    cycles_per_word: rng.below(50),
+                    setup_cycles: rng.below(50),
+                });
+            let config = EngineConfig {
+                skip_unprofitable: rng.below(2) == 1,
+            };
+
+            let engine = PartitioningEngine::new(&cdfg, &analysis, &platform).with_config(config);
+            let initial = engine.run(u64::MAX).unwrap().initial_cycles;
+            for constraint in [1, initial / 3, initial / 2, initial, u64::MAX] {
+                let incremental = engine.run(constraint).unwrap();
+                let naive = engine.run_naive(constraint).unwrap();
+                assert_eq!(
+                    incremental, naive,
+                    "divergence at seed {seed}, constraint {constraint}"
+                );
+            }
+        }
+    }
+
+    /// The same engine served by a [`MappingCache`] produces the same
+    /// result as one mapping privately.
+    #[test]
+    fn cached_engine_matches_uncached() {
+        let (c, report) = analyzed(HOT_LOOP);
+        let platform = Platform::paper(1500, 2);
+        let cache = MappingCache::new();
+        let uncached = PartitioningEngine::new(&c.cdfg, &report, &platform)
+            .run(1)
+            .unwrap();
+        for _ in 0..3 {
+            let cached = PartitioningEngine::new(&c.cdfg, &report, &platform)
+                .with_mapping_cache(&cache)
+                .run(1)
+                .unwrap();
+            assert_eq!(cached, uncached);
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.fine_misses, stats.coarse_misses), (1, 1));
+        assert_eq!((stats.fine_hits, stats.coarse_hits), (2, 2));
     }
 }

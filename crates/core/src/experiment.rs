@@ -5,7 +5,19 @@
 //! one timing constraint. [`run_grid`] reproduces that sweep for any
 //! analysed application; [`format_paper_table`] renders the result in the
 //! paper's row layout.
+//!
+//! Two performance paths sit underneath:
+//!
+//! * every grid run goes through a [`MappingCache`], so a sweep over `A`
+//!   areas × `D` datapaths computes exactly `A` fine-grain and `D`
+//!   coarse-grain mappings instead of `A·D` of each (the fine-grain
+//!   mapping depends only on the FPGA, the coarse-grain one only on the
+//!   datapath);
+//! * [`run_grid_parallel`] evaluates the cells on scoped threads (cells
+//!   are independent), preserving the exact area-major output order of
+//!   the sequential path.
 
+use crate::cache::MappingCache;
 use crate::engine::{PartitionResult, PartitioningEngine};
 use crate::platform::Platform;
 use crate::CoreError;
@@ -37,11 +49,76 @@ pub struct ExperimentGrid {
     pub cells: Vec<GridCell>,
 }
 
-/// Run the engine over every `(area, datapath)` combination.
+/// Everything a grid sweep needs besides the cache: the analysed
+/// application, the base platform, and the swept dimensions.
 ///
 /// `base` supplies everything except the FPGA area and the CGC datapath
 /// (clock ratio, communication model, scheduler config, FPGA
 /// characterisation other than total area).
+#[derive(Debug, Clone, Copy)]
+pub struct GridSpec<'a> {
+    /// Application name (labels the grid).
+    pub app: &'a str,
+    /// The application CDFG.
+    pub cdfg: &'a Cdfg,
+    /// Its static+dynamic analysis.
+    pub analysis: &'a AnalysisReport,
+    /// The base platform (see type-level docs).
+    pub base: &'a Platform,
+    /// `A_FPGA` values to sweep.
+    pub areas: &'a [u64],
+    /// CGC datapaths to sweep.
+    pub datapaths: &'a [CgcDatapath],
+    /// The timing constraint, in FPGA cycles.
+    pub constraint: u64,
+}
+
+impl GridSpec<'_> {
+    /// The `(area, datapath)` cells in area-major order.
+    fn configs(&self) -> Vec<(u64, &CgcDatapath)> {
+        let mut configs = Vec::with_capacity(self.areas.len() * self.datapaths.len());
+        for &area in self.areas {
+            for dp in self.datapaths {
+                configs.push((area, dp));
+            }
+        }
+        configs
+    }
+
+    fn cell(
+        &self,
+        area: u64,
+        dp: &CgcDatapath,
+        cache: &MappingCache,
+    ) -> Result<GridCell, CoreError> {
+        let mut platform = self.base.clone();
+        platform.fpga.total_area = area;
+        platform.datapath = dp.clone();
+        let result = PartitioningEngine::new(self.cdfg, self.analysis, &platform)
+            .with_mapping_cache(cache)
+            .run(self.constraint)?;
+        Ok(GridCell {
+            area,
+            datapath: dp.describe(),
+            result,
+        })
+    }
+
+    fn grid(&self, cells: Vec<GridCell>) -> ExperimentGrid {
+        ExperimentGrid {
+            app: self.app.to_owned(),
+            constraint: self.constraint,
+            cells,
+        }
+    }
+}
+
+/// Run the engine over every `(area, datapath)` combination.
+///
+/// A private [`MappingCache`] deduplicates the fabric mappings, so a grid
+/// over `A` areas and `D` datapaths performs exactly `A` fine-grain and
+/// `D` coarse-grain mappings. To share mappings across several grids (or
+/// read the hit counters), use [`run_grid_cached`].
 ///
 /// # Errors
 ///
@@ -55,25 +132,88 @@ pub fn run_grid(
     datapaths: &[CgcDatapath],
     constraint: u64,
 ) -> Result<ExperimentGrid, CoreError> {
-    let mut cells = Vec::with_capacity(areas.len() * datapaths.len());
-    for &area in areas {
-        for dp in datapaths {
-            let mut platform = base.clone();
-            platform.fpga.total_area = area;
-            platform.datapath = dp.clone();
-            let result = PartitioningEngine::new(cdfg, analysis, &platform).run(constraint)?;
-            cells.push(GridCell {
-                area,
-                datapath: dp.describe(),
-                result,
+    run_grid_cached(
+        &GridSpec {
+            app,
+            cdfg,
+            analysis,
+            base,
+            areas,
+            datapaths,
+            constraint,
+        },
+        &MappingCache::new(),
+    )
+}
+
+/// [`run_grid`] against a caller-supplied [`MappingCache`], enabling
+/// mapping reuse across grids (e.g. sweeping several constraints) and
+/// inspection of the cache counters.
+///
+/// # Errors
+///
+/// The first configuration whose mapping fails.
+pub fn run_grid_cached(
+    spec: &GridSpec<'_>,
+    cache: &MappingCache,
+) -> Result<ExperimentGrid, CoreError> {
+    let mut cells = Vec::with_capacity(spec.areas.len() * spec.datapaths.len());
+    for (area, dp) in spec.configs() {
+        cells.push(spec.cell(area, dp, cache)?);
+    }
+    Ok(spec.grid(cells))
+}
+
+/// [`run_grid`] with the cells evaluated on scoped threads (at most
+/// [`std::thread::available_parallelism`] workers, each owning a
+/// contiguous run of cells — cells are independent). Output is identical
+/// to the sequential path, cell for cell: results land in preallocated
+/// area-major slots, and on error the first failing cell *in grid order*
+/// is reported, regardless of thread timing.
+///
+/// # Errors
+///
+/// The first configuration (in area-major grid order) whose mapping
+/// fails.
+pub fn run_grid_parallel(spec: &GridSpec<'_>) -> Result<ExperimentGrid, CoreError> {
+    run_grid_parallel_cached(spec, &MappingCache::new())
+}
+
+/// [`run_grid_parallel`] against a caller-supplied [`MappingCache`].
+///
+/// # Errors
+///
+/// The first configuration (in area-major grid order) whose mapping
+/// fails.
+pub fn run_grid_parallel_cached(
+    spec: &GridSpec<'_>,
+    cache: &MappingCache,
+) -> Result<ExperimentGrid, CoreError> {
+    let configs = spec.configs();
+    if configs.is_empty() {
+        return Ok(spec.grid(Vec::new()));
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(configs.len());
+    let chunk = configs.len().div_ceil(workers);
+    let mut slots: Vec<Option<Result<GridCell, CoreError>>> = Vec::new();
+    slots.resize_with(configs.len(), || None);
+    std::thread::scope(|s| {
+        for (slot_chunk, config_chunk) in slots.chunks_mut(chunk).zip(configs.chunks(chunk)) {
+            s.spawn(move || {
+                for (slot, (area, dp)) in slot_chunk.iter_mut().zip(config_chunk) {
+                    *slot = Some(spec.cell(*area, dp, cache));
+                }
             });
         }
+    });
+    let mut cells = Vec::with_capacity(slots.len());
+    for slot in slots {
+        cells.push(slot.expect("scoped worker fills its slots")?);
     }
-    Ok(ExperimentGrid {
-        app: app.to_owned(),
-        constraint,
-        cells,
-    })
+    Ok(spec.grid(cells))
 }
 
 /// Render the grid in the layout of the paper's Tables 2/3:
@@ -197,7 +337,7 @@ mod tests {
     use amdrel_minic::compile;
     use amdrel_profiler::{Interpreter, WeightTable};
 
-    fn grid() -> ExperimentGrid {
+    fn toy_app() -> (amdrel_minic::CompiledProgram, AnalysisReport, u64) {
         let src = r#"
             int data[128];
             int main() {
@@ -216,11 +356,16 @@ mod tests {
             .run(u64::MAX)
             .unwrap()
             .initial_cycles;
+        (c, report, initial)
+    }
+
+    fn grid() -> ExperimentGrid {
+        let (c, report, initial) = toy_app();
         run_grid(
             "toy",
             &c.cdfg,
             &report,
-            &base,
+            &Platform::paper(1500, 2),
             &[1500, 5000],
             &[CgcDatapath::two_2x2(), CgcDatapath::three_2x2()],
             initial / 2,
@@ -242,6 +387,66 @@ mod tests {
         let initial_1500 = g.cells[0].result.initial_cycles;
         let initial_5000 = g.cells[2].result.initial_cycles;
         assert!(initial_5000 <= initial_1500);
+    }
+
+    #[test]
+    fn parallel_grid_equals_sequential() {
+        let (c, report, initial) = toy_app();
+        let base = Platform::paper(1500, 2);
+        let datapaths = [
+            CgcDatapath::two_2x2(),
+            CgcDatapath::three_2x2(),
+            CgcDatapath::uniform(1, amdrel_coarsegrain::CgcGeometry::TWO_BY_TWO),
+        ];
+        let spec = GridSpec {
+            app: "toy",
+            cdfg: &c.cdfg,
+            analysis: &report,
+            base: &base,
+            areas: &[1200, 1500, 5000],
+            datapaths: &datapaths,
+            constraint: initial / 2,
+        };
+        let sequential = run_grid_cached(&spec, &MappingCache::new()).unwrap();
+        let parallel = run_grid_parallel(&spec).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn grid_computes_a_plus_d_mappings() {
+        let (c, report, initial) = toy_app();
+        let base = Platform::paper(1500, 2);
+        let datapaths = [CgcDatapath::two_2x2(), CgcDatapath::three_2x2()];
+        let areas = [1200u64, 1500, 5000];
+        let spec = GridSpec {
+            app: "toy",
+            cdfg: &c.cdfg,
+            analysis: &report,
+            base: &base,
+            areas: &areas,
+            datapaths: &datapaths,
+            // Tight enough that no cell exits at step 2, so every cell
+            // demands both mappings.
+            constraint: 1,
+        };
+        let cache = MappingCache::new();
+        // Sweep several constraints through one cache: an A×D×C sweep
+        // still computes only A fine-grain and D coarse-grain mappings.
+        for divisor in [1u64, 2, 4] {
+            let spec = GridSpec {
+                constraint: (initial / divisor).max(1),
+                ..spec
+            };
+            run_grid_cached(&spec, &cache).unwrap();
+        }
+        run_grid_parallel_cached(&spec, &cache).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.fine_misses, areas.len() as u64);
+        assert_eq!(stats.coarse_misses, datapaths.len() as u64);
+        // 4 sweeps × (3 areas × 2 datapaths) cells, minus one lookup per miss.
+        assert_eq!(stats.fine_hits, 4 * 6 - 3);
+        // Step-2 exits skip the coarse lookup, so only a lower bound holds.
+        assert!(stats.coarse_hits >= 6 - 2);
     }
 
     #[test]

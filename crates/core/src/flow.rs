@@ -5,6 +5,7 @@
 //! usable; this module is the "prototype framework" convenience wrapper
 //! the paper describes building in C++.
 
+use crate::cache::MappingCache;
 use crate::engine::{EngineConfig, PartitionResult, PartitioningEngine};
 use crate::platform::Platform;
 use crate::CoreError;
@@ -80,6 +81,33 @@ pub fn run_flow_with(
     constraint: u64,
     config: EngineConfig,
 ) -> Result<FlowOutcome, CoreError> {
+    run_flow_cached(
+        source,
+        inputs,
+        platform,
+        constraint,
+        config,
+        &MappingCache::new(),
+    )
+}
+
+/// [`run_flow_with`] serving the fabric mappings from a shared
+/// [`MappingCache`]. Re-running the flow on the same source and platform
+/// (e.g. when exploring constraints) then reuses the mappings instead of
+/// recomputing them — the cache keys include a structural fingerprint of
+/// the compiled CDFG, so one cache can serve many different sources.
+///
+/// # Errors
+///
+/// Same as [`run_flow`].
+pub fn run_flow_cached(
+    source: &str,
+    inputs: &[(&str, &[i64])],
+    platform: &Platform,
+    constraint: u64,
+    config: EngineConfig,
+    cache: &MappingCache,
+) -> Result<FlowOutcome, CoreError> {
     let program = amdrel_minic::compile(source, "main")?;
     let execution = Interpreter::new(&program.ir).run(inputs)?;
     let analysis = AnalysisReport::analyze(
@@ -89,6 +117,7 @@ pub fn run_flow_with(
     );
     let result = PartitioningEngine::new(&program.cdfg, &analysis, platform)
         .with_config(config)
+        .with_mapping_cache(cache)
         .run(constraint)?;
     Ok(FlowOutcome {
         program,

@@ -15,7 +15,12 @@
 //! * [`run_flow`] — one-call convenience wrapper (compile → profile →
 //!   analyse → partition);
 //! * [`run_grid`] / [`format_paper_table`] — the Tables 2/3 experiment
-//!   sweep and its paper-layout rendering.
+//!   sweep and its paper-layout rendering;
+//! * [`MappingCache`] — shared memoisation of the fabric mappings (fine
+//!   by FPGA config, coarse by datapath/scheduler config), so design-space
+//!   sweeps map each configuration once;
+//! * [`run_grid_parallel`] — the grid sweep on scoped threads, cell-for-
+//!   cell identical output to [`run_grid`].
 //!
 //! # Examples
 //!
@@ -48,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod energy;
 mod engine;
 mod experiment;
@@ -55,6 +61,7 @@ mod flow;
 mod pipeline;
 mod platform;
 
+pub use cache::{CacheStats, CdfgFingerprint, MappingCache};
 pub use energy::{
     energy_of_assignment, partition_for_energy, EnergyBreakdown, EnergyModel, EnergyMove,
     EnergyResult, OpEnergyTable,
@@ -62,8 +69,11 @@ pub use energy::{
 pub use engine::{
     Assignment, Breakdown, EngineConfig, MoveRecord, PartitionResult, PartitioningEngine,
 };
-pub use experiment::{format_paper_table, run_grid, ExperimentGrid, GridCell};
-pub use flow::{run_flow, run_flow_with, FlowOutcome};
+pub use experiment::{
+    format_paper_table, run_grid, run_grid_cached, run_grid_parallel, run_grid_parallel_cached,
+    ExperimentGrid, GridCell, GridSpec,
+};
+pub use flow::{run_flow, run_flow_cached, run_flow_with, FlowOutcome};
 pub use pipeline::{pipeline_report, PipelineReport, Stage};
 pub use platform::{CommModel, Platform};
 

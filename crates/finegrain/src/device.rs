@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// `A_FPGA = 1500` but fit into one at `A_FPGA = 5000`, reproducing the
 /// initial-cycle ratios of Tables 2/3 (see EXPERIMENTS.md for the
 /// calibration sweep).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AreaLibrary {
     /// Base area of an ALU-class op at 32 bits.
     pub alu: u64,
@@ -67,7 +67,7 @@ impl Default for AreaLibrary {
 /// Per-class execution latencies on the fine-grain fabric, in FPGA clock
 /// cycles. One ASAP level of a temporal partition costs the maximum
 /// latency among its nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FpgaLatency {
     /// ALU-class latency (cycles).
     pub alu: u64,
@@ -111,7 +111,7 @@ impl Default for FpgaLatency {
 /// When full reconfiguration is charged (§3.2: "For each temporal
 /// partition, full reconfiguration of the fine-grain hardware is
 /// performed").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum ReconfigPolicy {
     /// eq. (4) taken literally: every execution of a basic block reloads
     /// the bitstream of each of its temporal partitions. The paper's
@@ -197,6 +197,34 @@ impl FpgaDevice {
     pub fn usable_area(&self) -> u64 {
         (self.total_area as f64 * self.usable_fraction).floor() as u64
     }
+
+    /// A hashable key identifying this device characterisation, usable
+    /// for memoising fine-grain mappings (the device is the only input to
+    /// [`crate::map_dfg`] besides the DFG itself). Two devices with equal
+    /// keys produce identical mappings for any CDFG.
+    pub fn config_key(&self) -> FpgaConfigKey {
+        FpgaConfigKey {
+            total_area: self.total_area,
+            usable_fraction_bits: self.usable_fraction.to_bits(),
+            reconfig_cycles: self.reconfig_cycles,
+            reconfig_policy: self.reconfig_policy,
+            area: self.area,
+            latency: self.latency,
+        }
+    }
+}
+
+/// Hashable identity of an [`FpgaDevice`] configuration (the
+/// `usable_fraction` float is keyed by its bit pattern). See
+/// [`FpgaDevice::config_key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FpgaConfigKey {
+    total_area: u64,
+    usable_fraction_bits: u64,
+    reconfig_cycles: u64,
+    reconfig_policy: ReconfigPolicy,
+    area: AreaLibrary,
+    latency: FpgaLatency,
 }
 
 #[cfg(test)]
@@ -253,5 +281,26 @@ mod tests {
     #[should_panic(expected = "usable fraction")]
     fn invalid_fraction_panics() {
         let _ = FpgaDevice::new(100).with_usable_fraction(0.0);
+    }
+
+    #[test]
+    fn config_key_tracks_every_field() {
+        let base = FpgaDevice::new(1500);
+        assert_eq!(base.config_key(), FpgaDevice::new(1500).config_key());
+        assert_ne!(base.config_key(), FpgaDevice::new(5000).config_key());
+        assert_ne!(
+            base.config_key(),
+            FpgaDevice::new(1500).with_reconfig_cycles(99).config_key()
+        );
+        assert_ne!(
+            base.config_key(),
+            FpgaDevice::new(1500)
+                .with_reconfig_policy(ReconfigPolicy::Resident)
+                .config_key()
+        );
+        assert_ne!(
+            base.config_key(),
+            FpgaDevice::new(1500).with_usable_fraction(0.5).config_key()
+        );
     }
 }

@@ -42,7 +42,7 @@ mod mapping;
 pub mod report;
 mod temporal;
 
-pub use device::{AreaLibrary, FpgaDevice, FpgaLatency, ReconfigPolicy};
+pub use device::{AreaLibrary, FpgaConfigKey, FpgaDevice, FpgaLatency, ReconfigPolicy};
 pub use mapping::{map_dfg, CdfgFineGrainMapping, FineGrainMapping};
 pub use temporal::{temporal_partition, TemporalPartition, TemporalPartitioning};
 

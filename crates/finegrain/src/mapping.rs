@@ -122,6 +122,23 @@ impl CdfgFineGrainMapping {
             .sum()
     }
 
+    /// Per-block cost vector: `t_to_FPGA(BB_i) × Iter(BB_i)` for every
+    /// block. [`Self::t_fpga`] over any subset equals the sum of the
+    /// corresponding entries, so callers (the partitioning engine) can
+    /// maintain running sums and update them in O(1) per kernel move
+    /// instead of rescanning all blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec_freq` is shorter than the block list.
+    pub fn block_costs(&self, exec_freq: &[u64]) -> Vec<u64> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.cycles_per_exec().saturating_mul(exec_freq[i]))
+            .collect()
+    }
+
     /// Total bitstreams across all blocks (reporting aid).
     pub fn total_partitions(&self) -> usize {
         self.blocks.iter().map(|m| m.partitioning.len()).sum()
@@ -240,6 +257,25 @@ mod tests {
         assert_eq!(all, 10 * c0 + 5 * c1);
         let only_b0 = map.t_fpga(&[10, 5], |i| i == 0);
         assert_eq!(only_b0, 10 * c0);
+    }
+
+    #[test]
+    fn block_costs_agree_with_t_fpga() {
+        let mut cdfg = Cdfg::new("app");
+        for i in 0..4 {
+            let mut d = Dfg::new(format!("b{i}"));
+            for _ in 0..=i {
+                d.add_op(OpKind::Mul, 32);
+            }
+            cdfg.add_block(BasicBlock::from_dfg(format!("b{i}"), d));
+        }
+        let map = CdfgFineGrainMapping::map(&cdfg, &device(1500)).unwrap();
+        let freqs = [7u64, 0, 13, 100];
+        let costs = map.block_costs(&freqs);
+        assert_eq!(costs.iter().sum::<u64>(), map.t_fpga(&freqs, |_| true));
+        for (i, &cost) in costs.iter().enumerate() {
+            assert_eq!(cost, map.t_fpga(&freqs, |j| j == i));
+        }
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Machine-readable perf baseline: run the engine/sweep micro-benchmarks
+//! and write `BENCH_engine.json` with the mean ns per operation, so the
+//! perf trajectory can be tracked PR over PR (and checked in CI without
+//! the full bench harness).
+//!
+//! Run with: `cargo run --release --example bench_report`
+
+use amdrel::prelude::*;
+use amdrel_bench::synthetic_app;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Mean wall-clock ns of `routine` over a short fixed budget (one warm-up
+/// call, then as many timed iterations as fit in ~200 ms).
+fn measure<O>(mut routine: impl FnMut() -> O) -> (f64, u64) {
+    const BUDGET: Duration = Duration::from_millis(200);
+    std::hint::black_box(routine());
+    let start = Instant::now();
+    let mut iters: u64 = 0;
+    while start.elapsed() < BUDGET || iters == 0 {
+        std::hint::black_box(routine());
+        iters += 1;
+    }
+    (start.elapsed().as_nanos() as f64 / iters as f64, iters)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut report: Vec<(String, f64, u64)> = Vec::new();
+
+    // --- Engine move loop on the OFDM case study (warm mapping cache).
+    let workload = ofdm::workload(2004);
+    let program = compile(&workload.source, "main")?;
+    let execution = Interpreter::new(&program.ir).run(&workload.input_refs())?;
+    let ofdm_analysis = AnalysisReport::analyze(
+        &program.cdfg,
+        &execution.block_counts,
+        &WeightTable::paper(),
+    );
+    let platform = Platform::paper(1500, 2);
+    let cache = MappingCache::new();
+    let engine = PartitioningEngine::new(&program.cdfg, &ofdm_analysis, &platform)
+        .with_mapping_cache(&cache);
+    engine.run(paper::OFDM_CONSTRAINT)?; // warm the cache
+    let (ns, iters) = measure(|| engine.run(paper::OFDM_CONSTRAINT).expect("engine runs"));
+    report.push(("engine/run_ofdm_a1500_c2_warm".into(), ns, iters));
+
+    // --- Engine move loop at scale (512 synthetic kernels, all moved).
+    let (cdfg, freqs) = synthetic_app(512);
+    let synth_analysis = AnalysisReport::analyze(&cdfg, &freqs, &WeightTable::paper());
+    let cache = MappingCache::new();
+    let engine =
+        PartitioningEngine::new(&cdfg, &synth_analysis, &platform).with_mapping_cache(&cache);
+    let moves = engine.run(1)?.moves.len().max(1);
+    let (ns, iters) = measure(|| engine.run(1).expect("engine runs"));
+    report.push(("engine/move_loop_512_blocks_warm".into(), ns, iters));
+    report.push((
+        "engine/per_move_512_blocks_warm".into(),
+        ns / moves as f64,
+        iters,
+    ));
+
+    // --- Grid sweeps over the OFDM design space.
+    let areas = [1200u64, 1500, 5000, 20_000];
+    let datapaths = [CgcDatapath::two_2x2(), CgcDatapath::three_2x2()];
+    let spec = GridSpec {
+        app: &workload.name,
+        cdfg: &program.cdfg,
+        analysis: &ofdm_analysis,
+        base: &platform,
+        areas: &areas,
+        datapaths: &datapaths,
+        constraint: paper::OFDM_CONSTRAINT,
+    };
+    let (ns, iters) = measure(|| run_grid_cached(&spec, &MappingCache::new()).expect("grid runs"));
+    report.push(("sweep/run_grid_cached_cold".into(), ns, iters));
+    let (ns, iters) =
+        measure(|| run_grid_parallel_cached(&spec, &MappingCache::new()).expect("grid runs"));
+    report.push(("sweep/run_grid_parallel_cold".into(), ns, iters));
+    let warm = MappingCache::new();
+    run_grid_cached(&spec, &warm)?;
+    let (ns, iters) = measure(|| run_grid_cached(&spec, &warm).expect("grid runs"));
+    report.push(("sweep/run_grid_warm_cache".into(), ns, iters));
+
+    // --- Emit BENCH_engine.json (no serde in the offline vendor set, so
+    //     the JSON is assembled by hand).
+    let mut json = String::from("{\n  \"schema\": \"amdrel-bench-report/v1\",\n  \"unit\": \"mean ns per op\",\n  \"benches\": [\n");
+    for (i, (name, ns, iters)) in report.iter().enumerate() {
+        let comma = if i + 1 == report.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{name}\", \"mean_ns\": {ns:.1}, \"iters\": {iters} }}{comma}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_engine.json", &json)?;
+
+    println!("{:<40} {:>14} {:>10}", "bench", "mean ns/op", "iters");
+    for (name, ns, iters) in &report {
+        println!("{name:<40} {ns:>14.1} {iters:>10}");
+    }
+    println!("\nwrote BENCH_engine.json");
+    Ok(())
+}

@@ -198,10 +198,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let constraint = opts.constraint.ok_or("partition needs --constraint")?;
             let (program, analysis) = analyzed(&opts)?;
             let platform = Platform::paper(opts.area, opts.cgcs);
+            let cache = MappingCache::new();
             let result = PartitioningEngine::new(&program.cdfg, &analysis, &platform)
                 .with_config(EngineConfig {
                     skip_unprofitable: opts.skip_unprofitable,
                 })
+                .with_mapping_cache(&cache)
                 .run(constraint)
                 .map_err(|e| e.to_string())?;
             println!(
@@ -238,17 +240,27 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 .iter()
                 .map(|&k| CgcDatapath::uniform(k, amdrel_coarsegrain::CgcGeometry::TWO_BY_TWO))
                 .collect();
-            let grid = run_grid(
-                &opts.source_path,
-                &program.cdfg,
-                &analysis,
-                &Platform::paper(opts.areas[0], opts.cgc_list[0]),
-                &opts.areas,
-                &datapaths,
+            let base = Platform::paper(opts.areas[0], opts.cgc_list[0]);
+            let cache = MappingCache::new();
+            let spec = GridSpec {
+                app: &opts.source_path,
+                cdfg: &program.cdfg,
+                analysis: &analysis,
+                base: &base,
+                areas: &opts.areas,
+                datapaths: &datapaths,
                 constraint,
-            )
-            .map_err(|e| e.to_string())?;
+            };
+            let grid = run_grid_parallel_cached(&spec, &cache).map_err(|e| e.to_string())?;
             print!("{}", format_paper_table(&grid));
+            let stats = cache.stats();
+            println!(
+                "mappings computed: {} fine-grain, {} coarse-grain ({} cache hits across {} cells)",
+                stats.fine_misses,
+                stats.coarse_misses,
+                stats.hits(),
+                grid.cells.len(),
+            );
             Ok(())
         }
         "dot" => {

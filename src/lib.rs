@@ -66,8 +66,9 @@ pub mod prelude {
     pub use amdrel_cdfg::{BasicBlock, BlockId, Cdfg, Dfg, NodeId, OpClass, OpKind};
     pub use amdrel_coarsegrain::{CgcDatapath, CgcGeometry, Priority, SchedulerConfig};
     pub use amdrel_core::{
-        format_paper_table, run_flow, run_grid, Assignment, CommModel, EngineConfig,
-        PartitionResult, PartitioningEngine, Platform,
+        format_paper_table, run_flow, run_flow_cached, run_grid, run_grid_cached,
+        run_grid_parallel, run_grid_parallel_cached, Assignment, CacheStats, CommModel,
+        EngineConfig, GridSpec, MappingCache, PartitionResult, PartitioningEngine, Platform,
     };
     pub use amdrel_finegrain::{FpgaDevice, ReconfigPolicy};
     pub use amdrel_minic::compile;

@@ -109,6 +109,67 @@ proptest! {
         prop_assert!(r.final_cycles() <= r.initial_cycles);
     }
 
+    /// Differential property: the incremental engine's result — every
+    /// `MoveRecord.breakdown` included — must equal a naive O(n)
+    /// recomputation of eq. (2) from the assignment prefix, built here
+    /// from the public mapping APIs only.
+    #[test]
+    fn incremental_breakdowns_match_naive_recomputation(
+        seed in any::<u64>(),
+        blocks in 2usize..10,
+        cpw in 0u64..32,
+        skip in any::<bool>(),
+    ) {
+        use amdrel::coarsegrain::CdfgCoarseGrainMapping;
+        use amdrel::finegrain::CdfgFineGrainMapping;
+
+        let (cdfg, freqs) = random_app(seed, blocks);
+        let analysis = AnalysisReport::analyze(&cdfg, &freqs, &WeightTable::paper());
+        let platform = Platform::paper(2000, 2).with_comm(CommModel {
+            cycles_per_word: cpw,
+            setup_cycles: 2,
+        });
+        let r = PartitioningEngine::new(&cdfg, &analysis, &platform)
+            .with_config(EngineConfig { skip_unprofitable: skip })
+            .run(1)
+            .expect("engine runs");
+
+        let fine = CdfgFineGrainMapping::map(&cdfg, &platform.fpga).expect("fine maps");
+        let coarse =
+            CdfgCoarseGrainMapping::map(&cdfg, &platform.datapath, &platform.scheduler)
+                .expect("coarse maps");
+        let exec_freq: Vec<u64> = analysis.blocks().iter().map(|b| b.exec_freq).collect();
+
+        // Recompute each recorded breakdown from scratch: after move k,
+        // exactly the first k+1 recorded kernels are on the CGC.
+        let mut on_coarse = vec![false; cdfg.len()];
+        for m in &r.moves {
+            on_coarse[m.kernel.index()] = true;
+            let t_fpga = fine.t_fpga(&exec_freq, |i| !on_coarse[i]);
+            let t_coarse_cgc = coarse.t_coarse(&exec_freq, |i| on_coarse[i]);
+            let t_comm: u64 = cdfg
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| on_coarse[*i])
+                .map(|(i, (_, bb))| {
+                    exec_freq[i] * platform.comm.cycles_per_exec(bb.live_in, bb.live_out)
+                })
+                .sum();
+            prop_assert_eq!(m.breakdown.t_fpga, t_fpga, "kernel {}", m.kernel);
+            prop_assert_eq!(m.breakdown.t_coarse_cgc, t_coarse_cgc, "kernel {}", m.kernel);
+            prop_assert_eq!(
+                m.breakdown.t_coarse,
+                platform.cgc_to_fpga_cycles(t_coarse_cgc),
+                "kernel {}", m.kernel
+            );
+            prop_assert_eq!(m.breakdown.t_comm, t_comm, "kernel {}", m.kernel);
+        }
+        // The final breakdown equals the last recorded move's.
+        if let Some(last) = r.moves.last() {
+            prop_assert_eq!(last.breakdown, r.breakdown);
+        }
+    }
+
     /// Initial (all-FPGA) cycles are monotonically non-increasing in the
     /// device area.
     #[test]
