@@ -29,6 +29,13 @@ pub fn workload(dim: usize, seed: u64) -> Workload {
     }
 }
 
+/// The JPEG exploration entry point: the
+/// [standard space](crate::standard_design_space) under the paper's
+/// Table 3 timing constraint (11×10⁶ cycles).
+pub fn design_space() -> amdrel_explore::DesignSpace {
+    crate::standard_design_space(crate::paper::JPEG_CONSTRAINT)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,11 @@
 //! * [`sobel`] — a third case study (edge detection) beyond the paper's
 //!   two, same domain, different kernel shape.
 //!
+//! Each case study also exposes a `design_space()` entry point (built on
+//! [`standard_design_space`]) feeding the `amdrel-explore` subsystem, so
+//! the paper's fixed four-configuration grids generalise to seeded
+//! multi-objective searches per application.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -49,8 +54,29 @@ pub mod ofdm;
 pub mod paper;
 pub mod sobel;
 
+use amdrel_coarsegrain::{CgcDatapath, CgcGeometry};
+use amdrel_explore::DesignSpace;
 use amdrel_minic::CompiledProgram;
 use amdrel_profiler::{Execution, Interpreter};
+
+/// The standard exploration space shared by the case studies: the
+/// paper's two configurations embedded in a wider sweep of FPGA areas
+/// (1200 up — the fine-grain mapper refuses smaller devices — to 20 000)
+/// and one-to-four 2×2-CGC datapaths, with kernel budgets `0..=8` (the
+/// Table 1 horizon).
+///
+/// Each case-study module exposes a `design_space()` entry point built on
+/// this, carrying its own timing constraint.
+pub fn standard_design_space(constraint: u64) -> DesignSpace {
+    DesignSpace {
+        areas: vec![1200, 1500, 2500, 5000, 10_000, 20_000],
+        datapaths: (1..=4)
+            .map(|k| CgcDatapath::uniform(k, CgcGeometry::TWO_BY_TWO))
+            .collect(),
+        max_kernel_budget: 8,
+        constraint,
+    }
+}
 
 /// A runnable application: mini-C source plus its input bindings.
 #[derive(Debug, Clone, PartialEq)]

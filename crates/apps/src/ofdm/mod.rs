@@ -28,6 +28,13 @@ pub fn workload(seed: u64) -> Workload {
     }
 }
 
+/// The OFDM exploration entry point: the
+/// [standard space](crate::standard_design_space) under the paper's
+/// Table 2 timing constraint (60 000 cycles).
+pub fn design_space() -> amdrel_explore::DesignSpace {
+    crate::standard_design_space(crate::paper::OFDM_CONSTRAINT)
+}
+
 /// Deterministic pseudo-random payload bits for 6 symbols.
 pub fn random_bits(seed: u64) -> Vec<i64> {
     let mut rng = SplitMix64::new(seed);

@@ -27,6 +27,15 @@ pub fn workload(dim: usize, seed: u64) -> Workload {
     }
 }
 
+/// The Sobel exploration entry point: the
+/// [standard space](crate::standard_design_space) under a caller-chosen
+/// timing constraint (Sobel is not in the paper, so there is no published
+/// constant — half the workload's all-FPGA cycle count is a good
+/// starting point).
+pub fn design_space(constraint: u64) -> amdrel_explore::DesignSpace {
+    crate::standard_design_space(constraint)
+}
+
 /// A deterministic image with structured edges: blocks of alternating
 /// intensity plus noise.
 pub fn test_image(dim: usize, seed: u64) -> Vec<i64> {

@@ -1,0 +1,79 @@
+//! Design-space exploration strategies head to head on the OFDM
+//! transmitter: exhaustive grid vs seeded random sampling vs simulated
+//! annealing, over the standard case-study space (6 areas × 4 datapaths ×
+//! 9 kernel budgets = 216 points, 24 cells). Prints each strategy's
+//! effort counters and frontier once, then times one exploration per
+//! strategy (cold evaluator, shared warm mapping cache — the steady state
+//! of a sweep service).
+
+use amdrel_apps::ofdm;
+use amdrel_bench::ofdm_prepared;
+use amdrel_core::{EnergyModel, MappingCache, Platform};
+use amdrel_explore::{
+    explore, Evaluator, Exhaustive, ExploreConfig, RandomSampling, SearchStrategy,
+    SimulatedAnnealing,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_explore_strategies(c: &mut Criterion) {
+    let app = ofdm_prepared();
+    let base = Platform::paper(1500, 2);
+    let space = ofdm::design_space();
+    let config = ExploreConfig {
+        seed: 42,
+        eval_budget: 64,
+        jobs: 0,
+    };
+    let strategies: [&dyn SearchStrategy; 3] =
+        [&Exhaustive, &RandomSampling, &SimulatedAnnealing::default()];
+
+    println!(
+        "\n========== Explore strategies (OFDM profile, {} points / {} cells) ==========",
+        space.len(),
+        space.cells()
+    );
+    for strategy in strategies {
+        let cache = MappingCache::new();
+        let eval = Evaluator::new(
+            &app.name,
+            &app.program.cdfg,
+            &app.analysis,
+            &base,
+            EnergyModel::default(),
+            &cache,
+        );
+        let report = explore(&eval, &space, strategy, &config).expect("exploration runs");
+        println!(
+            "{:<11} {:>4} points evaluated, {:>3} engine runs -> frontier of {}",
+            report.strategy,
+            report.stats.points_evaluated,
+            report.stats.engine_runs,
+            report.frontier.len()
+        );
+    }
+    println!("==============================================================================\n");
+
+    // Timed runs share one warm mapping cache per strategy (fabric
+    // mappings are application-level and reused across explorations);
+    // each iteration still pays its own engine runs on a cold evaluator.
+    for strategy in strategies {
+        let cache = MappingCache::new();
+        c.bench_function(format!("explore/{}", strategy.name()).as_str(), |b| {
+            b.iter(|| {
+                let eval = Evaluator::new(
+                    &app.name,
+                    &app.program.cdfg,
+                    &app.analysis,
+                    &base,
+                    EnergyModel::default(),
+                    &cache,
+                );
+                black_box(explore(&eval, &space, strategy, &config).expect("exploration runs"))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_explore_strategies);
+criterion_main!(benches);

@@ -109,11 +109,131 @@ impl EnergyBreakdown {
     }
 }
 
+/// Per-block energy contributions of both fabrics, `exec_freq`-scaled —
+/// the energy analogue of the timing engine's precomputed cost vectors.
+///
+/// Element `i` of each vector is block `i`'s contribution to the matching
+/// [`EnergyBreakdown`] component when the block sits on that fabric, so
+/// any assignment's energy is a sum over these vectors
+/// ([`Self::breakdown`]), and moving one block between the fabrics is an
+/// O(1) delta ([`Self::move_to_coarse`]). Design-space explorers use the
+/// deltas to walk every kernel-budget prefix of a move trace without
+/// rescanning the CDFG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockEnergyCosts {
+    /// Dynamic operation energy on the FPGA (`freq × Σ fpga op-energy`).
+    pub fpga_ops: Vec<u64>,
+    /// Reconfiguration energy on the FPGA (`freq × partitions × reconfig`,
+    /// the same accounting as eq. (4)'s time).
+    pub reconfig: Vec<u64>,
+    /// Dynamic operation energy on the CGC datapath.
+    pub cgc_ops: Vec<u64>,
+    /// Shared-memory traffic energy when moved
+    /// (`freq × (live_in + live_out) × comm_word`).
+    pub comm: Vec<u64>,
+}
+
+impl BlockEnergyCosts {
+    /// Compute the vectors from an analysed application and its fine-grain
+    /// mapping (needed for the temporal-partition counts). The mapping may
+    /// come from a shared [`crate::MappingCache`], so sweeps price many
+    /// assignments against one mapping.
+    pub fn compute(
+        cdfg: &Cdfg,
+        analysis: &AnalysisReport,
+        fine: &CdfgFineGrainMapping,
+        model: &EnergyModel,
+    ) -> Self {
+        let n = cdfg.len();
+        let mut costs = BlockEnergyCosts {
+            fpga_ops: Vec::with_capacity(n),
+            reconfig: Vec::with_capacity(n),
+            cgc_ops: Vec::with_capacity(n),
+            comm: Vec::with_capacity(n),
+        };
+        for (i, (id, bb)) in cdfg.iter().enumerate() {
+            let freq = analysis.block(id).exec_freq;
+            let hist = bb.dfg.class_histogram();
+            let per_exec_fpga: u64 = hist
+                .iter()
+                .map(|(&c, &n)| model.fpga.class_energy(c) * n as u64)
+                .sum();
+            let per_exec_cgc: u64 = hist
+                .iter()
+                .map(|(&c, &n)| model.cgc.class_energy(c) * n as u64)
+                .sum();
+            costs.fpga_ops.push(freq.saturating_mul(per_exec_fpga));
+            costs.reconfig.push(
+                freq.saturating_mul(fine.blocks[i].partitioning.len() as u64)
+                    .saturating_mul(model.reconfig),
+            );
+            costs.cgc_ops.push(freq.saturating_mul(per_exec_cgc));
+            costs.comm.push(
+                freq.saturating_mul(u64::from(bb.live_in + bb.live_out))
+                    .saturating_mul(model.comm_word),
+            );
+        }
+        costs
+    }
+
+    /// The energy of the all-FPGA mapping (step 2 of the flow).
+    pub fn all_fpga(&self) -> EnergyBreakdown {
+        EnergyBreakdown {
+            e_fpga_ops: self.fpga_ops.iter().sum(),
+            e_reconfig: self.reconfig.iter().sum(),
+            e_cgc_ops: 0,
+            e_comm: 0,
+        }
+    }
+
+    /// The energy of an arbitrary assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the block count.
+    pub fn breakdown(&self, assignment: &[Assignment]) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown {
+            e_fpga_ops: 0,
+            e_reconfig: 0,
+            e_cgc_ops: 0,
+            e_comm: 0,
+        };
+        for (i, a) in assignment[..self.fpga_ops.len()].iter().enumerate() {
+            match a {
+                Assignment::FineGrain => {
+                    e.e_fpga_ops += self.fpga_ops[i];
+                    e.e_reconfig += self.reconfig[i];
+                }
+                Assignment::CoarseGrain => {
+                    e.e_cgc_ops += self.cgc_ops[i];
+                    e.e_comm += self.comm[i];
+                }
+            }
+        }
+        e
+    }
+
+    /// Apply the O(1) energy delta of moving block `i` (currently on the
+    /// FPGA under `e`) to the coarse-grain hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn move_to_coarse(&self, e: &mut EnergyBreakdown, i: usize) {
+        e.e_fpga_ops -= self.fpga_ops[i];
+        e.e_reconfig -= self.reconfig[i];
+        e.e_cgc_ops += self.cgc_ops[i];
+        e.e_comm += self.comm[i];
+    }
+}
+
 /// Evaluate the energy of `assignment` over one application run.
 ///
 /// Per block: `freq × Σ op-energy(fabric)`; FPGA blocks additionally pay
 /// `freq × partitions × reconfig` (same accounting as eq. (4)'s time);
-/// CGC blocks pay `freq × (live_in + live_out) × comm_word`.
+/// CGC blocks pay `freq × (live_in + live_out) × comm_word`. (The
+/// per-block pricing lives in [`BlockEnergyCosts`]; this entry point maps
+/// the CDFG and sums the vectors.)
 ///
 /// # Errors
 ///
@@ -126,39 +246,7 @@ pub fn energy_of_assignment(
     assignment: &[Assignment],
 ) -> Result<EnergyBreakdown, CoreError> {
     let fine = CdfgFineGrainMapping::map(cdfg, &platform.fpga)?;
-    let mut e = EnergyBreakdown {
-        e_fpga_ops: 0,
-        e_reconfig: 0,
-        e_cgc_ops: 0,
-        e_comm: 0,
-    };
-    for (i, (id, bb)) in cdfg.iter().enumerate() {
-        let freq = analysis.block(id).exec_freq;
-        let hist = bb.dfg.class_histogram();
-        match assignment[i] {
-            Assignment::FineGrain => {
-                let per_exec: u64 = hist
-                    .iter()
-                    .map(|(&c, &n)| model.fpga.class_energy(c) * n as u64)
-                    .sum();
-                e.e_fpga_ops += freq.saturating_mul(per_exec);
-                e.e_reconfig += freq
-                    .saturating_mul(fine.blocks[i].partitioning.len() as u64)
-                    .saturating_mul(model.reconfig);
-            }
-            Assignment::CoarseGrain => {
-                let per_exec: u64 = hist
-                    .iter()
-                    .map(|(&c, &n)| model.cgc.class_energy(c) * n as u64)
-                    .sum();
-                e.e_cgc_ops += freq.saturating_mul(per_exec);
-                e.e_comm += freq
-                    .saturating_mul(u64::from(bb.live_in + bb.live_out))
-                    .saturating_mul(model.comm_word);
-            }
-        }
-    }
-    Ok(e)
+    Ok(BlockEnergyCosts::compute(cdfg, analysis, &fine, model).breakdown(assignment))
 }
 
 /// One step of the energy engine's trace.
@@ -347,6 +435,32 @@ mod tests {
         for m in &r.moves {
             assert!(m.energy.total() < last);
             last = m.energy.total();
+        }
+    }
+
+    #[test]
+    fn incremental_deltas_match_full_accounting() {
+        let (c, a) = prepared();
+        let platform = Platform::paper(1500, 2);
+        let model = EnergyModel::default();
+        let fine = CdfgFineGrainMapping::map(&c.cdfg, &platform.fpga).unwrap();
+        let costs = BlockEnergyCosts::compute(&c.cdfg, &a, &fine, &model);
+        let mut assignment = vec![Assignment::FineGrain; c.cdfg.len()];
+        let mut running = costs.all_fpga();
+        assert_eq!(
+            running,
+            energy_of_assignment(&c.cdfg, &a, &platform, &model, &assignment).unwrap()
+        );
+        // Move every kernel in engine order; after each O(1) delta the
+        // running breakdown must equal a from-scratch evaluation.
+        for &kernel in a.kernels() {
+            assignment[kernel.index()] = Assignment::CoarseGrain;
+            costs.move_to_coarse(&mut running, kernel.index());
+            assert_eq!(running, costs.breakdown(&assignment), "after {kernel:?}");
+            assert_eq!(
+                running,
+                energy_of_assignment(&c.cdfg, &a, &platform, &model, &assignment).unwrap()
+            );
         }
     }
 

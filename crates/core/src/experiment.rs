@@ -189,14 +189,39 @@ pub fn run_grid_parallel_cached(
     spec: &GridSpec<'_>,
     cache: &MappingCache,
 ) -> Result<ExperimentGrid, CoreError> {
+    run_grid_parallel_jobs(spec, cache, 0)
+}
+
+/// [`run_grid_parallel_cached`] with an explicit worker count.
+///
+/// `jobs == 0` keeps the automatic heuristic (one worker per available
+/// core, capped at the cell count); any other value requests exactly
+/// `min(jobs, cells)` workers — the knob behind the CLI's `--jobs N` and
+/// the explorer's `ExploreConfig::jobs` setting. The output is identical
+/// cell for cell at every worker count (results land in preallocated
+/// area-major slots), so callers may tune throughput without affecting
+/// results.
+///
+/// # Errors
+///
+/// The first configuration (in area-major grid order) whose mapping
+/// fails.
+pub fn run_grid_parallel_jobs(
+    spec: &GridSpec<'_>,
+    cache: &MappingCache,
+    jobs: usize,
+) -> Result<ExperimentGrid, CoreError> {
     let configs = spec.configs();
     if configs.is_empty() {
         return Ok(spec.grid(Vec::new()));
     }
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(configs.len());
+    let workers = match jobs {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4),
+        n => n,
+    }
+    .min(configs.len());
     let chunk = configs.len().div_ceil(workers);
     let mut slots: Vec<Option<Result<GridCell, CoreError>>> = Vec::new();
     slots.resize_with(configs.len(), || None);
@@ -410,6 +435,31 @@ mod tests {
         let sequential = run_grid_cached(&spec, &MappingCache::new()).unwrap();
         let parallel = run_grid_parallel(&spec).unwrap();
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (c, report, initial) = toy_app();
+        let base = Platform::paper(1500, 2);
+        let datapaths = [
+            CgcDatapath::two_2x2(),
+            CgcDatapath::three_2x2(),
+            CgcDatapath::uniform(4, amdrel_coarsegrain::CgcGeometry::TWO_BY_TWO),
+        ];
+        let spec = GridSpec {
+            app: "toy",
+            cdfg: &c.cdfg,
+            analysis: &report,
+            base: &base,
+            areas: &[1200, 1500, 5000],
+            datapaths: &datapaths,
+            constraint: initial / 2,
+        };
+        let sequential = run_grid_cached(&spec, &MappingCache::new()).unwrap();
+        for jobs in [1usize, 2, 7, 64] {
+            let grid = run_grid_parallel_jobs(&spec, &MappingCache::new(), jobs).unwrap();
+            assert_eq!(grid, sequential, "jobs={jobs} diverged from sequential");
+        }
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!   by FPGA config, coarse by datapath/scheduler config), so design-space
 //!   sweeps map each configuration once;
 //! * [`run_grid_parallel`] — the grid sweep on scoped threads, cell-for-
-//!   cell identical output to [`run_grid`].
+//!   cell identical output to [`run_grid`] (worker count controllable via
+//!   [`run_grid_parallel_jobs`]);
+//! * [`rng`] — the deterministic seeded [`rng::SplitMix64`] stream that
+//!   makes design-space exploration reproducible and
+//!   thread-count-independent;
+//! * [`BlockEnergyCosts`] — per-block energy pricing behind
+//!   [`energy_of_assignment`], exposing O(1) move deltas for sweeps.
 //!
 //! # Examples
 //!
@@ -60,18 +66,19 @@ mod experiment;
 mod flow;
 mod pipeline;
 mod platform;
+pub mod rng;
 
 pub use cache::{CacheStats, CdfgFingerprint, MappingCache};
 pub use energy::{
-    energy_of_assignment, partition_for_energy, EnergyBreakdown, EnergyModel, EnergyMove,
-    EnergyResult, OpEnergyTable,
+    energy_of_assignment, partition_for_energy, BlockEnergyCosts, EnergyBreakdown, EnergyModel,
+    EnergyMove, EnergyResult, OpEnergyTable,
 };
 pub use engine::{
     Assignment, Breakdown, EngineConfig, MoveRecord, PartitionResult, PartitioningEngine,
 };
 pub use experiment::{
     format_paper_table, run_grid, run_grid_cached, run_grid_parallel, run_grid_parallel_cached,
-    ExperimentGrid, GridCell, GridSpec,
+    run_grid_parallel_jobs, ExperimentGrid, GridCell, GridSpec,
 };
 pub use flow::{run_flow, run_flow_cached, run_flow_with, FlowOutcome};
 pub use pipeline::{pipeline_report, PipelineReport, Stage};

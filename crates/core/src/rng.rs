@@ -1,0 +1,58 @@
+//! Deterministic seeded pseudo-randomness for reproducible exploration.
+//!
+//! Design-space search (`amdrel-explore`) must be **reproducible**: the
+//! same seed has to produce the same sampling sequence, the same
+//! annealing trajectory and therefore the same Pareto frontier on every
+//! run, on every machine, at every `--jobs` setting. That rules out both
+//! `rand` (unavailable in this offline environment, and versioned stream
+//! behaviour) and anything keyed on wall clock or addresses.
+//!
+//! The workspace's single RNG implementation is the [`SplitMix64`]
+//! stream that lives at the bottom of the crate DAG in
+//! [`amdrel_cdfg::synth`] (where synthetic test graphs already use it);
+//! this module re-exports it as the canonical engine-side entry point so
+//! explorers and property tests can seed from `amdrel_core::rng` without
+//! reaching into the IR crate. The reference-vector tests below pin the
+//! exact output sequence (Vigna's published SplitMix64 test vectors), so
+//! a change to the underlying stream cannot slip in silently and
+//! invalidate committed exploration baselines.
+
+pub use amdrel_cdfg::synth::SplitMix64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_rng_matches_published_splitmix64_vectors() {
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn below_and_unit_are_seed_deterministic() {
+        let mut a = SplitMix64::new(2026);
+        let mut b = SplitMix64::new(2026);
+        for _ in 0..64 {
+            assert_eq!(a.below(97), b.below(97));
+            assert_eq!(a.unit_f64().to_bits(), b.unit_f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_reproducible() {
+        let c1: Vec<u64> = {
+            let mut parent = SplitMix64::new(7);
+            let mut child = parent.fork();
+            (0..8).map(|_| child.next_u64()).collect()
+        };
+        let c2: Vec<u64> = {
+            let mut parent = SplitMix64::new(7);
+            let mut child = parent.fork();
+            (0..8).map(|_| child.next_u64()).collect()
+        };
+        assert_eq!(c1, c2);
+    }
+}

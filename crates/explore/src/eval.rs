@@ -1,0 +1,350 @@
+//! Shared, memoising evaluation of design points.
+//!
+//! The unit of engine work is the `(area, datapath)` **cell**: one
+//! partitioning run under an unreachable constraint drains the whole
+//! ranked kernel queue, and its move trace prices *every* kernel budget
+//! of that cell — timing from the engine's own incremental breakdowns,
+//! energy from [`BlockEnergyCosts`] O(1) deltas. The [`Evaluator`]
+//! memoises cells (thread-safely) and shares one [`MappingCache`], so a
+//! search that revisits configurations pays for each cell exactly once
+//! and each fabric mapping exactly once. Counters expose the true effort
+//! (`engine_runs`, `points_evaluated`, `cell_hits`) for strategy
+//! comparisons and the `BENCH_explore.json` baseline.
+
+use crate::space::{DesignSpace, PointIdx};
+use amdrel_cdfg::Cdfg;
+use amdrel_core::{
+    run_grid_parallel_jobs, BlockEnergyCosts, CacheStats, CoreError, EnergyBreakdown, EnergyModel,
+    GridSpec, MappingCache, PartitionResult, PartitioningEngine, Platform,
+};
+use amdrel_profiler::AnalysisReport;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A timing constraint no real application meets (1 FPGA cycle), forcing
+/// the engine to drain the entire kernel queue and hand back the full
+/// move trace.
+const FULL_DRAIN: u64 = 1;
+
+/// The three minimised objectives of a design point.
+///
+/// All three are `u64`s so domination checks are exact — no floating-point
+/// ties to break. Speedup is reported separately ([`PointEval::speedup`]):
+/// minimising total cycles maximises speedup for a given application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Objectives {
+    /// eq. (2) total execution time, FPGA cycles (minimise).
+    pub cycles: u64,
+    /// `A_FPGA` of the configuration, area units (minimise).
+    pub area: u64,
+    /// Total energy under the platform's [`EnergyModel`] (minimise).
+    pub energy: u64,
+}
+
+impl Objectives {
+    /// The objectives as an array, in `(cycles, area, energy)` order.
+    pub fn as_array(&self) -> [u64; 3] {
+        [self.cycles, self.area, self.energy]
+    }
+
+    /// Pareto domination: `self` is no worse in every objective and
+    /// strictly better in at least one.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let a = self.as_array();
+        let b = other.as_array();
+        a.iter().zip(&b).all(|(x, y)| x <= y) && a != b
+    }
+}
+
+/// One fully evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointEval {
+    /// Where in the [`DesignSpace`] this point sits.
+    pub point: PointIdx,
+    /// The concrete `A_FPGA`.
+    pub area: u64,
+    /// The concrete datapath, described (e.g. `"two 2x2 CGCs"`).
+    pub datapath: String,
+    /// Kernels actually moved — the budget clamped to the application's
+    /// kernel count.
+    pub kernels_moved: usize,
+    /// All-FPGA cycles of this cell (the speedup baseline).
+    pub initial_cycles: u64,
+    /// The minimised objective vector.
+    pub objectives: Objectives,
+    /// The energy decomposition behind `objectives.energy`.
+    pub energy: EnergyBreakdown,
+    /// Whether `objectives.cycles` meets the space's timing constraint.
+    pub met: bool,
+}
+
+impl PointEval {
+    /// `initial_cycles / final_cycles` — the paper-style acceleration of
+    /// this configuration over its own all-FPGA mapping.
+    pub fn speedup(&self) -> f64 {
+        if self.objectives.cycles == 0 {
+            return 1.0;
+        }
+        self.initial_cycles as f64 / self.objectives.cycles as f64
+    }
+}
+
+/// Evaluation-effort counters of an [`Evaluator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Design points priced (including memoised re-visits).
+    pub points_evaluated: u64,
+    /// Partitioning-engine runs actually performed (one per distinct
+    /// cell) — the cost a strategy is judged on.
+    pub engine_runs: u64,
+    /// Point evaluations served from an already-computed cell.
+    pub cell_hits: u64,
+}
+
+impl EvalStats {
+    /// Counter-wise difference (`self − earlier`), for effort deltas when
+    /// one evaluator serves several strategies in sequence.
+    pub fn since(&self, earlier: &EvalStats) -> EvalStats {
+        EvalStats {
+            points_evaluated: self.points_evaluated - earlier.points_evaluated,
+            engine_runs: self.engine_runs - earlier.engine_runs,
+            cell_hits: self.cell_hits - earlier.cell_hits,
+        }
+    }
+}
+
+/// One memoised `(area, datapath)` cell: the per-budget price list.
+struct Cell {
+    initial_cycles: u64,
+    /// Entry `k`: `(t_total, energy)` after moving the first `k` ranked
+    /// kernels (entry 0 is the all-FPGA mapping).
+    budgets: Vec<(u64, EnergyBreakdown)>,
+}
+
+/// Memoising design-point evaluator over one analysed application.
+///
+/// Thread-safe (`&self` everywhere, interior mutex/atomics), so the
+/// exhaustive strategy can fill cells from parallel grid workers while
+/// sequential strategies share the same instance.
+pub struct Evaluator<'a> {
+    app: &'a str,
+    cdfg: &'a Cdfg,
+    analysis: &'a AnalysisReport,
+    base: &'a Platform,
+    model: EnergyModel,
+    cache: &'a MappingCache,
+    cells: Mutex<HashMap<(usize, usize), Arc<Cell>>>,
+    points_evaluated: AtomicU64,
+    engine_runs: AtomicU64,
+    cell_hits: AtomicU64,
+}
+
+impl std::fmt::Debug for Evaluator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("app", &self.app)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    /// A new evaluator. `base` supplies everything the space's axes do
+    /// not (clock ratio, communication model, scheduler, FPGA
+    /// characterisation other than total area); `model` prices the energy
+    /// objective; `cache` memoises the fabric mappings (shareable across
+    /// evaluators and grids).
+    pub fn new(
+        app: &'a str,
+        cdfg: &'a Cdfg,
+        analysis: &'a AnalysisReport,
+        base: &'a Platform,
+        model: EnergyModel,
+        cache: &'a MappingCache,
+    ) -> Self {
+        Evaluator {
+            app,
+            cdfg,
+            analysis,
+            base,
+            model,
+            cache,
+            cells: Mutex::new(HashMap::new()),
+            points_evaluated: AtomicU64::new(0),
+            engine_runs: AtomicU64::new(0),
+            cell_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The application label.
+    pub fn app(&self) -> &str {
+        self.app
+    }
+
+    /// A snapshot of the effort counters.
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            points_evaluated: self.points_evaluated.load(Ordering::Relaxed),
+            engine_runs: self.engine_runs.load(Ordering::Relaxed),
+            cell_hits: self.cell_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The shared mapping cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Evaluate one design point.
+    ///
+    /// # Errors
+    ///
+    /// Mapping failures from the underlying fabrics (e.g. an area too
+    /// small for the application's widest operator).
+    pub fn evaluate(&self, space: &DesignSpace, p: PointIdx) -> Result<PointEval, CoreError> {
+        self.points_evaluated.fetch_add(1, Ordering::Relaxed);
+        let cell = self.cell(space, p.area, p.datapath)?;
+        let moved = p.budget.min(cell.budgets.len() - 1);
+        let (cycles, energy) = cell.budgets[moved];
+        Ok(PointEval {
+            point: p,
+            area: space.areas[p.area],
+            datapath: space.datapaths[p.datapath].describe(),
+            kernels_moved: moved,
+            initial_cycles: cell.initial_cycles,
+            objectives: Objectives {
+                cycles,
+                area: space.areas[p.area],
+                energy: energy.total(),
+            },
+            energy,
+            met: cycles <= space.constraint,
+        })
+    }
+
+    /// Compute (or adopt from the grid) every cell of `space` using the
+    /// parallel grid sweep — the exhaustive strategy's fast path. `jobs`
+    /// is forwarded to [`run_grid_parallel_jobs`] (0 = automatic).
+    ///
+    /// Already-memoised cells are never recomputed: the parallel grid is
+    /// used when the cell map is cold (the common exhaustive case), and a
+    /// partially warm evaluator falls back to filling only the missing
+    /// cells, so `engine_runs` counts every engine run exactly once.
+    ///
+    /// # Errors
+    ///
+    /// The first configuration (in area-major grid order) whose mapping
+    /// fails.
+    pub fn prefill_cells(&self, space: &DesignSpace, jobs: usize) -> Result<(), CoreError> {
+        let all_cold = self
+            .cells
+            .lock()
+            .expect("cell cache lock poisoned")
+            .is_empty();
+        if !all_cold {
+            // Partially warm (e.g. another strategy already explored on
+            // this evaluator): compute just the missing cells. Presence is
+            // checked first so prefilling neither recomputes warm cells
+            // nor skews the hit counter (prefill is bookkeeping, not a
+            // point evaluation).
+            for a_idx in 0..space.areas.len() {
+                for d_idx in 0..space.datapaths.len() {
+                    let warm = self
+                        .cells
+                        .lock()
+                        .expect("cell cache lock poisoned")
+                        .contains_key(&(a_idx, d_idx));
+                    if !warm {
+                        self.cell(space, a_idx, d_idx)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let spec = GridSpec {
+            app: self.app,
+            cdfg: self.cdfg,
+            analysis: self.analysis,
+            base: self.base,
+            areas: &space.areas,
+            datapaths: &space.datapaths,
+            constraint: FULL_DRAIN,
+        };
+        let grid = run_grid_parallel_jobs(&spec, self.cache, jobs)?;
+        let d = space.datapaths.len();
+        for (i, grid_cell) in grid.cells.iter().enumerate() {
+            let (a_idx, d_idx) = (i / d, i % d);
+            let mut cells = self.cells.lock().expect("cell cache lock poisoned");
+            if cells.contains_key(&(a_idx, d_idx)) {
+                continue;
+            }
+            self.engine_runs.fetch_add(1, Ordering::Relaxed);
+            let cell = self.cell_from_result(space, a_idx, d_idx, &grid_cell.result)?;
+            cells.insert((a_idx, d_idx), Arc::new(cell));
+        }
+        Ok(())
+    }
+
+    /// The memoised cell for `(a_idx, d_idx)`, computed on first use. The
+    /// miss is computed while the map lock is held (mirroring
+    /// [`MappingCache`]), so each cell runs the engine exactly once even
+    /// under concurrent lookups.
+    fn cell(
+        &self,
+        space: &DesignSpace,
+        a_idx: usize,
+        d_idx: usize,
+    ) -> Result<Arc<Cell>, CoreError> {
+        let mut cells = self.cells.lock().expect("cell cache lock poisoned");
+        if let Some(cell) = cells.get(&(a_idx, d_idx)) {
+            self.cell_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(cell));
+        }
+        self.engine_runs.fetch_add(1, Ordering::Relaxed);
+        let platform = self.platform_for(space, a_idx, d_idx);
+        let result = PartitioningEngine::new(self.cdfg, self.analysis, &platform)
+            .with_mapping_cache(self.cache)
+            .run(FULL_DRAIN)?;
+        let cell = Arc::new(self.cell_from_result(space, a_idx, d_idx, &result)?);
+        cells.insert((a_idx, d_idx), Arc::clone(&cell));
+        Ok(cell)
+    }
+
+    /// Price every kernel budget of a cell from one full-drain move trace:
+    /// timing straight from the engine's breakdowns, energy by replaying
+    /// the trace through [`BlockEnergyCosts`] deltas.
+    fn cell_from_result(
+        &self,
+        space: &DesignSpace,
+        a_idx: usize,
+        d_idx: usize,
+        result: &PartitionResult,
+    ) -> Result<Cell, CoreError> {
+        let platform = self.platform_for(space, a_idx, d_idx);
+        // The engine just mapped this configuration, so this is a cache hit.
+        let fine = self.cache.fine(self.cdfg, &platform.fpga)?;
+        let costs = BlockEnergyCosts::compute(self.cdfg, self.analysis, &fine, &self.model);
+        let mut energy = costs.all_fpga();
+        let mut budgets = Vec::with_capacity(result.moves.len() + 1);
+        budgets.push((result.initial_cycles, energy));
+        for m in &result.moves {
+            costs.move_to_coarse(&mut energy, m.kernel.index());
+            budgets.push((m.breakdown.t_total(), energy));
+        }
+        Ok(Cell {
+            initial_cycles: result.initial_cycles,
+            budgets,
+        })
+    }
+
+    /// The concrete platform of a cell: the base with the cell's area and
+    /// datapath substituted (exactly what the grid sweep does).
+    fn platform_for(&self, space: &DesignSpace, a_idx: usize, d_idx: usize) -> Platform {
+        let mut platform = self.base.clone();
+        platform.fpga.total_area = space.areas[a_idx];
+        platform.datapath = space.datapaths[d_idx].clone();
+        platform
+    }
+}

@@ -1,0 +1,146 @@
+//! Exploration outcome: effort accounting plus the frontier, with a
+//! paper-style text rendering.
+
+use crate::archive::ParetoArchive;
+use crate::eval::{EvalStats, Evaluator, PointEval};
+use crate::space::DesignSpace;
+use crate::strategy::{ExploreConfig, SearchStrategy};
+use amdrel_core::{CacheStats, CoreError};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Everything one exploration produced: provenance (app, strategy, seed),
+/// effort counters, and the Pareto frontier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExploreReport {
+    /// Application label.
+    pub app: String,
+    /// Strategy identifier ([`SearchStrategy::name`]).
+    pub strategy: String,
+    /// The RNG seed used.
+    pub seed: u64,
+    /// The evaluation budget requested.
+    pub eval_budget: usize,
+    /// The worker-count setting (0 = automatic).
+    pub jobs: usize,
+    /// Total points in the explored space.
+    pub space_points: usize,
+    /// Total `(area, datapath)` cells in the space.
+    pub space_cells: usize,
+    /// The timing constraint points were judged against.
+    pub constraint: u64,
+    /// Effort this exploration added on the evaluator.
+    pub stats: EvalStats,
+    /// Mapping work this exploration added on the shared cache.
+    pub cache: CacheStats,
+    /// The Pareto frontier, sorted ascending by `(cycles, area, energy)`.
+    pub frontier: Vec<PointEval>,
+}
+
+impl ExploreReport {
+    /// The frontier member with the fewest total cycles (the frontier is
+    /// cycle-sorted, so this is its first entry).
+    pub fn best_cycles(&self) -> Option<&PointEval> {
+        self.frontier.first()
+    }
+
+    /// The frontier member with the smallest FPGA area (smallest cycle
+    /// count on ties).
+    pub fn best_area(&self) -> Option<&PointEval> {
+        self.frontier.iter().min_by_key(|p| p.objectives.area)
+    }
+
+    /// The frontier member with the lowest energy (smallest cycle count
+    /// on ties).
+    pub fn best_energy(&self) -> Option<&PointEval> {
+        self.frontier.iter().min_by_key(|p| p.objectives.energy)
+    }
+
+    /// Render the report as a paper-style text table.
+    pub fn format_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} design-space exploration — strategy {} (seed {}, budget {})",
+            self.app, self.strategy, self.seed, self.eval_budget
+        );
+        let _ = writeln!(
+            out,
+            "space: {} points over {} cells, constraint {} cycles",
+            self.space_points, self.space_cells, self.constraint
+        );
+        let _ = writeln!(
+            out,
+            "effort: {} points evaluated, {} engine runs, {} cell-cache hits; \
+             mappings: {} fine + {} coarse computed, {} served from cache",
+            self.stats.points_evaluated,
+            self.stats.engine_runs,
+            self.stats.cell_hits,
+            self.cache.fine_misses,
+            self.cache.coarse_misses,
+            self.cache.hits(),
+        );
+        let _ = writeln!(out, "Pareto frontier ({} points):", self.frontier.len());
+        let _ = writeln!(
+            out,
+            "{:<8} {:<16} {:<8} {:<14} {:<9} {:<14} {:<4}",
+            "A_FPGA", "datapath", "kernels", "final cycles", "speedup", "energy", "met"
+        );
+        for p in &self.frontier {
+            let _ = writeln!(
+                out,
+                "{:<8} {:<16} {:<8} {:<14} {:<9} {:<14} {:<4}",
+                p.area,
+                p.datapath.trim_end_matches(" CGCs"),
+                p.kernels_moved,
+                p.objectives.cycles,
+                format!("{:.2}x", p.speedup()),
+                p.objectives.energy,
+                if p.met { "yes" } else { "NO" },
+            );
+        }
+        out
+    }
+}
+
+/// Run one strategy over one space and package the outcome.
+///
+/// Effort counters are reported as the *delta* this call added, so one
+/// evaluator (and its shared [`amdrel_core::MappingCache`]) can serve
+/// several strategies in sequence — later strategies then inherit warm
+/// caches, exactly like a production sweep service would.
+///
+/// # Errors
+///
+/// Fabric-mapping failures from the evaluator.
+pub fn explore(
+    eval: &Evaluator<'_>,
+    space: &DesignSpace,
+    strategy: &dyn SearchStrategy,
+    config: &ExploreConfig,
+) -> Result<ExploreReport, CoreError> {
+    let stats_before = eval.stats();
+    let cache_before = eval.cache_stats();
+    let mut archive = ParetoArchive::new();
+    strategy.run(space, eval, config, &mut archive)?;
+    let stats_after = eval.stats();
+    let cache_after = eval.cache_stats();
+    Ok(ExploreReport {
+        app: eval.app().to_owned(),
+        strategy: strategy.name().to_owned(),
+        seed: config.seed,
+        eval_budget: config.eval_budget,
+        jobs: config.jobs,
+        space_points: space.len(),
+        space_cells: space.cells(),
+        constraint: space.constraint,
+        stats: stats_after.since(&stats_before),
+        cache: CacheStats {
+            fine_hits: cache_after.fine_hits - cache_before.fine_hits,
+            fine_misses: cache_after.fine_misses - cache_before.fine_misses,
+            coarse_hits: cache_after.coarse_hits - cache_before.coarse_hits,
+            coarse_misses: cache_after.coarse_misses - cache_before.coarse_misses,
+        },
+        frontier: archive.into_frontier(),
+    })
+}

@@ -1,7 +1,9 @@
 //! Machine-readable perf baseline: run the engine/sweep micro-benchmarks
-//! and write `BENCH_engine.json` with the mean ns per operation, so the
-//! perf trajectory can be tracked PR over PR (and checked in CI without
-//! the full bench harness).
+//! and write `BENCH_engine.json` with the mean ns per operation, plus one
+//! seeded exploration per search strategy and write `BENCH_explore.json`
+//! with its effort counters, so both the perf and the search-efficiency
+//! trajectories can be tracked PR over PR (and checked in CI without the
+//! full bench harness).
 //!
 //! Run with: `cargo run --release --example bench_report`
 
@@ -81,6 +83,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (ns, iters) = measure(|| run_grid_cached(&spec, &warm).expect("grid runs"));
     report.push(("sweep/run_grid_warm_cache".into(), ns, iters));
 
+    // --- Exploration strategies over the OFDM design space: one seeded
+    //     run per strategy, recording effort counters and wall time for
+    //     BENCH_explore.json (the search-efficiency baseline asserted by
+    //     the apps-crate acceptance test).
+    let space = ofdm::design_space();
+    let config = ExploreConfig {
+        seed: 42,
+        eval_budget: 64,
+        jobs: 0,
+    };
+    let strategies: [&dyn SearchStrategy; 3] =
+        [&Exhaustive, &RandomSampling, &SimulatedAnnealing::default()];
+    let mut explore_rows = Vec::new();
+    for strategy in strategies {
+        let cache = MappingCache::new();
+        let evaluator = Evaluator::new(
+            &workload.name,
+            &program.cdfg,
+            &ofdm_analysis,
+            &platform,
+            EnergyModel::default(),
+            &cache,
+        );
+        let start = Instant::now();
+        let result = explore(&evaluator, &space, strategy, &config)?;
+        let wall_ns = start.elapsed().as_nanos() as f64;
+        report.push((format!("explore/{}", result.strategy), wall_ns, 1));
+        explore_rows.push(result);
+    }
+
     // --- Emit BENCH_engine.json (no serde in the offline vendor set, so
     //     the JSON is assembled by hand).
     let mut json = String::from("{\n  \"schema\": \"amdrel-bench-report/v1\",\n  \"unit\": \"mean ns per op\",\n  \"benches\": [\n");
@@ -94,10 +126,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_engine.json", &json)?;
 
+    // --- Emit BENCH_explore.json: per-strategy evaluation counts and
+    //     frontier sizes for the same seeded configuration every PR runs.
+    let mut json = String::from("{\n  \"schema\": \"amdrel-explore-report/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"app\": \"{}\",",
+        amdrel::explore::json::escape(&workload.name)
+    );
+    let _ = writeln!(
+        json,
+        "  \"space\": {{ \"points\": {}, \"cells\": {}, \"constraint\": {} }},",
+        space.len(),
+        space.cells(),
+        space.constraint
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"seed\": {}, \"eval_budget\": {} }},",
+        config.seed, config.eval_budget
+    );
+    json.push_str("  \"strategies\": [\n");
+    for (i, r) in explore_rows.iter().enumerate() {
+        let comma = if i + 1 == explore_rows.len() { "" } else { "," };
+        let best = r
+            .best_cycles()
+            .map(|p| p.objectives.cycles)
+            .unwrap_or(u64::MAX);
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"points_evaluated\": {}, \"engine_runs\": {}, \
+             \"cell_hits\": {}, \"frontier\": {}, \"best_final_cycles\": {} }}{comma}",
+            r.strategy,
+            r.stats.points_evaluated,
+            r.stats.engine_runs,
+            r.stats.cell_hits,
+            r.frontier.len(),
+            best,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_explore.json", &json)?;
+
     println!("{:<40} {:>14} {:>10}", "bench", "mean ns/op", "iters");
     for (name, ns, iters) in &report {
         println!("{name:<40} {ns:>14.1} {iters:>10}");
     }
-    println!("\nwrote BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json and BENCH_explore.json");
     Ok(())
 }

@@ -4,17 +4,25 @@
 //! amdrel analyze   <src.c> [--input name=v,v,..]... [--top N]
 //! amdrel partition <src.c> --constraint N [--area A] [--cgcs K]
 //!                  [--input name=v,v,..]... [--skip-unprofitable]
-//! amdrel sweep     <src.c> --constraint N [--areas A,A,..] [--cgcs K,K,..]
+//! amdrel sweep     <src.c> --constraint N [--areas A,A,..] [--cgc-list K,K,..]
+//!                  [--jobs N] [--json] [--input name=v,v,..]...
+//! amdrel explore   <src.c> [--strategy exhaustive|random|sa] [--seed S]
+//!                  [--budget N] [--jobs N] [--json] [--constraint N]
+//!                  [--areas A,A,..] [--cgc-list K,K,..] [--max-kernels K]
 //!                  [--input name=v,v,..]...
 //! amdrel dot       <src.c> [--block N] [--input name=v,v,..]...
 //! ```
 //!
 //! Sources are mini-C (see the `amdrel-minic` crate docs for the accepted
-//! subset); `--input` binds global arrays before profiling.
+//! subset); `--input` binds global arrays before profiling. Malformed
+//! flags exit nonzero with the usage summary on stderr.
 
 use amdrel::prelude::*;
 use amdrel_coarsegrain::CgcDatapath;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: amdrel <analyze|partition|sweep|explore|dot> <src.c> [flags] \
+                     — run 'amdrel --help' for the full flag list";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +30,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -38,6 +47,12 @@ struct Options {
     top: usize,
     block: Option<u32>,
     skip_unprofitable: bool,
+    strategy: String,
+    seed: u64,
+    budget: usize,
+    jobs: usize,
+    json: bool,
+    max_kernels: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -52,6 +67,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         top: 8,
         block: None,
         skip_unprofitable: false,
+        strategy: "sa".to_owned(),
+        seed: 42,
+        budget: 64,
+        jobs: 0,
+        json: false,
+        max_kernels: 8,
     };
     let mut it = args.iter().peekable();
     let mut positional = Vec::new();
@@ -124,6 +145,28 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--skip-unprofitable" => opts.skip_unprofitable = true,
+            "--strategy" => opts.strategy = value_of("--strategy")?,
+            "--seed" => {
+                opts.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--budget" => {
+                opts.budget = value_of("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--jobs" => {
+                opts.jobs = value_of("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--json" => opts.json = true,
+            "--max-kernels" => {
+                opts.max_kernels = value_of("--max-kernels")?
+                    .parse()
+                    .map_err(|e| format!("--max-kernels: {e}"))?;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -172,7 +215,15 @@ fn run(args: Vec<String>) -> Result<(), String> {
         println!(
             "  amdrel partition <src.c> --constraint N [--area A] [--cgcs K] [--skip-unprofitable]"
         );
-        println!("  amdrel sweep     <src.c> --constraint N [--areas A,..] [--cgc-list K,..]");
+        println!(
+            "  amdrel sweep     <src.c> --constraint N [--areas A,..] [--cgc-list K,..] [--jobs N] [--json]"
+        );
+        println!(
+            "  amdrel explore   <src.c> [--strategy exhaustive|random|sa] [--seed S] [--budget N]"
+        );
+        println!(
+            "                   [--jobs N] [--json] [--constraint N] [--areas A,..] [--cgc-list K,..] [--max-kernels K]"
+        );
         println!("  amdrel dot       <src.c> [--block N]");
         return Ok(());
     }
@@ -251,7 +302,15 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 datapaths: &datapaths,
                 constraint,
             };
-            let grid = run_grid_parallel_cached(&spec, &cache).map_err(|e| e.to_string())?;
+            let grid =
+                run_grid_parallel_jobs(&spec, &cache, opts.jobs).map_err(|e| e.to_string())?;
+            if opts.json {
+                print!(
+                    "{}",
+                    amdrel::explore::json::grid_to_json(&grid, &cache.stats())
+                );
+                return Ok(());
+            }
             print!("{}", format_paper_table(&grid));
             let stats = cache.stats();
             println!(
@@ -261,6 +320,67 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 stats.hits(),
                 grid.cells.len(),
             );
+            Ok(())
+        }
+        "explore" => {
+            let (program, analysis) = analyzed(&opts)?;
+            let strategy: Box<dyn SearchStrategy> = match opts.strategy.as_str() {
+                "exhaustive" => Box::new(Exhaustive),
+                "random" => Box::new(RandomSampling),
+                "sa" => Box::new(SimulatedAnnealing::default()),
+                other => {
+                    return Err(format!(
+                        "unknown strategy '{other}' (expected exhaustive, random or sa)"
+                    ))
+                }
+            };
+            let base = Platform::paper(opts.areas[0], opts.cgc_list[0]);
+            let cache = MappingCache::new();
+            // Without --constraint, target half the all-FPGA cycle count
+            // of the base configuration (a constraint that forces real
+            // partitioning without being unreachable).
+            let constraint = match opts.constraint {
+                Some(c) => c,
+                None => {
+                    let initial = PartitioningEngine::new(&program.cdfg, &analysis, &base)
+                        .with_mapping_cache(&cache)
+                        .run(u64::MAX)
+                        .map_err(|e| e.to_string())?
+                        .initial_cycles;
+                    (initial / 2).max(1)
+                }
+            };
+            let datapaths: Vec<CgcDatapath> = opts
+                .cgc_list
+                .iter()
+                .map(|&k| CgcDatapath::uniform(k, amdrel_coarsegrain::CgcGeometry::TWO_BY_TWO))
+                .collect();
+            let space = DesignSpace {
+                areas: opts.areas.clone(),
+                datapaths,
+                max_kernel_budget: opts.max_kernels.min(analysis.kernels().len()),
+                constraint,
+            };
+            let evaluator = Evaluator::new(
+                &opts.source_path,
+                &program.cdfg,
+                &analysis,
+                &base,
+                EnergyModel::default(),
+                &cache,
+            );
+            let config = ExploreConfig {
+                seed: opts.seed,
+                eval_budget: opts.budget,
+                jobs: opts.jobs,
+            };
+            let report = explore(&evaluator, &space, strategy.as_ref(), &config)
+                .map_err(|e| e.to_string())?;
+            if opts.json {
+                print!("{}", amdrel::explore::json::report_to_json(&report));
+            } else {
+                print!("{}", report.format_table());
+            }
             Ok(())
         }
         "dot" => {

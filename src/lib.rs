@@ -23,6 +23,7 @@
 //! | [`finegrain`] | FPGA model + Figure 3 temporal partitioning |
 //! | [`coarsegrain`] | CGC datapath + list scheduling + binding |
 //! | [`core`] | the Figure 2 partitioning engine and experiment grids |
+//! | [`explore`] | multi-objective design-space exploration (Pareto archive + search strategies) |
 //! | [`apps`] | OFDM transmitter & JPEG encoder case studies |
 //!
 //! # Examples
@@ -56,6 +57,7 @@ pub use amdrel_apps as apps;
 pub use amdrel_cdfg as cdfg;
 pub use amdrel_coarsegrain as coarsegrain;
 pub use amdrel_core as core;
+pub use amdrel_explore as explore;
 pub use amdrel_finegrain as finegrain;
 pub use amdrel_minic as minic;
 pub use amdrel_profiler as profiler;
@@ -67,8 +69,13 @@ pub mod prelude {
     pub use amdrel_coarsegrain::{CgcDatapath, CgcGeometry, Priority, SchedulerConfig};
     pub use amdrel_core::{
         format_paper_table, run_flow, run_flow_cached, run_grid, run_grid_cached,
-        run_grid_parallel, run_grid_parallel_cached, Assignment, CacheStats, CommModel,
-        EngineConfig, GridSpec, MappingCache, PartitionResult, PartitioningEngine, Platform,
+        run_grid_parallel, run_grid_parallel_cached, run_grid_parallel_jobs, Assignment,
+        CacheStats, CommModel, EnergyModel, EngineConfig, GridSpec, MappingCache, PartitionResult,
+        PartitioningEngine, Platform,
+    };
+    pub use amdrel_explore::{
+        explore, DesignSpace, Evaluator, Exhaustive, ExploreConfig, ExploreReport, ParetoArchive,
+        PointEval, PointIdx, RandomSampling, SearchStrategy, SimulatedAnnealing,
     };
     pub use amdrel_finegrain::{FpgaDevice, ReconfigPolicy};
     pub use amdrel_minic::compile;

@@ -95,6 +95,122 @@ fn sweep_prints_paper_style_table() {
 }
 
 #[test]
+fn sweep_json_is_machine_readable() {
+    let src = write_source("fir_sweep_json.c", FIR);
+    let (ok, stdout, stderr) = amdrel(&[
+        "sweep",
+        src.to_str().unwrap(),
+        "--constraint",
+        "4000",
+        "--areas",
+        "1500,5000",
+        "--cgc-list",
+        "2,3",
+        "--jobs",
+        "2",
+        "--json",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("\"schema\": \"amdrel-sweep/v1\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"cells\""));
+    assert!(stdout.contains("\"cache\""));
+    assert_eq!(stdout.matches("\"area\":").count(), 4, "4 grid cells");
+    assert!(!stdout.contains("Initial cycles"), "no table in JSON mode");
+}
+
+#[test]
+fn explore_prints_frontier_table_and_json() {
+    let src = write_source("fir_explore.c", FIR);
+    let (ok, stdout, stderr) = amdrel(&[
+        "explore",
+        src.to_str().unwrap(),
+        "--strategy",
+        "sa",
+        "--seed",
+        "42",
+        "--budget",
+        "24",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("strategy sa (seed 42, budget 24)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("Pareto frontier"), "{stdout}");
+    assert!(stdout.contains("speedup"), "{stdout}");
+
+    let (ok, json, stderr) = amdrel(&[
+        "explore",
+        src.to_str().unwrap(),
+        "--strategy",
+        "exhaustive",
+        "--jobs",
+        "2",
+        "--json",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(json.contains("\"schema\": \"amdrel-explore/v1\""), "{json}");
+    assert!(json.contains("\"frontier\""), "{json}");
+    assert!(
+        json.contains("\"engine_runs\": 4"),
+        "one run per cell: {json}"
+    );
+}
+
+#[test]
+fn explore_is_seed_deterministic() {
+    let src = write_source("fir_explore_det.c", FIR);
+    let path = src.to_str().unwrap();
+
+    // Same seed, repeated run: byte-identical annealing output.
+    let sa = [
+        "explore",
+        path,
+        "--strategy",
+        "sa",
+        "--seed",
+        "7",
+        "--budget",
+        "20",
+    ];
+    let (ok1, out1, _) = amdrel(&sa);
+    let (ok2, out2, _) = amdrel(&sa);
+    assert!(ok1 && ok2);
+    assert_eq!(out1, out2, "same seed must reproduce the frontier");
+
+    // Exhaustive is the strategy that consumes --jobs (parallel cell
+    // evaluation): its output must be byte-identical at every setting.
+    let exhaustive =
+        |jobs: &'static str| amdrel(&["explore", path, "--strategy", "exhaustive", "--jobs", jobs]);
+    let (ok1, out1, _) = exhaustive("1");
+    let (ok2, out2, _) = exhaustive("4");
+    assert!(ok1 && ok2);
+    assert_eq!(out1, out2, "frontier must not depend on --jobs");
+}
+
+#[test]
+fn malformed_flags_exit_nonzero_with_usage() {
+    let src = write_source("fir_badflag.c", FIR);
+    let (ok, _, stderr) = amdrel(&["sweep", src.to_str().unwrap(), "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag '--bogus'"), "{stderr}");
+    assert!(stderr.contains("usage: amdrel"), "{stderr}");
+
+    let (ok, _, stderr) = amdrel(&["explore", src.to_str().unwrap(), "--strategy", "psychic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown strategy 'psychic'"), "{stderr}");
+    assert!(stderr.contains("usage: amdrel"), "{stderr}");
+
+    let (ok, _, stderr) = amdrel(&["explore", src.to_str().unwrap(), "--budget", "a-lot"]);
+    assert!(!ok);
+    assert!(stderr.contains("--budget"), "{stderr}");
+    assert!(stderr.contains("usage: amdrel"), "{stderr}");
+}
+
+#[test]
 fn dot_emits_graphviz() {
     let src = write_source("fir_dot.c", FIR);
     let (ok, stdout, _) = amdrel(&["dot", src.to_str().unwrap()]);
@@ -129,7 +245,7 @@ fn helpful_errors() {
 fn help_lists_subcommands() {
     let (ok, stdout, _) = amdrel(&["--help"]);
     assert!(ok);
-    for cmd in ["analyze", "partition", "sweep", "dot"] {
+    for cmd in ["analyze", "partition", "sweep", "explore", "dot"] {
         assert!(stdout.contains(cmd));
     }
 }
