@@ -21,7 +21,10 @@
 //! Each case study also exposes a `design_space()` entry point (built on
 //! [`standard_design_space`]) feeding the `amdrel-explore` subsystem, so
 //! the paper's fixed four-configuration grids generalise to seeded
-//! multi-objective searches per application.
+//! multi-objective searches per application; the [`runtime`] module
+//! derives per-app [`AppProfile`](amdrel_runtime::AppProfile)s (phase
+//! costs + fine-grain configuration footprint) feeding the
+//! `amdrel-runtime` multi-tenant simulator.
 //!
 //! # Examples
 //!
@@ -52,6 +55,7 @@
 pub mod jpeg;
 pub mod ofdm;
 pub mod paper;
+pub mod runtime;
 pub mod sobel;
 
 use amdrel_coarsegrain::{CgcDatapath, CgcGeometry};

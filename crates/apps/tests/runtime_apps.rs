@@ -1,0 +1,164 @@
+//! Acceptance tests for the multi-tenant runtime simulator on the real
+//! case-study mix (ISSUE 4): a seeded 3-app workload where SJF beats
+//! FCFS on p95 latency, and a nonzero reconfiguration-stall count that
+//! shrinks as the configuration cache and prefetch are enabled.
+
+use amdrel_apps::runtime::standard_mix;
+use amdrel_core::Platform;
+use amdrel_runtime::{
+    policy_by_name, run_simulation, AppProfile, AppShare, Fcfs, PriorityFirst, ShortestJobFirst,
+    SimConfig, WorkloadSpec,
+};
+use std::sync::OnceLock;
+
+/// The standard mix on the paper's small platform, built once
+/// (compile + profile + partition of all three apps).
+fn mix() -> &'static (Platform, Vec<AppProfile>) {
+    static MIX: OnceLock<(Platform, Vec<AppProfile>)> = OnceLock::new();
+    MIX.get_or_init(|| {
+        let platform = Platform::paper(1500, 2);
+        let profiles = standard_mix(&platform).expect("standard mix builds");
+        (platform, profiles)
+    })
+}
+
+/// A moderately overloaded seeded stream: 160 jobs at 130% fine-grain
+/// offered load with a service-provider mix (frequent OFDM symbols and
+/// Sobel frames, occasional JPEG batch encodes), so queues form and
+/// policy choice matters.
+fn stream(profiles: &[AppProfile]) -> Vec<amdrel_runtime::Job> {
+    let mix = [
+        AppShare { app: 0, weight: 14 }, // ofdm
+        AppShare { app: 1, weight: 1 },  // jpeg
+        AppShare { app: 2, weight: 7 },  // sobel
+    ];
+    let total: u64 = mix.iter().map(|s| u64::from(s.weight)).sum();
+    let mean_fine: u64 = mix
+        .iter()
+        .map(|s| profiles[s.app].fine_cycles * u64::from(s.weight))
+        .sum::<u64>()
+        / total;
+    let spec = WorkloadSpec {
+        seed: 42,
+        jobs: 160,
+        mean_interarrival: mean_fine * 100 / 130,
+        mix: mix.to_vec(),
+    };
+    spec.generate(profiles)
+}
+
+#[test]
+fn profiles_are_three_distinct_tenants() {
+    let (_, profiles) = mix();
+    let names: Vec<&str> = profiles.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(names, ["ofdm", "jpeg", "sobel"]);
+    for p in profiles {
+        assert!(p.fine_cycles > 0, "{}: fine phase", p.name);
+        assert!(p.coarse_cycles > 0, "{}: moved kernels", p.name);
+        assert!(!p.config.partition_areas.is_empty(), "{}: config", p.name);
+    }
+    // Distinct configurations — swapping tenants must reconfigure.
+    assert_ne!(profiles[0].config.id, profiles[1].config.id);
+    assert_ne!(profiles[1].config.id, profiles[2].config.id);
+}
+
+#[test]
+fn sjf_beats_fcfs_on_p95_latency() {
+    let (platform, profiles) = mix();
+    let jobs = stream(profiles);
+    let config = SimConfig::default();
+    let fcfs = run_simulation(profiles, &jobs, platform, &Fcfs, &config);
+    let sjf = run_simulation(profiles, &jobs, platform, &ShortestJobFirst, &config);
+    assert_eq!(fcfs.arrived(), 160);
+    assert_eq!(fcfs.completed(), sjf.completed(), "work-conserving drain");
+    assert!(
+        sjf.p95_latency < fcfs.p95_latency,
+        "SJF p95 {} should beat FCFS p95 {}",
+        sjf.p95_latency,
+        fcfs.p95_latency
+    );
+}
+
+#[test]
+fn priority_policy_protects_the_urgent_tenant() {
+    let (platform, profiles) = mix();
+    let jobs = stream(profiles);
+    let config = SimConfig::default();
+    let fcfs = run_simulation(profiles, &jobs, platform, &Fcfs, &config);
+    let prio = run_simulation(profiles, &jobs, platform, &PriorityFirst, &config);
+    // ofdm (priority 2) is profile 0.
+    assert!(
+        prio.apps[0].p95_latency <= fcfs.apps[0].p95_latency,
+        "priority dispatch should not worsen the urgent tenant's p95"
+    );
+}
+
+#[test]
+fn reconfiguration_stall_shrinks_with_cache_and_prefetch() {
+    let (platform, profiles) = mix();
+    let jobs = stream(profiles);
+    let no_cache = SimConfig {
+        config_cache: false,
+        ..SimConfig::default()
+    };
+    let cached = SimConfig::default();
+    let prefetched = SimConfig {
+        prefetch: true,
+        ..SimConfig::default()
+    };
+    let r_none = run_simulation(profiles, &jobs, platform, &Fcfs, &no_cache);
+    let r_cache = run_simulation(profiles, &jobs, platform, &Fcfs, &cached);
+    let r_pf = run_simulation(profiles, &jobs, platform, &Fcfs, &prefetched);
+    assert!(
+        r_pf.reconfig_stall_cycles > 0,
+        "contention still reconfigures"
+    );
+    assert!(
+        r_cache.reconfig_stall_cycles < r_none.reconfig_stall_cycles,
+        "cache: {} < {}",
+        r_cache.reconfig_stall_cycles,
+        r_none.reconfig_stall_cycles
+    );
+    assert!(
+        r_pf.reconfig_stall_cycles < r_cache.reconfig_stall_cycles,
+        "prefetch: {} < {}",
+        r_pf.reconfig_stall_cycles,
+        r_cache.reconfig_stall_cycles
+    );
+    assert!(r_pf.makespan <= r_cache.makespan);
+    assert_eq!(
+        r_pf.reconfig_loads, r_cache.reconfig_loads,
+        "prefetch overlaps loads, it does not skip them"
+    );
+}
+
+#[test]
+fn simulation_on_real_mix_is_bit_deterministic_across_policies() {
+    let (platform, profiles) = mix();
+    let jobs = stream(profiles);
+    for name in ["fcfs", "sjf", "priority", "affinity"] {
+        let policy = policy_by_name(name).unwrap();
+        let config = SimConfig::default();
+        let a = run_simulation(profiles, &jobs, platform, policy.as_ref(), &config);
+        let b = run_simulation(profiles, &jobs, platform, policy.as_ref(), &config);
+        assert_eq!(a, b, "policy {name}");
+        assert_eq!(
+            amdrel_runtime::report_to_json(&a),
+            amdrel_runtime::report_to_json(&b)
+        );
+    }
+}
+
+#[test]
+fn admission_bound_sheds_load_under_overload() {
+    let (platform, profiles) = mix();
+    // Heavier overload to force a standing queue.
+    let jobs = WorkloadSpec::uniform(7, 120, profiles, 250).generate(profiles);
+    let bounded = SimConfig {
+        queue_bound: 4,
+        ..SimConfig::default()
+    };
+    let r = run_simulation(profiles, &jobs, platform, &Fcfs, &bounded);
+    assert!(r.rejected() > 0, "250% load against a 4-deep queue rejects");
+    assert_eq!(r.arrived(), r.completed() + r.rejected());
+}

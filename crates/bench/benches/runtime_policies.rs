@@ -1,0 +1,61 @@
+//! Multi-tenant runtime simulation, policy head to head: the seeded
+//! 3-app standard mix (OFDM symbols, JPEG encodes, Sobel frames) played
+//! against the paper's small platform under each scheduling policy.
+//! Prints the latency/throughput/reconfiguration summary once, then
+//! times one full simulation per policy (the discrete-event hot loop:
+//! ~3 events per job plus queue scans).
+
+use amdrel_apps::runtime::standard_mix;
+use amdrel_core::Platform;
+use amdrel_runtime::{policy_by_name, run_simulation, SimConfig, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const POLICIES: [&str; 4] = ["fcfs", "sjf", "priority", "affinity"];
+
+fn bench_runtime_policies(c: &mut Criterion) {
+    let platform = Platform::paper(1500, 2);
+    let profiles = standard_mix(&platform).expect("standard mix builds");
+    let spec = WorkloadSpec::uniform(42, 400, &profiles, 130);
+    let jobs = spec.generate(&profiles);
+    let config = SimConfig::default();
+
+    println!(
+        "\n========== Runtime policies (3-app mix, {} jobs at 130% fine-grain load) ==========",
+        jobs.len()
+    );
+    for name in POLICIES {
+        let policy = policy_by_name(name).expect("built-in policy");
+        let report = run_simulation(&profiles, &jobs, &platform, policy.as_ref(), &config);
+        println!(
+            "{:<9} p50 {:>9} p95 {:>9}  {:>6.2} jobs/Mcycle  stall {:>8} ({:>4.1}%)",
+            report.policy,
+            report.p50_latency,
+            report.p95_latency,
+            report.jobs_per_mcycle(),
+            report.reconfig_stall_cycles,
+            report.stall_share() * 100.0,
+        );
+    }
+    println!(
+        "====================================================================================\n"
+    );
+
+    for name in POLICIES {
+        let policy = policy_by_name(name).expect("built-in policy");
+        c.bench_function(format!("runtime/{name}_400_jobs").as_str(), |b| {
+            b.iter(|| {
+                black_box(run_simulation(
+                    &profiles,
+                    &jobs,
+                    &platform,
+                    policy.as_ref(),
+                    &config,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_runtime_policies);
+criterion_main!(benches);

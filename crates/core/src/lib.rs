@@ -26,7 +26,12 @@
 //!   makes design-space exploration reproducible and
 //!   thread-count-independent;
 //! * [`BlockEnergyCosts`] — per-block energy pricing behind
-//!   [`energy_of_assignment`], exposing O(1) move deltas for sweeps.
+//!   [`energy_of_assignment`], exposing O(1) move deltas for sweeps;
+//! * [`ReconfigModel`] — area-derived configuration-load cost, priced per
+//!   temporal partition, for the multi-tenant runtime simulator
+//!   (`amdrel-runtime`);
+//! * [`json`] — the shared hand-rolled JSON writer behind every `--json`
+//!   output (`sweep`, `explore`, `simulate`).
 //!
 //! # Examples
 //!
@@ -64,6 +69,7 @@ mod energy;
 mod engine;
 mod experiment;
 mod flow;
+pub mod json;
 mod pipeline;
 mod platform;
 pub mod rng;
@@ -82,7 +88,7 @@ pub use experiment::{
 };
 pub use flow::{run_flow, run_flow_cached, run_flow_with, FlowOutcome};
 pub use pipeline::{pipeline_report, PipelineReport, Stage};
-pub use platform::{CommModel, Platform};
+pub use platform::{CommModel, Platform, ReconfigModel};
 
 use std::fmt;
 

@@ -63,6 +63,66 @@ impl Default for CommModel {
     }
 }
 
+/// Cost model for loading a fine-grain configuration (a set of temporal
+/// partitions) onto the FPGA at runtime.
+///
+/// Partial-reconfiguration work scales with the configuration's area —
+/// bigger bitstreams take longer to stream in — plus a fixed per-load
+/// overhead for frame addressing and ICAP setup:
+///
+/// ```text
+/// t_reconfig(partition) = base_cycles + area × cycles_per_area
+/// ```
+///
+/// in FPGA cycles. The engine's per-execution reconfiguration accounting
+/// (eq. (4)) stays inside [`amdrel_finegrain::FpgaDevice`]; this model
+/// prices the *inter-application* swaps the multi-tenant runtime
+/// simulator (`amdrel-runtime`) performs when one application's
+/// configuration replaces another's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReconfigModel {
+    /// Fixed FPGA-cycle overhead per configuration load.
+    pub base_cycles: u64,
+    /// FPGA cycles per abstract area unit streamed in.
+    pub cycles_per_area: u64,
+}
+
+impl ReconfigModel {
+    /// The default model: 100-cycle setup plus one cycle per area unit
+    /// (a 1500-unit device swaps in ~1.6k cycles — small next to the
+    /// case-study kernels, large enough to matter under heavy traffic).
+    pub fn streamed() -> Self {
+        ReconfigModel {
+            base_cycles: 100,
+            cycles_per_area: 1,
+        }
+    }
+
+    /// A zero-cost model (ablation: free reconfiguration).
+    pub fn free() -> Self {
+        ReconfigModel {
+            base_cycles: 0,
+            cycles_per_area: 0,
+        }
+    }
+
+    /// FPGA cycles to load one temporal partition of `area` units.
+    pub fn load_cycles(&self, area: u64) -> u64 {
+        self.base_cycles + area.saturating_mul(self.cycles_per_area)
+    }
+
+    /// Whether every load is free (the [`ReconfigModel::free`] ablation).
+    pub fn is_free(&self) -> bool {
+        self.base_cycles == 0 && self.cycles_per_area == 0
+    }
+}
+
+impl Default for ReconfigModel {
+    fn default() -> Self {
+        ReconfigModel::streamed()
+    }
+}
+
 /// The complete hybrid platform.
 ///
 /// # Examples
@@ -91,6 +151,8 @@ pub struct Platform {
     pub comm: CommModel,
     /// Coarse-grain scheduler configuration.
     pub scheduler: SchedulerConfig,
+    /// Runtime configuration-load cost model (inter-application swaps).
+    pub reconfig: ReconfigModel,
 }
 
 impl Platform {
@@ -103,6 +165,7 @@ impl Platform {
             clock_ratio: 3,
             comm: CommModel::default(),
             scheduler: SchedulerConfig::default(),
+            reconfig: ReconfigModel::default(),
         }
     }
 
@@ -140,6 +203,12 @@ impl Platform {
     /// Builder-style override of the scheduler configuration.
     pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Builder-style override of the runtime reconfiguration model.
+    pub fn with_reconfig(mut self, reconfig: ReconfigModel) -> Self {
+        self.reconfig = reconfig;
         self
     }
 
@@ -181,5 +250,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_ratio_panics() {
         let _ = Platform::paper(1500, 2).with_clock_ratio(0);
+    }
+
+    #[test]
+    fn reconfig_model_scales_with_area() {
+        let m = ReconfigModel::streamed();
+        assert_eq!(m.load_cycles(0), 100);
+        assert_eq!(m.load_cycles(1050), 1150);
+        assert!(!m.is_free());
+        assert_eq!(ReconfigModel::free().load_cycles(u64::MAX), 0);
+        assert!(ReconfigModel::free().is_free());
+    }
+
+    #[test]
+    fn platform_carries_reconfig_model() {
+        let p = Platform::paper(1500, 2).with_reconfig(ReconfigModel {
+            base_cycles: 7,
+            cycles_per_area: 3,
+        });
+        assert_eq!(p.reconfig.load_cycles(10), 37);
+        assert_eq!(Platform::paper(1500, 2).reconfig, ReconfigModel::streamed());
     }
 }

@@ -1,80 +1,14 @@
-//! Hand-rolled machine-readable JSON rendering.
+//! JSON rendering for exploration reports.
 //!
-//! The vendored `serde` stand-in provides derives only (no runtime
-//! serialisation — see `vendor/README.md`), so the `--json` outputs of
-//! `amdrel sweep` and `amdrel explore` share this small renderer instead.
-//! Output is deterministic: fixed key order, `\u` escapes for control
-//! characters, and fixed-precision floats.
+//! The generic writer (string escaping, cache counters, sweep grids)
+//! lives in [`amdrel_core::json`] so every `--json` output in the
+//! workspace shares one renderer; this module re-exports it and adds the
+//! [`ExploreReport`] shape.
+
+pub use amdrel_core::json::{cache_to_json, escape, grid_to_json};
 
 use crate::report::ExploreReport;
-use amdrel_core::{CacheStats, ExperimentGrid};
 use std::fmt::Write as _;
-
-/// Escape `s` for use inside a JSON string literal.
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn cache_json(stats: &CacheStats) -> String {
-    format!(
-        "{{\"fine_misses\":{},\"fine_hits\":{},\"coarse_misses\":{},\"coarse_hits\":{}}}",
-        stats.fine_misses, stats.fine_hits, stats.coarse_misses, stats.coarse_hits
-    )
-}
-
-/// Render an [`ExperimentGrid`] (the `sweep` subcommand's result) plus
-/// its cache counters as JSON.
-pub fn grid_to_json(grid: &ExperimentGrid, cache: &CacheStats) -> String {
-    let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"amdrel-sweep/v1\",\n");
-    let _ = writeln!(out, "  \"app\": \"{}\",", escape(&grid.app));
-    let _ = writeln!(out, "  \"constraint\": {},", grid.constraint);
-    out.push_str("  \"cells\": [\n");
-    for (i, cell) in grid.cells.iter().enumerate() {
-        let moved: Vec<String> = cell
-            .result
-            .moved_blocks()
-            .iter()
-            .map(|b| b.index().to_string())
-            .collect();
-        let _ = write!(
-            out,
-            "    {{\"area\":{},\"datapath\":\"{}\",\"initial_cycles\":{},\"final_cycles\":{},\
-             \"cycles_in_cgc\":{},\"moved_blocks\":[{}],\"reduction_percent\":{:.2},\"met\":{}}}",
-            cell.area,
-            escape(&cell.datapath),
-            cell.result.initial_cycles,
-            cell.result.final_cycles(),
-            cell.result.breakdown.t_coarse_cgc,
-            moved.join(","),
-            cell.result.reduction_percent(),
-            cell.result.met,
-        );
-        out.push_str(if i + 1 == grid.cells.len() {
-            "\n"
-        } else {
-            ",\n"
-        });
-    }
-    out.push_str("  ],\n");
-    let _ = writeln!(out, "  \"cache\": {}", cache_json(cache));
-    out.push_str("}\n");
-    out
-}
 
 /// Render an [`ExploreReport`] as JSON.
 pub fn report_to_json(report: &ExploreReport) -> String {
@@ -95,7 +29,7 @@ pub fn report_to_json(report: &ExploreReport) -> String {
         "  \"effort\": {{\"points_evaluated\": {}, \"engine_runs\": {}, \"cell_hits\": {}}},",
         report.stats.points_evaluated, report.stats.engine_runs, report.stats.cell_hits
     );
-    let _ = writeln!(out, "  \"cache\": {},", cache_json(&report.cache));
+    let _ = writeln!(out, "  \"cache\": {},", cache_to_json(&report.cache));
     out.push_str("  \"frontier\": [\n");
     for (i, p) in report.frontier.iter().enumerate() {
         let _ = write!(
@@ -119,16 +53,4 @@ pub fn report_to_json(report: &ExploreReport) -> String {
     }
     out.push_str("  ]\n}\n");
     out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn escape_handles_specials() {
-        assert_eq!(escape("plain"), "plain");
-        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(escape("x\ny\u{1}"), "x\\ny\\u0001");
-    }
 }

@@ -143,6 +143,20 @@ impl CdfgFineGrainMapping {
     pub fn total_partitions(&self) -> usize {
         self.blocks.iter().map(|m| m.partitioning.len()).sum()
     }
+
+    /// The configuration footprint of the blocks selected by `on_fpga`:
+    /// the partition areas a runtime streams onto the device to make
+    /// those blocks resident, in block-then-partition order. Summing the
+    /// result gives the total configuration-load area; its length is the
+    /// bitstream count.
+    pub fn partition_areas(&self, mut on_fpga: impl FnMut(usize) -> bool) -> Vec<u64> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| on_fpga(*i))
+            .flat_map(|(_, m)| m.partitioning.partition_areas())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -283,5 +297,31 @@ mod tests {
         let dfg = Dfg::new("empty");
         let map = map_dfg(&dfg, &device(1500)).unwrap();
         assert_eq!(map.cycles_per_exec(), 0);
+    }
+
+    #[test]
+    fn partition_areas_cover_selected_blocks() {
+        let mut cdfg = Cdfg::new("app");
+        for i in 0..3 {
+            let mut d = Dfg::new(format!("b{i}"));
+            for _ in 0..50 {
+                d.add_op(OpKind::Add, 32); // 1500 units → 2 partitions each
+            }
+            cdfg.add_block(BasicBlock::from_dfg(format!("b{i}"), d));
+        }
+        let map = CdfgFineGrainMapping::map(&cdfg, &device(1500)).unwrap();
+        let all = map.partition_areas(|_| true);
+        assert_eq!(all.len(), map.total_partitions());
+        assert_eq!(
+            all.iter().sum::<u64>(),
+            map.blocks
+                .iter()
+                .map(|m| m.partitioning.total_area())
+                .sum::<u64>()
+        );
+        let one = map.partition_areas(|i| i == 1);
+        assert_eq!(one.len(), map.blocks[1].partitioning.len());
+        assert_eq!(one.iter().sum::<u64>(), 50 * 30);
+        assert!(map.partition_areas(|_| false).is_empty());
     }
 }

@@ -65,6 +65,20 @@ impl TemporalPartitioning {
     pub fn max_level(&self) -> u32 {
         self.max_level
     }
+
+    /// Total configured area across all partitions — the amount of
+    /// configuration data a runtime must stream in to make this DFG's
+    /// bitstream set resident on the device.
+    pub fn total_area(&self) -> u64 {
+        self.partitions.iter().map(|p| p.area).sum()
+    }
+
+    /// The areas of the partitions in execution order (the per-bitstream
+    /// load granularity: a prefetching runtime overlaps the load of
+    /// partition `i + 1` with the execution of partition `i`).
+    pub fn partition_areas(&self) -> impl Iterator<Item = u64> + '_ {
+        self.partitions.iter().map(|p| p.area)
+    }
 }
 
 /// Run the Figure 3 temporal partitioning algorithm.

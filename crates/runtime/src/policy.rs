@@ -1,0 +1,168 @@
+//! Pluggable scheduling policies for the fabric dispatch queue.
+//!
+//! A policy picks which waiting job the FPGA serves next whenever the
+//! fabric frees up. Policies are pure functions of the queue contents
+//! and the currently loaded configuration — they consume no randomness,
+//! so a seeded workload replays bit-for-bit under any policy.
+
+use crate::profile::ConfigId;
+use crate::workload::Job;
+
+/// Selects the next job to dispatch from the waiting queue.
+///
+/// `queue` is non-empty but in **unspecified order** (the simulator
+/// removes dispatched jobs with `swap_remove`); policies must rank by
+/// job *fields*, never by queue position. `loaded` is the configuration
+/// currently resident on the fabric (None before the first dispatch).
+/// The returned index must be `< queue.len()`. Ties must be broken
+/// deterministically — every built-in policy falls back to the arrival
+/// sequence number [`Job::id`].
+pub trait SchedulePolicy: std::fmt::Debug + Sync {
+    /// Short lowercase identifier (CLI value, report key).
+    fn name(&self) -> &'static str;
+    /// Pick the index of the next job in `queue`.
+    fn pick(&self, queue: &[Job], loaded: Option<ConfigId>) -> usize;
+}
+
+/// First-come first-served: strict arrival order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl SchedulePolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn pick(&self, queue: &[Job], _loaded: Option<ConfigId>) -> usize {
+        index_min_by_key(queue, |j| j.id)
+    }
+}
+
+/// Shortest job first: smallest total service demand, arrival order on
+/// ties. Classic mean/percentile latency winner under mixed job sizes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestJobFirst;
+
+impl SchedulePolicy for ShortestJobFirst {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn pick(&self, queue: &[Job], _loaded: Option<ConfigId>) -> usize {
+        index_min_by_key(queue, |j| (j.service_cycles(), j.id))
+    }
+}
+
+/// Highest priority first (larger `priority` is more urgent), arrival
+/// order within a priority class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityFirst;
+
+impl SchedulePolicy for PriorityFirst {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn pick(&self, queue: &[Job], _loaded: Option<ConfigId>) -> usize {
+        index_min_by_key(queue, |j| (std::cmp::Reverse(j.priority), j.id))
+    }
+}
+
+/// Configuration affinity: among the waiting jobs, prefer one whose
+/// configuration is already loaded (saving a reconfiguration), falling
+/// back to arrival order. A simple stall-aware refinement of FCFS.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConfigAffinity;
+
+impl SchedulePolicy for ConfigAffinity {
+    fn name(&self) -> &'static str {
+        "affinity"
+    }
+
+    fn pick(&self, queue: &[Job], loaded: Option<ConfigId>) -> usize {
+        index_min_by_key(queue, |j| (loaded != Some(j.config), j.id))
+    }
+}
+
+fn index_min_by_key<K: Ord>(queue: &[Job], mut key: impl FnMut(&Job) -> K) -> usize {
+    assert!(
+        !queue.is_empty(),
+        "policies are only consulted on non-empty queues"
+    );
+    let mut best = 0;
+    let mut best_key = key(&queue[0]);
+    for (i, job) in queue.iter().enumerate().skip(1) {
+        let k = key(job);
+        if k < best_key {
+            best = i;
+            best_key = k;
+        }
+    }
+    best
+}
+
+/// Look up a built-in policy by its [`SchedulePolicy::name`].
+pub fn policy_by_name(name: &str) -> Option<Box<dyn SchedulePolicy>> {
+    match name {
+        "fcfs" => Some(Box::new(Fcfs)),
+        "sjf" => Some(Box::new(ShortestJobFirst)),
+        "priority" => Some(Box::new(PriorityFirst)),
+        "affinity" => Some(Box::new(ConfigAffinity)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, priority: u8, fine: u64, config: u64) -> Job {
+        Job {
+            id,
+            app: 0,
+            arrival: id,
+            priority,
+            fine_cycles: fine,
+            coarse_cycles: 0,
+            config: ConfigId(config),
+        }
+    }
+
+    #[test]
+    fn fcfs_takes_lowest_sequence() {
+        let q = [job(5, 0, 10, 1), job(2, 9, 99, 2), job(7, 0, 1, 3)];
+        assert_eq!(Fcfs.pick(&q, None), 1);
+    }
+
+    #[test]
+    fn sjf_takes_shortest_then_sequence() {
+        let q = [job(1, 0, 50, 1), job(2, 0, 10, 2), job(3, 0, 10, 3)];
+        assert_eq!(ShortestJobFirst.pick(&q, None), 1);
+    }
+
+    #[test]
+    fn priority_takes_most_urgent() {
+        let q = [job(1, 1, 50, 1), job(2, 3, 99, 2), job(3, 3, 1, 3)];
+        assert_eq!(PriorityFirst.pick(&q, None), 1, "ties broken by arrival");
+    }
+
+    #[test]
+    fn affinity_prefers_loaded_config() {
+        let q = [job(1, 0, 50, 1), job(2, 0, 10, 2)];
+        assert_eq!(ConfigAffinity.pick(&q, Some(ConfigId(2))), 1);
+        assert_eq!(
+            ConfigAffinity.pick(&q, Some(ConfigId(9))),
+            0,
+            "no match → FCFS"
+        );
+        assert_eq!(ConfigAffinity.pick(&q, None), 0);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        for name in ["fcfs", "sjf", "priority", "affinity"] {
+            assert_eq!(policy_by_name(name).unwrap().name(), name);
+        }
+        assert!(policy_by_name("psychic").is_none());
+    }
+}

@@ -1,0 +1,337 @@
+//! Simulation results: per-application latency distributions, resource
+//! utilization, and reconfiguration accounting, with a text table and a
+//! JSON rendering through the workspace's shared
+//! [`amdrel_core::json`] writer.
+
+use crate::sim::SimConfig;
+use amdrel_core::json::escape;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Nearest-rank percentile of a latency sample (`q` in percent).
+/// Returns 0 for an empty sample.
+fn percentile(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (q * n).div_ceil(100).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Per-application outcome counters and latency percentiles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppStats {
+    /// Application name.
+    pub name: String,
+    /// Jobs that arrived (admitted or not).
+    pub arrived: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs refused admission by the queue bound.
+    pub rejected: u64,
+    /// Median completion latency (arrival → completion), FPGA cycles.
+    pub p50_latency: u64,
+    /// 95th-percentile latency.
+    pub p95_latency: u64,
+    /// Worst observed latency.
+    pub max_latency: u64,
+}
+
+impl AppStats {
+    /// Build the stats from raw completion latencies (consumed; order
+    /// irrelevant).
+    pub fn from_latencies(
+        name: &str,
+        arrived: u64,
+        completed: u64,
+        rejected: u64,
+        mut latencies: Vec<u64>,
+    ) -> Self {
+        latencies.sort_unstable();
+        AppStats {
+            name: name.to_owned(),
+            arrived,
+            completed,
+            rejected,
+            p50_latency: percentile(&latencies, 50),
+            p95_latency: percentile(&latencies, 95),
+            max_latency: latencies.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// The complete outcome of one simulation run. All fields are integers
+/// or strings, so two runs over identical inputs compare bit-equal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// The scheduling policy's name.
+    pub policy: String,
+    /// The runtime knobs the run used.
+    pub config: SimConfig,
+    /// CGC slot count of the simulated platform.
+    pub cgc_slots: usize,
+    /// Completion time of the last job (0 if nothing completed).
+    pub makespan: u64,
+    /// Fabric cycles spent executing fine-grain phases.
+    pub fpga_busy_cycles: u64,
+    /// Fabric cycles stalled streaming bitstreams in.
+    pub reconfig_stall_cycles: u64,
+    /// Bitstream loads performed (prefetched loads included).
+    pub reconfig_loads: u64,
+    /// CGC slot-cycles spent on coarse phases (incl. communication).
+    pub cgc_busy_cycles: u64,
+    /// Median completion latency across *all* completed jobs.
+    pub p50_latency: u64,
+    /// 95th-percentile latency across all completed jobs — the figure
+    /// the policy comparisons use.
+    pub p95_latency: u64,
+    /// Per-application breakdown, in profile order.
+    pub apps: Vec<AppStats>,
+}
+
+impl RuntimeReport {
+    /// Total jobs that arrived across all applications.
+    pub fn arrived(&self) -> u64 {
+        self.apps.iter().map(|a| a.arrived).sum()
+    }
+
+    /// Total jobs completed.
+    pub fn completed(&self) -> u64 {
+        self.apps.iter().map(|a| a.completed).sum()
+    }
+
+    /// Total jobs rejected by the admission bound.
+    pub fn rejected(&self) -> u64 {
+        self.apps.iter().map(|a| a.rejected).sum()
+    }
+
+    /// Worst per-application 95th-percentile latency (the fairness
+    /// counterpart to the aggregate [`RuntimeReport::p95_latency`]).
+    pub fn worst_p95_latency(&self) -> u64 {
+        self.apps.iter().map(|a| a.p95_latency).max().unwrap_or(0)
+    }
+
+    /// Compute the aggregate percentiles from the full latency sample
+    /// (used by the simulator at report-build time).
+    pub(crate) fn aggregate_percentiles(mut all: Vec<u64>) -> (u64, u64) {
+        all.sort_unstable();
+        (percentile(&all, 50), percentile(&all, 95))
+    }
+
+    /// Fraction of the makespan the fabric was occupied (executing or
+    /// reconfiguring).
+    pub fn fpga_utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        (self.fpga_busy_cycles + self.reconfig_stall_cycles) as f64 / self.makespan as f64
+    }
+
+    /// Fraction of total CGC slot-cycles spent busy.
+    pub fn cgc_utilization(&self) -> f64 {
+        if self.makespan == 0 || self.cgc_slots == 0 {
+            return 0.0;
+        }
+        self.cgc_busy_cycles as f64 / (self.makespan * self.cgc_slots as u64) as f64
+    }
+
+    /// Share of fabric occupancy lost to reconfiguration stalls.
+    pub fn stall_share(&self) -> f64 {
+        let occupied = self.fpga_busy_cycles + self.reconfig_stall_cycles;
+        if occupied == 0 {
+            return 0.0;
+        }
+        self.reconfig_stall_cycles as f64 / occupied as f64
+    }
+
+    /// Sustained throughput: completed jobs per million FPGA cycles.
+    pub fn jobs_per_mcycle(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.completed() as f64 * 1_000_000.0 / self.makespan as f64
+    }
+
+    /// Human-readable summary table.
+    pub fn format_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "policy {} (cache {}, prefetch {}, queue bound {})",
+            self.policy,
+            if self.config.config_cache {
+                "on"
+            } else {
+                "off"
+            },
+            if self.config.prefetch { "on" } else { "off" },
+            self.config.queue_bound,
+        );
+        let _ = writeln!(
+            out,
+            "{} arrived, {} completed, {} rejected over {} cycles ({:.2} jobs/Mcycle, p50 {} / p95 {})",
+            self.arrived(),
+            self.completed(),
+            self.rejected(),
+            self.makespan,
+            self.jobs_per_mcycle(),
+            self.p50_latency,
+            self.p95_latency,
+        );
+        let _ = writeln!(
+            out,
+            "fpga util {:.1}%  cgc util {:.1}% ({} slots)  reconfig {} loads, {} stall cycles ({:.1}% of fabric time)",
+            self.fpga_utilization() * 100.0,
+            self.cgc_utilization() * 100.0,
+            self.cgc_slots,
+            self.reconfig_loads,
+            self.reconfig_stall_cycles,
+            self.stall_share() * 100.0,
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>8} {:>8} {:>12} {:>12} {:>12}",
+            "app", "arrived", "done", "rejected", "p50 latency", "p95 latency", "max latency"
+        );
+        for a in &self.apps {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>8} {:>8} {:>12} {:>12} {:>12}",
+                a.name,
+                a.arrived,
+                a.completed,
+                a.rejected,
+                a.p50_latency,
+                a.p95_latency,
+                a.max_latency
+            );
+        }
+        out
+    }
+}
+
+/// Render a [`RuntimeReport`] as deterministic JSON
+/// (schema `amdrel-simulate/v1`).
+pub fn report_to_json(report: &RuntimeReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"amdrel-simulate/v1\",\n");
+    let _ = writeln!(out, "  \"policy\": \"{}\",", escape(&report.policy));
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"config_cache\": {}, \"prefetch\": {}, \"queue_bound\": {}}},",
+        report.config.config_cache, report.config.prefetch, report.config.queue_bound
+    );
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"arrived\": {}, \"completed\": {}, \"rejected\": {}, \"makespan\": {}, \
+         \"jobs_per_mcycle\": {:.4}, \"p50_latency\": {}, \"p95_latency\": {}}},",
+        report.arrived(),
+        report.completed(),
+        report.rejected(),
+        report.makespan,
+        report.jobs_per_mcycle(),
+        report.p50_latency,
+        report.p95_latency
+    );
+    let _ = writeln!(
+        out,
+        "  \"fabric\": {{\"fpga_busy_cycles\": {}, \"reconfig_stall_cycles\": {}, \
+         \"reconfig_loads\": {}, \"fpga_utilization\": {:.4}, \"stall_share\": {:.4}}},",
+        report.fpga_busy_cycles,
+        report.reconfig_stall_cycles,
+        report.reconfig_loads,
+        report.fpga_utilization(),
+        report.stall_share()
+    );
+    let _ = writeln!(
+        out,
+        "  \"cgc\": {{\"slots\": {}, \"busy_slot_cycles\": {}, \"utilization\": {:.4}}},",
+        report.cgc_slots,
+        report.cgc_busy_cycles,
+        report.cgc_utilization()
+    );
+    out.push_str("  \"apps\": [\n");
+    for (i, a) in report.apps.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\":\"{}\",\"arrived\":{},\"completed\":{},\"rejected\":{},\
+             \"p50_latency\":{},\"p95_latency\":{},\"max_latency\":{}}}",
+            escape(&a.name),
+            a.arrived,
+            a.completed,
+            a.rejected,
+            a.p50_latency,
+            a.p95_latency,
+            a.max_latency,
+        );
+        out.push_str(if i + 1 == report.apps.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&s, 50), 50);
+        assert_eq!(percentile(&s, 95), 100);
+        assert_eq!(percentile(&s, 100), 100);
+        assert_eq!(percentile(&s, 1), 10);
+        assert_eq!(percentile(&[], 95), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+    }
+
+    #[test]
+    fn app_stats_sort_before_ranking() {
+        let a = AppStats::from_latencies("x", 5, 3, 2, vec![30, 10, 20]);
+        assert_eq!(a.p50_latency, 20);
+        assert_eq!(a.max_latency, 30);
+    }
+
+    fn toy_report() -> RuntimeReport {
+        RuntimeReport {
+            policy: "fcfs".to_owned(),
+            config: SimConfig::default(),
+            cgc_slots: 2,
+            makespan: 1_000,
+            fpga_busy_cycles: 600,
+            reconfig_stall_cycles: 200,
+            reconfig_loads: 4,
+            cgc_busy_cycles: 500,
+            p50_latency: 5,
+            p95_latency: 5,
+            apps: vec![AppStats::from_latencies("a", 10, 8, 2, vec![5; 8])],
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let r = toy_report();
+        assert!((r.fpga_utilization() - 0.8).abs() < 1e-12);
+        assert!((r.cgc_utilization() - 0.25).abs() < 1e-12);
+        assert!((r.stall_share() - 0.25).abs() < 1e-12);
+        assert!((r.jobs_per_mcycle() - 8_000.0).abs() < 1e-9);
+        assert_eq!(r.worst_p95_latency(), 5);
+    }
+
+    #[test]
+    fn json_and_table_shapes() {
+        let r = toy_report();
+        let json = report_to_json(&r);
+        assert!(json.contains("\"schema\": \"amdrel-simulate/v1\""));
+        assert!(json.contains("\"apps\""));
+        assert!(json.contains("\"p95_latency\":5"));
+        let table = r.format_table();
+        assert!(table.contains("policy fcfs"));
+        assert!(table.contains("p95 latency"));
+    }
+}

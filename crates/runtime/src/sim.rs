@@ -1,0 +1,465 @@
+//! The deterministic discrete-event simulator.
+//!
+//! Two resources model the hybrid platform at runtime:
+//!
+//! * the **fine-grain fabric** — one exclusive server. A job's FPGA
+//!   phase needs its application's configuration resident; dispatching a
+//!   job whose configuration differs from the loaded one charges
+//!   reconfiguration stall cycles priced by the platform's
+//!   [`ReconfigModel`](amdrel_core::ReconfigModel) per temporal
+//!   partition (the configuration cache makes re-entry of the loaded
+//!   configuration free; prefetch overlaps all but the first partition
+//!   load with execution);
+//! * the **CGC datapath** — one slot per CGC. A job's coarse phase
+//!   (CGC compute + shared-memory communication) occupies one slot,
+//!   FIFO, overlapping other jobs' FPGA phases.
+//!
+//! Every event is ordered by `(time, sequence number)` — a total,
+//! seed-independent order — so identical inputs replay bit-for-bit. The
+//! simulator itself consumes no randomness; all stochasticity lives in
+//! the seeded [`WorkloadSpec`](crate::WorkloadSpec) generator.
+
+use crate::policy::SchedulePolicy;
+use crate::profile::{AppProfile, ConfigId};
+use crate::report::{AppStats, RuntimeReport};
+use crate::workload::Job;
+use amdrel_core::Platform;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Runtime knobs orthogonal to the scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// When `true` (default), a job whose configuration is already
+    /// loaded re-enters the fabric with no reconfiguration charge. When
+    /// `false`, every dispatch streams the full bitstream set in.
+    pub config_cache: bool,
+    /// When `true`, partition loads after the first overlap with
+    /// execution of the preceding partition (only the first bitstream
+    /// stalls the fabric). Default `false`.
+    pub prefetch: bool,
+    /// Admission bound: a job arriving while this many jobs already wait
+    /// for the fabric is rejected. `0` means unbounded (no rejection).
+    pub queue_bound: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            config_cache: true,
+            prefetch: false,
+            queue_bound: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Arrival(usize),
+    FpgaDone(Job),
+    CgcDone(Job),
+}
+
+/// Heap entry: ordered by `(time, seq)` via the derived tuple order on
+/// `Reverse`, giving a total, deterministic processing order. `seq` is
+/// unique per event, so the `EventKind` ordering is never actually
+/// consulted — it is derived only to keep `Ord` consistent with `Eq`.
+type Event = Reverse<(u64, u64, EventKind)>;
+
+struct SimState<'a> {
+    profiles: &'a [AppProfile],
+    jobs: &'a [Job],
+    platform: &'a Platform,
+    policy: &'a dyn SchedulePolicy,
+    config: SimConfig,
+
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+
+    fpga_queue: Vec<Job>,
+    fpga_busy: bool,
+    loaded: Option<ConfigId>,
+
+    cgc_queue: VecDeque<Job>,
+    free_slots: usize,
+
+    // Accounting.
+    arrived: Vec<u64>,
+    rejected: Vec<u64>,
+    completed: Vec<u64>,
+    latencies: Vec<Vec<u64>>,
+    fpga_busy_cycles: u64,
+    reconfig_stall_cycles: u64,
+    reconfig_loads: u64,
+    cgc_busy_cycles: u64,
+    makespan: u64,
+}
+
+impl SimState<'_> {
+    fn push(&mut self, time: u64, kind: EventKind) {
+        self.heap.push(Reverse((time, self.next_seq, kind)));
+        self.next_seq += 1;
+    }
+
+    /// Reconfiguration charge for dispatching `job` now: `(bitstream
+    /// loads performed, fabric stall cycles)`.
+    fn reconfig_charge(&self, job: &Job) -> (u64, u64) {
+        let areas = &self.profiles[job.app].config.partition_areas;
+        if areas.is_empty() || (self.config.config_cache && self.loaded == Some(job.config)) {
+            return (0, 0);
+        }
+        let model = &self.platform.reconfig;
+        let stall = if self.config.prefetch {
+            model.load_cycles(areas[0])
+        } else {
+            areas.iter().map(|&a| model.load_cycles(a)).sum()
+        };
+        (areas.len() as u64, stall)
+    }
+
+    fn dispatch_fpga(&mut self, now: u64) {
+        if self.fpga_busy || self.fpga_queue.is_empty() {
+            return;
+        }
+        let pick = self.policy.pick(&self.fpga_queue, self.loaded);
+        let job = self.fpga_queue.swap_remove(pick);
+        let (loads, stall) = self.reconfig_charge(&job);
+        if loads > 0 {
+            self.loaded = Some(job.config);
+        }
+        self.reconfig_loads += loads;
+        self.reconfig_stall_cycles += stall;
+        self.fpga_busy_cycles += job.fine_cycles;
+        self.fpga_busy = true;
+        self.push(now + stall + job.fine_cycles, EventKind::FpgaDone(job));
+    }
+
+    fn dispatch_cgc(&mut self, now: u64) {
+        while self.free_slots > 0 {
+            let Some(job) = self.cgc_queue.pop_front() else {
+                return;
+            };
+            self.free_slots -= 1;
+            self.cgc_busy_cycles += job.coarse_cycles;
+            self.push(now + job.coarse_cycles, EventKind::CgcDone(job));
+        }
+    }
+
+    fn complete(&mut self, job: &Job, now: u64) {
+        self.completed[job.app] += 1;
+        self.latencies[job.app].push(now - job.arrival);
+        self.makespan = self.makespan.max(now);
+    }
+
+    fn run(mut self) -> RuntimeReport {
+        while let Some(Reverse((now, _, kind))) = self.heap.pop() {
+            match kind {
+                EventKind::Arrival(job_idx) => {
+                    let job = self.jobs[job_idx];
+                    self.arrived[job.app] += 1;
+                    if self.config.queue_bound > 0
+                        && self.fpga_queue.len() >= self.config.queue_bound
+                    {
+                        self.rejected[job.app] += 1;
+                    } else {
+                        self.fpga_queue.push(job);
+                        self.dispatch_fpga(now);
+                    }
+                }
+                EventKind::FpgaDone(job) => {
+                    self.fpga_busy = false;
+                    if job.coarse_cycles > 0 {
+                        self.cgc_queue.push_back(job);
+                        self.dispatch_cgc(now);
+                    } else {
+                        self.complete(&job, now);
+                    }
+                    self.dispatch_fpga(now);
+                }
+                EventKind::CgcDone(job) => {
+                    self.free_slots += 1;
+                    self.complete(&job, now);
+                    self.dispatch_cgc(now);
+                }
+            }
+        }
+
+        let (p50, p95) = RuntimeReport::aggregate_percentiles(
+            self.latencies.iter().flatten().copied().collect(),
+        );
+        let apps: Vec<AppStats> = self
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(a, p)| {
+                AppStats::from_latencies(
+                    &p.name,
+                    self.arrived[a],
+                    self.completed[a],
+                    self.rejected[a],
+                    std::mem::take(&mut self.latencies[a]),
+                )
+            })
+            .collect();
+
+        RuntimeReport {
+            policy: self.policy.name().to_owned(),
+            config: self.config,
+            cgc_slots: self.platform.datapath.cgcs.len(),
+            makespan: self.makespan,
+            fpga_busy_cycles: self.fpga_busy_cycles,
+            reconfig_stall_cycles: self.reconfig_stall_cycles,
+            reconfig_loads: self.reconfig_loads,
+            cgc_busy_cycles: self.cgc_busy_cycles,
+            p50_latency: p50,
+            p95_latency: p95,
+            apps,
+        }
+    }
+}
+
+/// Play `jobs` (from [`WorkloadSpec::generate`](crate::WorkloadSpec))
+/// against `platform` under `policy`.
+///
+/// Identical inputs produce bit-identical [`RuntimeReport`]s: the event
+/// order is total (`(time, sequence)`), the policies are deterministic,
+/// and the simulator draws no randomness.
+///
+/// # Panics
+///
+/// Panics if a job's `app` index is out of range for `profiles`, or if
+/// the platform has no CGCs while a job carries coarse-grain work.
+pub fn run_simulation(
+    profiles: &[AppProfile],
+    jobs: &[Job],
+    platform: &Platform,
+    policy: &dyn SchedulePolicy,
+    config: &SimConfig,
+) -> RuntimeReport {
+    for job in jobs {
+        assert!(
+            job.app < profiles.len(),
+            "job {} references app {} but only {} profiles given",
+            job.id,
+            job.app,
+            profiles.len()
+        );
+        assert!(
+            job.coarse_cycles == 0 || !platform.datapath.cgcs.is_empty(),
+            "coarse-grain work needs at least one CGC"
+        );
+    }
+    let mut state = SimState {
+        profiles,
+        jobs,
+        platform,
+        policy,
+        config: *config,
+        heap: BinaryHeap::with_capacity(jobs.len() * 2),
+        next_seq: 0,
+        fpga_queue: Vec::new(),
+        fpga_busy: false,
+        loaded: None,
+        cgc_queue: VecDeque::new(),
+        free_slots: platform.datapath.cgcs.len(),
+        arrived: vec![0; profiles.len()],
+        rejected: vec![0; profiles.len()],
+        completed: vec![0; profiles.len()],
+        latencies: vec![Vec::new(); profiles.len()],
+        fpga_busy_cycles: 0,
+        reconfig_stall_cycles: 0,
+        reconfig_loads: 0,
+        cgc_busy_cycles: 0,
+        makespan: 0,
+    };
+    for (idx, job) in jobs.iter().enumerate() {
+        state.push(job.arrival, EventKind::Arrival(idx));
+    }
+    state.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Fcfs, ShortestJobFirst};
+    use crate::profile::FabricConfig;
+    use amdrel_core::ReconfigModel;
+
+    fn profile(name: &str, fine: u64, coarse: u64, areas: Vec<u64>) -> AppProfile {
+        AppProfile::synthetic(name, 0, fine, coarse, areas)
+    }
+
+    fn job(id: u64, app: usize, arrival: u64, fine: u64, coarse: u64, cfg: &FabricConfig) -> Job {
+        Job {
+            id,
+            app,
+            arrival,
+            priority: 0,
+            fine_cycles: fine,
+            coarse_cycles: coarse,
+            config: cfg.id,
+        }
+    }
+
+    fn platform() -> Platform {
+        Platform::paper(1500, 2).with_reconfig(ReconfigModel {
+            base_cycles: 10,
+            cycles_per_area: 1,
+        })
+    }
+
+    #[test]
+    fn single_job_timeline() {
+        let p = vec![profile("a", 100, 40, vec![30])];
+        let jobs = vec![job(0, 0, 5, 100, 40, &p[0].config)];
+        let r = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        // Arrive 5, load 10+30=40, fine 100 → FPGA done 145, coarse 40 → 185.
+        assert_eq!(r.makespan, 185);
+        assert_eq!(r.reconfig_loads, 1);
+        assert_eq!(r.reconfig_stall_cycles, 40);
+        assert_eq!(r.apps[0].completed, 1);
+        assert_eq!(r.apps[0].max_latency, 180);
+    }
+
+    #[test]
+    fn config_cache_makes_reentry_free() {
+        let p = vec![profile("a", 100, 0, vec![30])];
+        let jobs: Vec<Job> = (0..4)
+            .map(|i| job(i, 0, i * 10, 100, 0, &p[0].config))
+            .collect();
+        let cached = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        assert_eq!(cached.reconfig_loads, 1, "first load only");
+        assert_eq!(cached.reconfig_stall_cycles, 40);
+
+        let uncached = run_simulation(
+            &p,
+            &jobs,
+            &platform(),
+            &Fcfs,
+            &SimConfig {
+                config_cache: false,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(uncached.reconfig_loads, 4, "every dispatch reloads");
+        assert_eq!(uncached.reconfig_stall_cycles, 160);
+        assert!(uncached.makespan > cached.makespan);
+    }
+
+    #[test]
+    fn alternating_configs_thrash_the_cache() {
+        let p = vec![
+            profile("a", 100, 0, vec![30]),
+            profile("b", 100, 0, vec![50]),
+        ];
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| {
+                let app = (i % 2) as usize;
+                job(i, app, i, 100, 0, &p[app].config)
+            })
+            .collect();
+        let r = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        assert_eq!(r.reconfig_loads, 6, "every dispatch swaps configs");
+        assert_eq!(r.reconfig_stall_cycles, 3 * 40 + 3 * 60);
+    }
+
+    #[test]
+    fn prefetch_hides_all_but_the_first_partition() {
+        let p = vec![profile("a", 100, 0, vec![30, 30, 30])];
+        let jobs = vec![job(0, 0, 0, 100, 0, &p[0].config)];
+        let plain = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        assert_eq!(plain.reconfig_stall_cycles, 120);
+        let pf = run_simulation(
+            &p,
+            &jobs,
+            &platform(),
+            &Fcfs,
+            &SimConfig {
+                prefetch: true,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(
+            pf.reconfig_stall_cycles, 40,
+            "only the first bitstream stalls"
+        );
+        assert_eq!(pf.reconfig_loads, 3, "loads still happen, overlapped");
+    }
+
+    #[test]
+    fn queue_bound_rejects_overflow() {
+        let p = vec![profile("a", 1_000, 0, vec![])];
+        // 5 jobs arrive back-to-back; the first occupies the fabric, the
+        // bound admits 2 waiters, the rest are rejected.
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| job(i, 0, i + 1, 1_000, 0, &p[0].config))
+            .collect();
+        let r = run_simulation(
+            &p,
+            &jobs,
+            &platform(),
+            &Fcfs,
+            &SimConfig {
+                queue_bound: 2,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(r.apps[0].arrived, 5);
+        assert_eq!(r.apps[0].completed, 3);
+        assert_eq!(r.apps[0].rejected, 2);
+    }
+
+    #[test]
+    fn cgc_slots_limit_coarse_parallelism() {
+        // Zero fine phase: jobs pass straight to the CGC stage. Two
+        // slots, four equal jobs → two waves.
+        let p = vec![profile("a", 1, 100, vec![])];
+        let jobs: Vec<Job> = (0..4).map(|i| job(i, 0, 0, 1, 100, &p[0].config)).collect();
+        let r = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        assert_eq!(r.cgc_slots, 2);
+        assert_eq!(r.cgc_busy_cycles, 400);
+        // Fine phases serialise, finishing at 1,2,3,4; the first wave
+        // holds both slots until 101/102, so the second wave completes
+        // at 201 and 202.
+        assert_eq!(r.makespan, 202);
+    }
+
+    #[test]
+    fn sjf_reorders_the_queue() {
+        let p = vec![
+            profile("long", 1_000, 0, vec![]),
+            profile("short", 10, 0, vec![]),
+        ];
+        // Long job arrives first and seizes the fabric; one more long and
+        // two shorts queue behind it.
+        let jobs = vec![
+            job(0, 0, 0, 1_000, 0, &p[0].config),
+            job(1, 0, 1, 1_000, 0, &p[0].config),
+            job(2, 1, 2, 10, 0, &p[1].config),
+            job(3, 1, 3, 10, 0, &p[1].config),
+        ];
+        let fcfs = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        let sjf = run_simulation(
+            &p,
+            &jobs,
+            &platform(),
+            &ShortestJobFirst,
+            &SimConfig::default(),
+        );
+        assert_eq!(fcfs.makespan, sjf.makespan, "work-conserving: same drain");
+        assert!(
+            sjf.apps[1].max_latency < fcfs.apps[1].max_latency,
+            "shorts overtake the queued long job"
+        );
+    }
+
+    #[test]
+    fn empty_workload_is_a_quiet_report() {
+        let p = vec![profile("a", 10, 0, vec![5])];
+        let r = run_simulation(&p, &[], &platform(), &Fcfs, &SimConfig::default());
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.arrived(), 0);
+        assert_eq!(r.completed(), 0);
+    }
+}

@@ -1,9 +1,12 @@
 //! Machine-readable perf baseline: run the engine/sweep micro-benchmarks
-//! and write `BENCH_engine.json` with the mean ns per operation, plus one
-//! seeded exploration per search strategy and write `BENCH_explore.json`
-//! with its effort counters, so both the perf and the search-efficiency
-//! trajectories can be tracked PR over PR (and checked in CI without the
-//! full bench harness).
+//! and write `BENCH_engine.json` with the mean ns per operation, one
+//! seeded exploration per search strategy into `BENCH_explore.json` with
+//! its effort counters, and one seeded 3-app runtime simulation per
+//! scheduling policy into `BENCH_runtime.json` (simulated throughput,
+//! latency percentiles, reconfiguration-stall share, wall-clock
+//! simulation speed), so the perf, search-efficiency and
+//! servable-workload trajectories can all be tracked PR over PR (and
+//! checked in CI without the full bench harness).
 //!
 //! Run with: `cargo run --release --example bench_report`
 
@@ -113,6 +116,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         explore_rows.push(result);
     }
 
+    // --- Runtime simulator on the seeded 3-app standard mix: one
+    //     simulation per scheduling policy for BENCH_runtime.json, plus
+    //     a wall-clock timing of the FCFS run for the perf report.
+    let sim_platform = Platform::paper(1500, 2);
+    let profiles = amdrel::apps::runtime::standard_mix(&sim_platform)?;
+    let spec = WorkloadSpec::uniform(42, 400, &profiles, 130);
+    let sim_jobs = spec.generate(&profiles);
+    let sim_config = SimConfig::default();
+    let mut runtime_rows = Vec::new();
+    for name in ["fcfs", "sjf", "priority", "affinity"] {
+        let policy = policy_by_name(name).expect("built-in policy");
+        let (wall_ns, iters) = measure(|| {
+            run_simulation(
+                &profiles,
+                &sim_jobs,
+                &sim_platform,
+                policy.as_ref(),
+                &sim_config,
+            )
+        });
+        let result = run_simulation(
+            &profiles,
+            &sim_jobs,
+            &sim_platform,
+            policy.as_ref(),
+            &sim_config,
+        );
+        let sim_jobs_per_sec = result.completed() as f64 * 1e9 / wall_ns;
+        if name == "fcfs" {
+            report.push(("runtime/fcfs_400_jobs".into(), wall_ns, iters));
+        }
+        runtime_rows.push((result, sim_jobs_per_sec));
+    }
+
     // --- Emit BENCH_engine.json (no serde in the offline vendor set, so
     //     the JSON is assembled by hand).
     let mut json = String::from("{\n  \"schema\": \"amdrel-bench-report/v1\",\n  \"unit\": \"mean ns per op\",\n  \"benches\": [\n");
@@ -168,10 +205,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_explore.json", &json)?;
 
+    // --- Emit BENCH_runtime.json: the servable-workload baseline on the
+    //     seeded 3-app mix, per policy.
+    let mut json = String::from("{\n  \"schema\": \"amdrel-runtime-report/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{ \"seed\": {}, \"jobs\": {}, \"mean_interarrival\": {}, \"apps\": [{}] }},",
+        spec.seed,
+        spec.jobs,
+        spec.mean_interarrival,
+        profiles
+            .iter()
+            .map(|p| format!("\"{}\"", amdrel::core::json::escape(&p.name)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("  \"policies\": [\n");
+    for (i, (r, sim_jobs_per_sec)) in runtime_rows.iter().enumerate() {
+        let comma = if i + 1 == runtime_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"completed\": {}, \"rejected\": {}, \"makespan\": {}, \
+             \"jobs_per_mcycle\": {:.4}, \"p50_latency\": {}, \"p95_latency\": {}, \
+             \"reconfig_loads\": {}, \"reconfig_stall_cycles\": {}, \"stall_share\": {:.4}, \
+             \"fpga_utilization\": {:.4}, \"cgc_utilization\": {:.4}, \
+             \"sim_jobs_per_sec\": {:.0} }}{comma}",
+            r.policy,
+            r.completed(),
+            r.rejected(),
+            r.makespan,
+            r.jobs_per_mcycle(),
+            r.p50_latency,
+            r.p95_latency,
+            r.reconfig_loads,
+            r.reconfig_stall_cycles,
+            r.stall_share(),
+            r.fpga_utilization(),
+            r.cgc_utilization(),
+            sim_jobs_per_sec,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_runtime.json", &json)?;
+
     println!("{:<40} {:>14} {:>10}", "bench", "mean ns/op", "iters");
     for (name, ns, iters) in &report {
         println!("{name:<40} {ns:>14.1} {iters:>10}");
     }
-    println!("\nwrote BENCH_engine.json and BENCH_explore.json");
+    println!("\nwrote BENCH_engine.json, BENCH_explore.json and BENCH_runtime.json");
     Ok(())
 }

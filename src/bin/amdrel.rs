@@ -10,19 +10,70 @@
 //!                  [--budget N] [--jobs N] [--json] [--constraint N]
 //!                  [--areas A,A,..] [--cgc-list K,K,..] [--max-kernels K]
 //!                  [--input name=v,v,..]...
+//! amdrel simulate  [--app ofdm|jpeg|sobel]... [--policy fcfs|sjf|priority|affinity]
+//!                  [--seed S] [--njobs N] [--load PCT | --arrival CYCLES]
+//!                  [--queue-bound N] [--no-config-cache] [--prefetch]
+//!                  [--area A] [--cgcs K] [--json]
 //! amdrel dot       <src.c> [--block N] [--input name=v,v,..]...
 //! ```
 //!
 //! Sources are mini-C (see the `amdrel-minic` crate docs for the accepted
-//! subset); `--input` binds global arrays before profiling. Malformed
-//! flags exit nonzero with the usage summary on stderr.
+//! subset); `--input` binds global arrays before profiling. `simulate`
+//! takes no source file — it plays a seeded multi-tenant workload of the
+//! built-in case studies through the runtime simulator.
+//!
+//! Exit status: `amdrel <cmd> --help` prints that subcommand's usage on
+//! stdout and exits 0; an unknown subcommand or malformed flags print
+//! the usage on stderr and exit 1.
 
 use amdrel::prelude::*;
 use amdrel_coarsegrain::CgcDatapath;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: amdrel <analyze|partition|sweep|explore|dot> <src.c> [flags] \
-                     — run 'amdrel --help' for the full flag list";
+const USAGE: &str = "usage: amdrel <analyze|partition|sweep|explore|simulate|dot> [<src.c>] \
+                     [flags] — run 'amdrel --help' for the full flag list";
+
+/// Per-subcommand usage lines (printed by `amdrel <cmd> --help` and on
+/// subcommand-specific errors).
+const SUBCOMMANDS: &[(&str, &str)] = &[
+    (
+        "analyze",
+        "amdrel analyze <src.c> [--input name=v,v,..]... [--top N]",
+    ),
+    (
+        "partition",
+        "amdrel partition <src.c> --constraint N [--area A] [--cgcs K] \
+         [--input name=v,v,..]... [--skip-unprofitable]",
+    ),
+    (
+        "sweep",
+        "amdrel sweep <src.c> --constraint N [--areas A,A,..] [--cgc-list K,K,..] \
+         [--jobs N] [--json] [--input name=v,v,..]...",
+    ),
+    (
+        "explore",
+        "amdrel explore <src.c> [--strategy exhaustive|random|sa] [--seed S] [--budget N] \
+         [--jobs N] [--json] [--constraint N] [--areas A,A,..] [--cgc-list K,K,..] \
+         [--max-kernels K] [--input name=v,v,..]...",
+    ),
+    (
+        "simulate",
+        "amdrel simulate [--app ofdm|jpeg|sobel]... [--policy fcfs|sjf|priority|affinity] \
+         [--seed S] [--njobs N] [--load PCT | --arrival CYCLES] [--queue-bound N] \
+         [--no-config-cache] [--prefetch] [--area A] [--cgcs K] [--json]",
+    ),
+    (
+        "dot",
+        "amdrel dot <src.c> [--block N] [--input name=v,v,..]...",
+    ),
+];
+
+fn usage_for(cmd: &str) -> Option<&'static str> {
+    SUBCOMMANDS
+        .iter()
+        .find(|(name, _)| *name == cmd)
+        .map(|(_, usage)| *usage)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,9 +104,23 @@ struct Options {
     jobs: usize,
     json: bool,
     max_kernels: usize,
+    apps: Vec<String>,
+    policy: String,
+    njobs: usize,
+    arrival: Option<u64>,
+    load: Option<u64>,
+    queue_bound: usize,
+    no_config_cache: bool,
+    prefetch: bool,
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+/// Whether a subcommand takes a mini-C source file as its positional
+/// argument (`simulate` runs the built-in case studies instead).
+fn needs_source(command: &str) -> bool {
+    command != "simulate"
+}
+
+fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> {
     let mut opts = Options {
         source_path: String::new(),
         inputs: Vec::new(),
@@ -73,6 +138,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         jobs: 0,
         json: false,
         max_kernels: 8,
+        apps: Vec::new(),
+        policy: "fcfs".to_owned(),
+        njobs: 64,
+        arrival: None,
+        load: None,
+        queue_bound: 0,
+        no_config_cache: false,
+        prefetch: false,
     };
     let mut it = args.iter().peekable();
     let mut positional = Vec::new();
@@ -167,18 +240,55 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--max-kernels: {e}"))?;
             }
+            "--app" => {
+                let v = value_of("--app")?;
+                opts.apps
+                    .extend(v.split(',').filter(|s| !s.is_empty()).map(str::to_owned));
+            }
+            "--policy" => opts.policy = value_of("--policy")?,
+            "--njobs" => {
+                opts.njobs = value_of("--njobs")?
+                    .parse()
+                    .map_err(|e| format!("--njobs: {e}"))?;
+            }
+            "--arrival" => {
+                let arrival: u64 = value_of("--arrival")?
+                    .parse()
+                    .map_err(|e| format!("--arrival: {e}"))?;
+                if arrival == 0 {
+                    return Err("--arrival must be a positive cycle count".to_owned());
+                }
+                opts.arrival = Some(arrival);
+            }
+            "--load" => {
+                let load: u64 = value_of("--load")?
+                    .parse()
+                    .map_err(|e| format!("--load: {e}"))?;
+                if load == 0 {
+                    return Err("--load must be a positive percentage".to_owned());
+                }
+                opts.load = Some(load);
+            }
+            "--queue-bound" => {
+                opts.queue_bound = value_of("--queue-bound")?
+                    .parse()
+                    .map_err(|e| format!("--queue-bound: {e}"))?;
+            }
+            "--no-config-cache" => opts.no_config_cache = true,
+            "--prefetch" => opts.prefetch = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
             other => positional.push(other.to_owned()),
         }
     }
-    match positional.len() {
-        0 => Err("missing source file".to_owned()),
-        1 => {
+    match (with_source, positional.len()) {
+        (true, 0) => Err("missing source file".to_owned()),
+        (true, 1) => {
             opts.source_path = positional.into_iter().next().expect("len checked");
             Ok(opts)
         }
+        (false, 0) => Ok(opts),
         _ => Err(format!("unexpected arguments: {positional:?}")),
     }
 }
@@ -206,28 +316,31 @@ fn analyzed(opts: &Options) -> Result<(amdrel_minic::CompiledProgram, AnalysisRe
 fn run(args: Vec<String>) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(
-            "usage: amdrel <analyze|partition|sweep|dot> <src.c> [flags] (see --help)".to_owned(),
+            "usage: amdrel <analyze|partition|sweep|explore|simulate|dot> [<src.c>] [flags] \
+             (see --help)"
+                .to_owned(),
         );
     };
     if command == "--help" || command == "help" {
         println!("amdrel — hybrid reconfigurable platform partitioning");
-        println!("  amdrel analyze   <src.c> [--input name=v,v,..] [--top N]");
-        println!(
-            "  amdrel partition <src.c> --constraint N [--area A] [--cgcs K] [--skip-unprofitable]"
-        );
-        println!(
-            "  amdrel sweep     <src.c> --constraint N [--areas A,..] [--cgc-list K,..] [--jobs N] [--json]"
-        );
-        println!(
-            "  amdrel explore   <src.c> [--strategy exhaustive|random|sa] [--seed S] [--budget N]"
-        );
-        println!(
-            "                   [--jobs N] [--json] [--constraint N] [--areas A,..] [--cgc-list K,..] [--max-kernels K]"
-        );
-        println!("  amdrel dot       <src.c> [--block N]");
+        for (_, usage) in SUBCOMMANDS {
+            println!("  {usage}");
+        }
         return Ok(());
     }
-    let opts = parse_options(rest)?;
+    let Some(cmd_usage) = usage_for(command) else {
+        let names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _)| *n).collect();
+        return Err(format!(
+            "unknown command '{command}' (expected one of: {})",
+            names.join(", ")
+        ));
+    };
+    if rest.iter().any(|a| a == "--help") {
+        println!("usage: {cmd_usage}");
+        return Ok(());
+    }
+    let opts = parse_options(rest, needs_source(command))
+        .map_err(|e| format!("{e}\nusage: {cmd_usage}"))?;
     match command.as_str() {
         "analyze" => {
             let (program, analysis) = analyzed(&opts)?;
@@ -383,6 +496,63 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
             Ok(())
         }
+        "simulate" => {
+            let platform = Platform::paper(opts.area, opts.cgcs);
+            let selected: Vec<String> = if opts.apps.is_empty() {
+                vec!["ofdm".to_owned(), "jpeg".to_owned(), "sobel".to_owned()]
+            } else {
+                opts.apps.clone()
+            };
+            let mut profiles = Vec::with_capacity(selected.len());
+            for name in &selected {
+                let profile = match name.as_str() {
+                    "ofdm" => amdrel::apps::runtime::ofdm_profile(&platform),
+                    "jpeg" => amdrel::apps::runtime::jpeg_profile(&platform),
+                    "sobel" => amdrel::apps::runtime::sobel_profile(&platform),
+                    other => {
+                        return Err(format!(
+                            "unknown app '{other}' (expected ofdm, jpeg or sobel)"
+                        ))
+                    }
+                };
+                profiles.push(profile.map_err(|e| format!("{name}: {e}"))?);
+            }
+            let policy = policy_by_name(&opts.policy).ok_or_else(|| {
+                format!(
+                    "unknown policy '{}' (expected fcfs, sjf, priority or affinity)",
+                    opts.policy
+                )
+            })?;
+            if opts.load.is_some() && opts.arrival.is_some() {
+                return Err("--load and --arrival are mutually exclusive".to_owned());
+            }
+            let load = opts.load.unwrap_or(120);
+            let mut spec = WorkloadSpec::uniform(opts.seed, opts.njobs, &profiles, load);
+            if let Some(arrival) = opts.arrival {
+                spec.mean_interarrival = arrival;
+            }
+            let jobs = spec.generate(&profiles);
+            let config = SimConfig {
+                config_cache: !opts.no_config_cache,
+                prefetch: opts.prefetch,
+                queue_bound: opts.queue_bound,
+            };
+            let report = run_simulation(&profiles, &jobs, &platform, policy.as_ref(), &config);
+            if opts.json {
+                print!("{}", amdrel::runtime::report_to_json(&report));
+            } else {
+                println!(
+                    "platform: A_FPGA={} with {} — {} jobs, seed {}, mean interarrival {}",
+                    opts.area,
+                    platform.datapath.describe(),
+                    opts.njobs,
+                    opts.seed,
+                    spec.mean_interarrival,
+                );
+                print!("{}", report.format_table());
+            }
+            Ok(())
+        }
         "dot" => {
             let (program, _) = analyzed(&opts)?;
             match opts.block {
@@ -398,6 +568,6 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => unreachable!("command '{other}' was validated against SUBCOMMANDS"),
     }
 }

@@ -24,6 +24,7 @@
 //! | [`coarsegrain`] | CGC datapath + list scheduling + binding |
 //! | [`core`] | the Figure 2 partitioning engine and experiment grids |
 //! | [`explore`] | multi-objective design-space exploration (Pareto archive + search strategies) |
+//! | [`runtime`] | reconfiguration-aware multi-tenant runtime simulator |
 //! | [`apps`] | OFDM transmitter & JPEG encoder case studies |
 //!
 //! # Examples
@@ -61,12 +62,14 @@ pub use amdrel_explore as explore;
 pub use amdrel_finegrain as finegrain;
 pub use amdrel_minic as minic;
 pub use amdrel_profiler as profiler;
+pub use amdrel_runtime as runtime;
 
 /// Commonly used items, importable in one line.
 pub mod prelude {
     pub use amdrel_apps::{jpeg, ofdm, paper, Workload};
     pub use amdrel_cdfg::{BasicBlock, BlockId, Cdfg, Dfg, NodeId, OpClass, OpKind};
     pub use amdrel_coarsegrain::{CgcDatapath, CgcGeometry, Priority, SchedulerConfig};
+    pub use amdrel_core::ReconfigModel;
     pub use amdrel_core::{
         format_paper_table, run_flow, run_flow_cached, run_grid, run_grid_cached,
         run_grid_parallel, run_grid_parallel_cached, run_grid_parallel_jobs, Assignment,
@@ -80,4 +83,8 @@ pub mod prelude {
     pub use amdrel_finegrain::{FpgaDevice, ReconfigPolicy};
     pub use amdrel_minic::compile;
     pub use amdrel_profiler::{AnalysisReport, Interpreter, WeightTable};
+    pub use amdrel_runtime::{
+        policy_by_name, run_simulation, AppProfile, AppShare, ConfigAffinity, Fcfs, PriorityFirst,
+        RuntimeReport, SchedulePolicy, ShortestJobFirst, SimConfig, WorkloadSpec,
+    };
 }

@@ -211,6 +211,122 @@ fn malformed_flags_exit_nonzero_with_usage() {
 }
 
 #[test]
+fn simulate_runs_the_builtin_mix() {
+    let (ok, stdout, stderr) = amdrel(&[
+        "simulate", "--app", "ofdm", "--seed", "42", "--njobs", "24", "--policy", "sjf",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("policy sjf"), "{stdout}");
+    assert!(stdout.contains("p95 latency"), "{stdout}");
+    assert!(stdout.contains("ofdm"), "{stdout}");
+    assert!(stdout.contains("reconfig"), "{stdout}");
+}
+
+#[test]
+fn simulate_json_is_bit_deterministic() {
+    let args = [
+        "simulate", "--app", "ofdm", "--seed", "42", "--njobs", "24", "--json",
+    ];
+    let (ok1, out1, stderr) = amdrel(&args);
+    assert!(ok1, "stderr: {stderr}");
+    assert!(
+        out1.contains("\"schema\": \"amdrel-simulate/v1\""),
+        "{out1}"
+    );
+    assert!(out1.contains("\"apps\""), "{out1}");
+    assert!(!out1.contains("p95 latency "), "no table in JSON mode");
+    let (ok2, out2, _) = amdrel(&args);
+    assert!(ok2);
+    assert_eq!(out1, out2, "same seed must replay bit-for-bit");
+
+    // Admission and policy knobs change the outcome but stay deterministic.
+    let bounded = [
+        "simulate",
+        "--app",
+        "ofdm",
+        "--seed",
+        "42",
+        "--njobs",
+        "24",
+        "--queue-bound",
+        "1",
+        "--json",
+    ];
+    let (ok3, out3, _) = amdrel(&bounded);
+    let (ok4, out4, _) = amdrel(&bounded);
+    assert!(ok3 && ok4);
+    assert_eq!(out3, out4);
+}
+
+#[test]
+fn simulate_rejects_bad_app_and_policy() {
+    let (ok, _, stderr) = amdrel(&["simulate", "--app", "doom"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown app 'doom'"), "{stderr}");
+
+    let (ok, _, stderr) = amdrel(&["simulate", "--policy", "psychic", "--app", "ofdm"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy 'psychic'"), "{stderr}");
+
+    let (ok, _, stderr) = amdrel(&["simulate", "stray.c"]);
+    assert!(!ok);
+    assert!(stderr.contains("unexpected arguments"), "{stderr}");
+
+    let (ok, _, stderr) = amdrel(&[
+        "simulate",
+        "--app",
+        "ofdm",
+        "--load",
+        "150",
+        "--arrival",
+        "9000",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+
+    let (ok, _, stderr) = amdrel(&["simulate", "--app", "ofdm", "--arrival", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--arrival must be a positive"), "{stderr}");
+}
+
+#[test]
+fn per_subcommand_help_exits_zero_with_usage() {
+    for cmd in [
+        "analyze",
+        "partition",
+        "sweep",
+        "explore",
+        "simulate",
+        "dot",
+    ] {
+        let (ok, stdout, stderr) = amdrel(&[cmd, "--help"]);
+        assert!(ok, "{cmd} --help must exit 0 (stderr: {stderr})");
+        assert!(
+            stdout.contains(&format!("usage: amdrel {cmd}")),
+            "{cmd}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommand_lists_the_real_ones() {
+    let (ok, _, stderr) = amdrel(&["frobnicate", "x.c"]);
+    assert!(!ok, "unknown subcommands exit nonzero");
+    assert!(stderr.contains("unknown command 'frobnicate'"), "{stderr}");
+    for cmd in [
+        "analyze",
+        "partition",
+        "sweep",
+        "explore",
+        "simulate",
+        "dot",
+    ] {
+        assert!(stderr.contains(cmd), "{stderr}");
+    }
+    assert!(stderr.contains("usage: amdrel"), "{stderr}");
+}
+
+#[test]
 fn dot_emits_graphviz() {
     let src = write_source("fir_dot.c", FIR);
     let (ok, stdout, _) = amdrel(&["dot", src.to_str().unwrap()]);
@@ -245,7 +361,14 @@ fn helpful_errors() {
 fn help_lists_subcommands() {
     let (ok, stdout, _) = amdrel(&["--help"]);
     assert!(ok);
-    for cmd in ["analyze", "partition", "sweep", "explore", "dot"] {
+    for cmd in [
+        "analyze",
+        "partition",
+        "sweep",
+        "explore",
+        "simulate",
+        "dot",
+    ] {
         assert!(stdout.contains(cmd));
     }
 }
