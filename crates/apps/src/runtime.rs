@@ -12,9 +12,10 @@
 
 use crate::{jpeg, ofdm, paper, sobel, Workload};
 use amdrel_core::{MappingCache, PartitioningEngine, Platform};
+use amdrel_explore::RuntimeEvaluator;
 use amdrel_finegrain::CdfgFineGrainMapping;
 use amdrel_profiler::{AnalysisReport, WeightTable};
-use amdrel_runtime::AppProfile;
+use amdrel_runtime::{AppProfile, ShortestJobFirst};
 
 /// Workload seed shared by the profile builders (the same seed the
 /// bench harness uses, so profiles line up with the committed
@@ -121,6 +122,63 @@ pub fn standard_mix(platform: &Platform) -> Result<Vec<AppProfile>, Box<dyn std:
         jpeg_profile(platform)?,
         sobel_profile(platform)?,
     ])
+}
+
+/// Workload seed of the contention-aware exploration entry points
+/// (shared with `bench_report`, so explorations line up with the
+/// committed `BENCH_explore_contention.json` baseline).
+pub const CONTENTION_SEED: u64 = 42;
+/// Jobs per contention simulation.
+pub const CONTENTION_NJOBS: usize = 200;
+/// Offered fine-grain load of the contention workload, percent
+/// (sustained overload — the regime where platforms differentiate).
+pub const CONTENTION_LOAD: u64 = 130;
+
+/// A [`RuntimeEvaluator`] for exploring `candidate` (one of the three
+/// case studies) under contention from the *other two* standard-mix
+/// tenants, profiled on `platform`: the candidate's per-job profile is
+/// re-derived from each design point's own engine result, while the
+/// background tenants keep the profiles the static flow gave them on
+/// the base platform. Scheduling is shortest-job-first — the policy the
+/// committed `BENCH_runtime.json` baseline recommends for latency, i.e.
+/// the one a deployment would actually run — over the seeded
+/// [`CONTENTION_NJOBS`]-job mix, with the arrival rate pinned to
+/// [`CONTENTION_LOAD`]% of the *standard mix on the base platform*:
+/// one absolute traffic level for the whole design space, so candidate
+/// platforms are compared under identical offered load.
+///
+/// Attach it with
+/// [`Evaluator::with_runtime`](amdrel_explore::Evaluator::with_runtime)
+/// and select runtime objectives
+/// ([`ObjectiveSet::parse`](amdrel_explore::ObjectiveSet::parse), e.g.
+/// `"cycles,area,energy,p95"`) to make the search contention-aware.
+///
+/// # Errors
+///
+/// An unknown case-study name, or a background profile that fails to
+/// build.
+pub fn contention_evaluator(
+    candidate: &str,
+    platform: &Platform,
+) -> Result<RuntimeEvaluator, Box<dyn std::error::Error>> {
+    let mix = standard_mix(platform)?;
+    let arrival = amdrel_runtime::WorkloadSpec::mean_interarrival_for(&mix, CONTENTION_LOAD);
+    let idx = mix
+        .iter()
+        .position(|p| p.name == candidate)
+        .ok_or_else(|| {
+            format!("unknown case study '{candidate}' (expected ofdm, jpeg or sobel)")
+        })?;
+    let priority = mix[idx].priority;
+    let background: Vec<AppProfile> = mix.into_iter().filter(|p| p.name != candidate).collect();
+    Ok(
+        RuntimeEvaluator::new(background, Box::new(ShortestJobFirst))
+            .with_priority(priority)
+            .with_seed(CONTENTION_SEED)
+            .with_njobs(CONTENTION_NJOBS)
+            .with_load(CONTENTION_LOAD)
+            .with_arrival(arrival),
+    )
 }
 
 #[cfg(test)]

@@ -62,16 +62,16 @@ fn sa_finds_an_exhaustive_optimum_with_fewer_evaluations() {
     // SA recovers the exhaustive optimum for at least one objective.
     let matches_optimum = [
         (
-            sa.best_cycles().map(|p| p.objectives.cycles),
-            exhaustive.best_cycles().map(|p| p.objectives.cycles),
+            sa.best_cycles().map(|p| p.cycles),
+            exhaustive.best_cycles().map(|p| p.cycles),
         ),
         (
-            sa.best_area().map(|p| p.objectives.area),
-            exhaustive.best_area().map(|p| p.objectives.area),
+            sa.best_area().map(|p| p.area),
+            exhaustive.best_area().map(|p| p.area),
         ),
         (
-            sa.best_energy().map(|p| p.objectives.energy),
-            exhaustive.best_energy().map(|p| p.objectives.energy),
+            sa.best_energy().map(|p| p.energy_total()),
+            exhaustive.best_energy().map(|p| p.energy_total()),
         ),
     ]
     .iter()
@@ -124,9 +124,58 @@ fn random_sampling_on_ofdm_is_reasonable() {
     assert_eq!(random.stats.points_evaluated, 48);
     // Every frontier point is a real, consistently-priced OFDM point.
     for p in &random.frontier {
-        assert!(p.objectives.cycles <= p.initial_cycles);
+        assert!(p.cycles <= p.initial_cycles);
         assert!(p.speedup() >= 1.0);
     }
+}
+
+/// Pre/post-refactor differential anchor: the exhaustive cycle optimum
+/// on the compiled OFDM workload (the exact configuration `bench_report`
+/// runs) equals the value committed in `BENCH_explore.json` *before*
+/// the N-objective generalisation — evidence the static 3-objective
+/// path stayed bit-identical through the refactor.
+#[test]
+fn exhaustive_optimum_matches_the_committed_prerefactor_baseline() {
+    use amdrel_profiler::WeightTable;
+    let workload = ofdm::workload(2004);
+    let (program, execution) = workload.compile_and_profile().unwrap();
+    let analysis = AnalysisReport::analyze(
+        &program.cdfg,
+        &execution.block_counts,
+        &WeightTable::paper(),
+    );
+    let base = Platform::paper(1500, 2);
+    let cache = MappingCache::new();
+    let eval = Evaluator::new(
+        &workload.name,
+        &program.cdfg,
+        &analysis,
+        &base,
+        EnergyModel::default(),
+        &cache,
+    );
+    let report = explore(
+        &eval,
+        &ofdm::design_space(),
+        &Exhaustive,
+        &ExploreConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        report.best_cycles().map(|p| p.cycles),
+        Some(86_010),
+        "exhaustive optimum drifted from the committed pre-refactor baseline"
+    );
+    assert_eq!(
+        report.objectives,
+        ["cycles", "area", "energy"],
+        "default objective vector changed"
+    );
+    assert_eq!(
+        report.frontier.len(),
+        3,
+        "frontier size per BENCH_explore.json"
+    );
 }
 
 #[test]

@@ -1,0 +1,116 @@
+//! Contention-aware co-exploration on the OFDM transmitter: the static
+//! `(cycles, area, energy)` exhaustive frontier next to the 4-objective
+//! `(cycles, area, energy, p95)` frontier scored by simulating the
+//! seeded standard mix on every candidate platform. Prints both
+//! frontiers and the platform points only the contention-aware search
+//! surfaces (the committed `BENCH_explore_contention.json` baseline),
+//! then times one static and one contention-aware exhaustive
+//! exploration (cold evaluator, shared warm mapping cache).
+
+use amdrel_apps::{ofdm, runtime as apps_runtime};
+use amdrel_bench::ofdm_prepared;
+use amdrel_core::{EnergyModel, MappingCache, Platform};
+use amdrel_explore::{explore, Evaluator, Exhaustive, ExploreConfig, ObjectiveSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_explore_contention(c: &mut Criterion) {
+    let app = ofdm_prepared();
+    let base = Platform::paper(1500, 2);
+    let space = ofdm::design_space();
+    let config = ExploreConfig::default();
+    let contention =
+        apps_runtime::contention_evaluator("ofdm", &base).expect("background tenants profile");
+    let objectives = ObjectiveSet::parse("cycles,area,energy,p95").expect("valid objectives");
+
+    let cache = MappingCache::new();
+    let static_eval = Evaluator::new(
+        &app.name,
+        &app.program.cdfg,
+        &app.analysis,
+        &base,
+        EnergyModel::default(),
+        &cache,
+    );
+    let static_report =
+        explore(&static_eval, &space, &Exhaustive, &config).expect("static exploration");
+    let contention_eval = Evaluator::new(
+        &app.name,
+        &app.program.cdfg,
+        &app.analysis,
+        &base,
+        EnergyModel::default(),
+        &cache,
+    )
+    .with_objectives(objectives.clone())
+    .with_runtime(&contention);
+    let contention_report =
+        explore(&contention_eval, &space, &Exhaustive, &config).expect("contention exploration");
+
+    let static_points: BTreeSet<_> = static_report.frontier.iter().map(|p| p.point).collect();
+    let added: Vec<_> = contention_report
+        .frontier
+        .iter()
+        .filter(|p| !static_points.contains(&p.point))
+        .collect();
+    println!(
+        "\n========== Contention-aware co-exploration (OFDM, {} points / {} cells) ==========",
+        space.len(),
+        space.cells()
+    );
+    println!("--- static (cycles,area,energy):");
+    print!("{}", static_report.format_table());
+    println!("--- contention-aware (cycles,area,energy,p95), policy sjf:");
+    print!("{}", contention_report.format_table());
+    println!(
+        "platform points only the contention-aware frontier surfaces: {}",
+        added.len()
+    );
+    for p in &added {
+        println!(
+            "  A_FPGA {} / {} / {} kernels (p95 {})",
+            p.area,
+            p.datapath,
+            p.kernels_moved,
+            p.contention.expect("scored").p95_latency
+        );
+    }
+    println!(
+        "==================================================================================\n"
+    );
+
+    // Timed: one exhaustive exploration per objective set on a cold
+    // evaluator; the mapping cache stays warm (application-level state).
+    c.bench_function("explore_contention/static_exhaustive", |b| {
+        b.iter(|| {
+            let eval = Evaluator::new(
+                &app.name,
+                &app.program.cdfg,
+                &app.analysis,
+                &base,
+                EnergyModel::default(),
+                &cache,
+            );
+            black_box(explore(&eval, &space, &Exhaustive, &config).expect("exploration runs"))
+        })
+    });
+    c.bench_function("explore_contention/p95_exhaustive", |b| {
+        b.iter(|| {
+            let eval = Evaluator::new(
+                &app.name,
+                &app.program.cdfg,
+                &app.analysis,
+                &base,
+                EnergyModel::default(),
+                &cache,
+            )
+            .with_objectives(objectives.clone())
+            .with_runtime(&contention);
+            black_box(explore(&eval, &space, &Exhaustive, &config).expect("exploration runs"))
+        })
+    });
+}
+
+criterion_group!(benches, bench_explore_contention);
+criterion_main!(benches);

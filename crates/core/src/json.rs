@@ -31,6 +31,33 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Render a list of strings as a JSON array literal (each element
+/// escaped), e.g. `["cycles","area"]`.
+pub fn string_array<S: AsRef<str>>(items: &[S]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", escape(item.as_ref()));
+    }
+    out.push(']');
+    out
+}
+
+/// Render a list of `u64`s as a JSON array literal, e.g. `[1,2,3]`.
+pub fn u64_array(items: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{item}");
+    }
+    out.push(']');
+    out
+}
+
 /// Render mapping-cache counters as a JSON object.
 pub fn cache_to_json(stats: &CacheStats) -> String {
     format!(
@@ -88,6 +115,14 @@ mod tests {
         assert_eq!(escape("plain"), "plain");
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape("x\ny\u{1}"), "x\\ny\\u0001");
+    }
+
+    #[test]
+    fn array_helpers_render_literals() {
+        assert_eq!(string_array(&["a", "b\"c"]), "[\"a\", \"b\\\"c\"]");
+        assert_eq!(string_array::<&str>(&[]), "[]");
+        assert_eq!(u64_array(&[1, 22, 333]), "[1,22,333]");
+        assert_eq!(u64_array(&[]), "[]");
     }
 
     #[test]

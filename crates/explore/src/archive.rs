@@ -7,11 +7,13 @@
 //! to the smallest [`PointIdx`], so the final frontier is a pure function
 //! of the *set* of evaluated points — independent of insertion order,
 //! thread interleaving and `--jobs` settings. That set-function property
-//! is what makes seeded explorations bit-reproducible. (Bounding the
-//! archive *during* a search would forfeit it — which points survive an
-//! interim prune depends on arrival order — so [`ParetoArchive::prune_to`]
-//! is an explicit, caller-driven operation for after the search, not an
-//! insertion-time cap.)
+//! is what makes seeded explorations bit-reproducible, and it holds at
+//! any objective arity: the archive works the same over the classic
+//! `(cycles, area, energy)` triple and over N-objective vectors that add
+//! contention metrics. (Bounding the archive *during* a search would
+//! forfeit it — which points survive an interim prune depends on arrival
+//! order — so [`ParetoArchive::prune_to`] is an explicit, caller-driven
+//! operation for after the search, not an insertion-time cap.)
 
 use crate::eval::PointEval;
 use serde::{Deserialize, Serialize};
@@ -33,7 +35,8 @@ pub enum Insert {
 
 /// A Pareto frontier with non-domination insertion, deterministic
 /// iteration order, and deterministic post-search pruning
-/// ([`Self::prune_to`]).
+/// ([`Self::prune_to`]). All members must share one objective arity
+/// (they came from the same [`Evaluator`](crate::Evaluator)).
 ///
 /// # Examples
 ///
@@ -48,8 +51,10 @@ pub enum Insert {
 ///         datapath: "two 2x2 CGCs".to_owned(),
 ///         kernels_moved: 0,
 ///         initial_cycles: 100,
-///         objectives: Objectives { cycles, area, energy },
+///         cycles,
 ///         energy: EnergyBreakdown { e_fpga_ops: energy, e_reconfig: 0, e_cgc_ops: 0, e_comm: 0 },
+///         contention: None,
+///         objectives: Objectives::new(vec![cycles, area, energy]),
 ///         met: true,
 ///     }
 /// }
@@ -66,7 +71,7 @@ pub enum Insert {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ParetoArchive {
-    /// Sorted by `(objectives.as_array(), point)`.
+    /// Sorted by `(objectives, point)`.
     entries: Vec<PointEval>,
 }
 
@@ -86,7 +91,7 @@ impl ParetoArchive {
         self.entries.is_empty()
     }
 
-    /// The frontier, sorted ascending by `(cycles, area, energy)` — the
+    /// The frontier, sorted ascending by `(objectives, point)` — the
     /// deterministic iteration order.
     pub fn frontier(&self) -> &[PointEval] {
         &self.entries
@@ -98,6 +103,13 @@ impl ParetoArchive {
     }
 
     /// Insert a candidate, keeping the frontier invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`Objectives::dominates`](crate::Objectives::dominates))
+    /// if the candidate's objective arity differs from the archive's —
+    /// mixing points from evaluators with different objective sets is a
+    /// caller bug.
     pub fn insert(&mut self, candidate: PointEval) -> Insert {
         // One pass: find a dominator or an objective-identical member.
         // (At most one member can share the exact objective vector — the
@@ -123,19 +135,20 @@ impl ParetoArchive {
             self.entries
                 .retain(|e| !candidate.objectives.dominates(&e.objectives));
         }
-        let key = (candidate.objectives.as_array(), candidate.point);
+        let key = (candidate.objectives.values(), candidate.point);
         let pos = self
             .entries
-            .partition_point(|e| (e.objectives.as_array(), e.point) < key);
+            .partition_point(|e| (e.objectives.values(), e.point) < key);
         self.entries.insert(pos, candidate);
         Insert::Added
     }
 
     /// Prune the frontier down to at most `max` members, deterministically:
-    /// each objective's minimiser always survives, and the remaining slots
-    /// are filled evenly across the sorted frontier (preserving its
-    /// spread). Pruning never adds points, so the result is a subset of
-    /// the frontier and stays mutually non-dominated.
+    /// each objective's minimiser always survives (whatever the arity),
+    /// and the remaining slots are filled evenly across the sorted
+    /// frontier (preserving its spread). Pruning never adds points, so
+    /// the result is a subset of the frontier and stays mutually
+    /// non-dominated.
     ///
     /// # Panics
     ///
@@ -145,15 +158,16 @@ impl ParetoArchive {
         if self.entries.len() <= max {
             return;
         }
+        let arity = self.entries[0].objectives.len();
         let mut keep = vec![false; self.entries.len()];
         // Guard the extremes: the argmin of every objective (first in
         // sorted order on ties).
-        for obj in 0..3 {
+        for obj in 0..arity {
             let argmin = self
                 .entries
                 .iter()
                 .enumerate()
-                .min_by_key(|(i, e)| (e.objectives.as_array()[obj], *i))
+                .min_by_key(|(i, e)| (e.objectives.values()[obj], *i))
                 .map(|(i, _)| i)
                 .expect("non-empty archive");
             keep[argmin] = true;

@@ -7,16 +7,23 @@
 //! energy from [`BlockEnergyCosts`] O(1) deltas. The [`Evaluator`]
 //! memoises cells (thread-safely) and shares one [`MappingCache`], so a
 //! search that revisits configurations pays for each cell exactly once
-//! and each fabric mapping exactly once. Counters expose the true effort
-//! (`engine_runs`, `points_evaluated`, `cell_hits`) for strategy
-//! comparisons and the `BENCH_explore.json` baseline.
+//! and each fabric mapping exactly once. When the evaluator's
+//! [`ObjectiveSet`] includes runtime objectives, each design point
+//! additionally runs one seeded workload simulation through the
+//! attached [`RuntimeEvaluator`] — memoised per point, so revisits are
+//! free there too. Counters expose the true effort (`engine_runs`,
+//! `points_evaluated`, `cell_hits`, `sim_runs`) for strategy
+//! comparisons and the committed `BENCH_explore*.json` baselines.
 
+use crate::contention::{ContentionMetrics, RuntimeEvaluator};
+use crate::objective::{Objective, ObjectiveSet, Objectives};
 use crate::space::{DesignSpace, PointIdx};
 use amdrel_cdfg::Cdfg;
 use amdrel_core::{
-    run_grid_parallel_jobs, BlockEnergyCosts, CacheStats, CoreError, EnergyBreakdown, EnergyModel,
-    GridSpec, MappingCache, PartitionResult, PartitioningEngine, Platform,
+    run_grid_parallel_jobs, BlockEnergyCosts, Breakdown, CacheStats, CoreError, EnergyBreakdown,
+    EnergyModel, GridSpec, MappingCache, PartitionResult, PartitioningEngine, Platform,
 };
+use amdrel_finegrain::CdfgFineGrainMapping;
 use amdrel_profiler::AnalysisReport;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -27,36 +34,6 @@ use std::sync::{Arc, Mutex};
 /// the engine to drain the entire kernel queue and hand back the full
 /// move trace.
 const FULL_DRAIN: u64 = 1;
-
-/// The three minimised objectives of a design point.
-///
-/// All three are `u64`s so domination checks are exact — no floating-point
-/// ties to break. Speedup is reported separately ([`PointEval::speedup`]):
-/// minimising total cycles maximises speedup for a given application.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Objectives {
-    /// eq. (2) total execution time, FPGA cycles (minimise).
-    pub cycles: u64,
-    /// `A_FPGA` of the configuration, area units (minimise).
-    pub area: u64,
-    /// Total energy under the platform's [`EnergyModel`] (minimise).
-    pub energy: u64,
-}
-
-impl Objectives {
-    /// The objectives as an array, in `(cycles, area, energy)` order.
-    pub fn as_array(&self) -> [u64; 3] {
-        [self.cycles, self.area, self.energy]
-    }
-
-    /// Pareto domination: `self` is no worse in every objective and
-    /// strictly better in at least one.
-    pub fn dominates(&self, other: &Objectives) -> bool {
-        let a = self.as_array();
-        let b = other.as_array();
-        a.iter().zip(&b).all(|(x, y)| x <= y) && a != b
-    }
-}
 
 /// One fully evaluated design point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,11 +49,18 @@ pub struct PointEval {
     pub kernels_moved: usize,
     /// All-FPGA cycles of this cell (the speedup baseline).
     pub initial_cycles: u64,
-    /// The minimised objective vector.
-    pub objectives: Objectives,
-    /// The energy decomposition behind `objectives.energy`.
+    /// eq. (2) total execution time of one job, FPGA cycles (always
+    /// computed, whether or not `cycles` is a selected objective).
+    pub cycles: u64,
+    /// The energy decomposition behind the energy objective.
     pub energy: EnergyBreakdown,
-    /// Whether `objectives.cycles` meets the space's timing constraint.
+    /// The contention outcome when the evaluator simulated the workload
+    /// mix on this point (`None` under purely static objective sets).
+    pub contention: Option<ContentionMetrics>,
+    /// The minimised objective vector, aligned with the evaluator's
+    /// [`ObjectiveSet`].
+    pub objectives: Objectives,
+    /// Whether `cycles` meets the space's timing constraint.
     pub met: bool,
 }
 
@@ -84,10 +68,15 @@ impl PointEval {
     /// `initial_cycles / final_cycles` — the paper-style acceleration of
     /// this configuration over its own all-FPGA mapping.
     pub fn speedup(&self) -> f64 {
-        if self.objectives.cycles == 0 {
+        if self.cycles == 0 {
             return 1.0;
         }
-        self.initial_cycles as f64 / self.objectives.cycles as f64
+        self.initial_cycles as f64 / self.cycles as f64
+    }
+
+    /// Total energy of one job (the value of the energy objective).
+    pub fn energy_total(&self) -> u64 {
+        self.energy.total()
     }
 }
 
@@ -101,6 +90,9 @@ pub struct EvalStats {
     pub engine_runs: u64,
     /// Point evaluations served from an already-computed cell.
     pub cell_hits: u64,
+    /// Workload simulations actually performed (one per distinct point,
+    /// only under runtime objectives).
+    pub sim_runs: u64,
 }
 
 impl EvalStats {
@@ -111,16 +103,25 @@ impl EvalStats {
             points_evaluated: self.points_evaluated - earlier.points_evaluated,
             engine_runs: self.engine_runs - earlier.engine_runs,
             cell_hits: self.cell_hits - earlier.cell_hits,
+            sim_runs: self.sim_runs - earlier.sim_runs,
         }
     }
 }
 
-/// One memoised `(area, datapath)` cell: the per-budget price list.
+/// One memoised `(area, datapath)` cell: the per-budget price list plus
+/// everything a contention score needs to rebuild the candidate profile.
 struct Cell {
     initial_cycles: u64,
     /// Entry `k`: `(t_total, energy)` after moving the first `k` ranked
     /// kernels (entry 0 is the all-FPGA mapping).
     budgets: Vec<(u64, EnergyBreakdown)>,
+    /// Entry `k`: the timing decomposition after `k` moves (entry 0 is
+    /// all-FPGA: everything in `t_fpga`).
+    breakdowns: Vec<Breakdown>,
+    /// Block indices of the moved kernels, in move order.
+    moved: Vec<usize>,
+    /// The cell's fine-grain mapping (shared with the [`MappingCache`]).
+    fine: Arc<CdfgFineGrainMapping>,
 }
 
 /// Memoising design-point evaluator over one analysed application.
@@ -128,6 +129,12 @@ struct Cell {
 /// Thread-safe (`&self` everywhere, interior mutex/atomics), so the
 /// exhaustive strategy can fill cells from parallel grid workers while
 /// sequential strategies share the same instance.
+///
+/// By default points are priced on the static objective triple
+/// `(cycles, area, energy)`. [`Self::with_objectives`] selects a
+/// different [`ObjectiveSet`]; sets that include runtime objectives
+/// (`p95`, `throughput`) additionally need a [`RuntimeEvaluator`]
+/// attached via [`Self::with_runtime`].
 pub struct Evaluator<'a> {
     app: &'a str,
     cdfg: &'a Cdfg,
@@ -135,27 +142,32 @@ pub struct Evaluator<'a> {
     base: &'a Platform,
     model: EnergyModel,
     cache: &'a MappingCache,
+    objectives: ObjectiveSet,
+    runtime: Option<&'a RuntimeEvaluator>,
     cells: Mutex<HashMap<(usize, usize), Arc<Cell>>>,
+    sims: Mutex<HashMap<(usize, usize, usize), ContentionMetrics>>,
     points_evaluated: AtomicU64,
     engine_runs: AtomicU64,
     cell_hits: AtomicU64,
+    sim_runs: AtomicU64,
 }
 
 impl std::fmt::Debug for Evaluator<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Evaluator")
             .field("app", &self.app)
+            .field("objectives", &self.objectives.describe())
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
 impl<'a> Evaluator<'a> {
-    /// A new evaluator. `base` supplies everything the space's axes do
-    /// not (clock ratio, communication model, scheduler, FPGA
-    /// characterisation other than total area); `model` prices the energy
-    /// objective; `cache` memoises the fabric mappings (shareable across
-    /// evaluators and grids).
+    /// A new evaluator on the static default objectives. `base` supplies
+    /// everything the space's axes do not (clock ratio, communication
+    /// model, scheduler, FPGA characterisation other than total area);
+    /// `model` prices the energy objective; `cache` memoises the fabric
+    /// mappings (shareable across evaluators and grids).
     pub fn new(
         app: &'a str,
         cdfg: &'a Cdfg,
@@ -171,16 +183,37 @@ impl<'a> Evaluator<'a> {
             base,
             model,
             cache,
+            objectives: ObjectiveSet::static_default(),
+            runtime: None,
             cells: Mutex::new(HashMap::new()),
+            sims: Mutex::new(HashMap::new()),
             points_evaluated: AtomicU64::new(0),
             engine_runs: AtomicU64::new(0),
             cell_hits: AtomicU64::new(0),
+            sim_runs: AtomicU64::new(0),
         }
+    }
+
+    /// Select the objective vector points are priced on.
+    pub fn with_objectives(mut self, objectives: ObjectiveSet) -> Self {
+        self.objectives = objectives;
+        self
+    }
+
+    /// Attach the contention scorer consulted for runtime objectives.
+    pub fn with_runtime(mut self, runtime: &'a RuntimeEvaluator) -> Self {
+        self.runtime = Some(runtime);
+        self
     }
 
     /// The application label.
     pub fn app(&self) -> &str {
         self.app
+    }
+
+    /// The objective set points are priced on.
+    pub fn objectives(&self) -> &ObjectiveSet {
+        &self.objectives
     }
 
     /// A snapshot of the effort counters.
@@ -189,6 +222,7 @@ impl<'a> Evaluator<'a> {
             points_evaluated: self.points_evaluated.load(Ordering::Relaxed),
             engine_runs: self.engine_runs.load(Ordering::Relaxed),
             cell_hits: self.cell_hits.load(Ordering::Relaxed),
+            sim_runs: self.sim_runs.load(Ordering::Relaxed),
         }
     }
 
@@ -203,25 +237,94 @@ impl<'a> Evaluator<'a> {
     ///
     /// Mapping failures from the underlying fabrics (e.g. an area too
     /// small for the application's widest operator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the objective set includes a runtime objective but no
+    /// [`RuntimeEvaluator`] was attached ([`Self::with_runtime`]).
     pub fn evaluate(&self, space: &DesignSpace, p: PointIdx) -> Result<PointEval, CoreError> {
         self.points_evaluated.fetch_add(1, Ordering::Relaxed);
         let cell = self.cell(space, p.area, p.datapath)?;
         let moved = p.budget.min(cell.budgets.len() - 1);
         let (cycles, energy) = cell.budgets[moved];
+        let contention = if self.objectives.needs_runtime() {
+            Some(self.contention(space, p, moved, &cell))
+        } else {
+            None
+        };
+        let values = self
+            .objectives
+            .objectives()
+            .iter()
+            .map(|obj| match obj {
+                Objective::Cycles => cycles,
+                Objective::Area => space.areas[p.area],
+                Objective::Energy => energy.total(),
+                Objective::P95Latency => {
+                    contention
+                        .as_ref()
+                        .expect("runtime metrics computed")
+                        .p95_latency
+                }
+                Objective::Throughput => {
+                    contention
+                        .as_ref()
+                        .expect("runtime metrics computed")
+                        .cycles_per_job
+                }
+            })
+            .collect();
         Ok(PointEval {
             point: p,
             area: space.areas[p.area],
             datapath: space.datapaths[p.datapath].describe(),
             kernels_moved: moved,
             initial_cycles: cell.initial_cycles,
-            objectives: Objectives {
-                cycles,
-                area: space.areas[p.area],
-                energy: energy.total(),
-            },
+            cycles,
             energy,
+            contention,
+            objectives: Objectives::new(values),
             met: cycles <= space.constraint,
         })
+    }
+
+    /// The memoised contention metrics of `(cell, moved)` — one seeded
+    /// simulation per distinct point, computed under the map lock so
+    /// concurrent lookups never duplicate work.
+    fn contention(
+        &self,
+        space: &DesignSpace,
+        p: PointIdx,
+        moved: usize,
+        cell: &Cell,
+    ) -> ContentionMetrics {
+        let runtime = self.runtime.expect(
+            "runtime objectives (p95/throughput) need a RuntimeEvaluator \
+             (Evaluator::with_runtime)",
+        );
+        let key = (p.area, p.datapath, moved);
+        let mut sims = self.sims.lock().expect("sim cache lock poisoned");
+        if let Some(metrics) = sims.get(&key) {
+            return *metrics;
+        }
+        self.sim_runs.fetch_add(1, Ordering::Relaxed);
+        let breakdown = &cell.breakdowns[moved];
+        let mut on_fpga = vec![true; self.cdfg.len()];
+        for &k in &cell.moved[..moved] {
+            on_fpga[k] = false;
+        }
+        let areas = cell.fine.partition_areas(|i| on_fpga[i]);
+        let candidate = runtime.candidate_profile(
+            self.app,
+            breakdown.t_fpga,
+            breakdown.t_coarse,
+            breakdown.t_comm,
+            areas,
+        );
+        let platform = self.platform_for(space, p.area, p.datapath);
+        let metrics = runtime.score(&candidate, &platform);
+        sims.insert(key, metrics);
+        metrics
     }
 
     /// Compute (or adopt from the grid) every cell of `space` using the
@@ -232,6 +335,9 @@ impl<'a> Evaluator<'a> {
     /// used when the cell map is cold (the common exhaustive case), and a
     /// partially warm evaluator falls back to filling only the missing
     /// cells, so `engine_runs` counts every engine run exactly once.
+    /// Workload simulations are *not* prefilled — they run (memoised) as
+    /// points are evaluated, on the calling thread, so contention scores
+    /// are identical at every `jobs` setting.
     ///
     /// # Errors
     ///
@@ -328,14 +434,25 @@ impl<'a> Evaluator<'a> {
         let costs = BlockEnergyCosts::compute(self.cdfg, self.analysis, &fine, &self.model);
         let mut energy = costs.all_fpga();
         let mut budgets = Vec::with_capacity(result.moves.len() + 1);
+        let mut breakdowns = Vec::with_capacity(result.moves.len() + 1);
         budgets.push((result.initial_cycles, energy));
+        breakdowns.push(Breakdown {
+            t_fpga: result.initial_cycles,
+            t_coarse_cgc: 0,
+            t_coarse: 0,
+            t_comm: 0,
+        });
         for m in &result.moves {
             costs.move_to_coarse(&mut energy, m.kernel.index());
             budgets.push((m.breakdown.t_total(), energy));
+            breakdowns.push(m.breakdown);
         }
         Ok(Cell {
             initial_cycles: result.initial_cycles,
             budgets,
+            breakdowns,
+            moved: result.moves.iter().map(|m| m.kernel.index()).collect(),
+            fine,
         })
     }
 

@@ -4,18 +4,39 @@
 //! lives in [`amdrel_core::json`] so every `--json` output in the
 //! workspace shares one renderer; this module re-exports it and adds the
 //! [`ExploreReport`] shape.
+//!
+//! # Schema `amdrel-explore/v2`
+//!
+//! The v1→v2 bump accompanies the N-objective generalisation (see
+//! `docs/BENCHMARKS.md` for the migration notes):
+//!
+//! * a top-level `"objectives"` array names the minimised objectives in
+//!   vector order;
+//! * every frontier member carries an `"objectives"` value array
+//!   aligned with those names (the per-metric keys `final_cycles`,
+//!   `area`, `energy` remain for compatibility);
+//! * `"effort"` gains `"sim_runs"` (workload simulations performed);
+//! * frontier members scored under runtime objectives carry a
+//!   `"contention"` object (`p95_latency`, `cycles_per_job`,
+//!   `jobs_per_mcycle`, `completed`, `rejected`, `makespan`,
+//!   `reconfig_stall_cycles`).
 
-pub use amdrel_core::json::{cache_to_json, escape, grid_to_json};
+pub use amdrel_core::json::{cache_to_json, escape, grid_to_json, string_array, u64_array};
 
 use crate::report::ExploreReport;
 use std::fmt::Write as _;
 
-/// Render an [`ExploreReport`] as JSON.
+/// Render an [`ExploreReport`] as JSON (schema `amdrel-explore/v2`).
 pub fn report_to_json(report: &ExploreReport) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"amdrel-explore/v1\",\n");
+    out.push_str("{\n  \"schema\": \"amdrel-explore/v2\",\n");
     let _ = writeln!(out, "  \"app\": \"{}\",", escape(&report.app));
     let _ = writeln!(out, "  \"strategy\": \"{}\",", escape(&report.strategy));
+    let _ = writeln!(
+        out,
+        "  \"objectives\": {},",
+        string_array(&report.objectives)
+    );
     let _ = writeln!(out, "  \"seed\": {},", report.seed);
     let _ = writeln!(out, "  \"eval_budget\": {},", report.eval_budget);
     let _ = writeln!(out, "  \"jobs\": {},", report.jobs);
@@ -26,8 +47,12 @@ pub fn report_to_json(report: &ExploreReport) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"effort\": {{\"points_evaluated\": {}, \"engine_runs\": {}, \"cell_hits\": {}}},",
-        report.stats.points_evaluated, report.stats.engine_runs, report.stats.cell_hits
+        "  \"effort\": {{\"points_evaluated\": {}, \"engine_runs\": {}, \"cell_hits\": {}, \
+         \"sim_runs\": {}}},",
+        report.stats.points_evaluated,
+        report.stats.engine_runs,
+        report.stats.cell_hits,
+        report.stats.sim_runs
     );
     let _ = writeln!(out, "  \"cache\": {},", cache_to_json(&report.cache));
     out.push_str("  \"frontier\": [\n");
@@ -35,16 +60,33 @@ pub fn report_to_json(report: &ExploreReport) -> String {
         let _ = write!(
             out,
             "    {{\"area\":{},\"datapath\":\"{}\",\"kernels_moved\":{},\"initial_cycles\":{},\
-             \"final_cycles\":{},\"speedup\":{:.3},\"energy\":{},\"met\":{}}}",
+             \"final_cycles\":{},\"speedup\":{:.3},\"energy\":{},\"met\":{},\"objectives\":{}",
             p.area,
             escape(&p.datapath),
             p.kernels_moved,
             p.initial_cycles,
-            p.objectives.cycles,
+            p.cycles,
             p.speedup(),
-            p.objectives.energy,
+            p.energy_total(),
             p.met,
+            u64_array(p.objectives.values()),
         );
+        if let Some(c) = &p.contention {
+            let _ = write!(
+                out,
+                ",\"contention\":{{\"p95_latency\":{},\"cycles_per_job\":{},\
+                 \"jobs_per_mcycle\":{:.4},\"completed\":{},\"rejected\":{},\"makespan\":{},\
+                 \"reconfig_stall_cycles\":{}}}",
+                c.p95_latency,
+                c.cycles_per_job,
+                c.jobs_per_mcycle(),
+                c.completed,
+                c.rejected,
+                c.makespan,
+                c.reconfig_stall_cycles,
+            );
+        }
+        out.push('}');
         out.push_str(if i + 1 == report.frontier.len() {
             "\n"
         } else {

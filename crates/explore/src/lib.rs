@@ -15,15 +15,25 @@
 //!   prices every kernel budget of an `(area, datapath)` cell, timing
 //!   from the engine's breakdowns and energy from
 //!   [`BlockEnergyCosts`](amdrel_core::BlockEnergyCosts) deltas;
-//! * [`ParetoArchive`] — the non-dominated frontier over the minimised
-//!   objectives (total cycles, FPGA area, energy), with deterministic
-//!   iteration order and deterministic post-search pruning;
+//! * [`ObjectiveSet`] / [`Objectives`] — the minimised objectives as an
+//!   N-vector: the classic static triple (total cycles, FPGA area,
+//!   energy) by default, extensible with runtime objectives (`p95`,
+//!   `throughput`) scored under multi-tenant contention;
+//! * [`RuntimeEvaluator`] — the contention scorer: derives the
+//!   candidate's per-job [`AppProfile`](amdrel_runtime::AppProfile)
+//!   from each design point's own engine result, joins it with fixed
+//!   background tenants, and plays a seeded workload mix through the
+//!   deterministic `amdrel-runtime` simulator;
+//! * [`ParetoArchive`] — the non-dominated frontier over the selected
+//!   objective vector (any arity), with deterministic iteration order
+//!   and deterministic post-search pruning;
 //! * [`SearchStrategy`] — pluggable search: [`Exhaustive`] (the parallel
 //!   grid sweep), [`RandomSampling`], and [`SimulatedAnnealing`], all
 //!   seeded from [`amdrel_core::rng::SplitMix64`] so frontiers are
 //!   bit-reproducible and `--jobs`-independent;
 //! * [`explore`] / [`ExploreReport`] — one-call driver with effort
-//!   counters, a paper-style table, and [`json`] rendering.
+//!   counters, a paper-style table, and [`json`] rendering (schema
+//!   `amdrel-explore/v2`).
 //!
 //! # Examples
 //!
@@ -78,14 +88,18 @@
 #![warn(missing_debug_implementations)]
 
 mod archive;
+mod contention;
 mod eval;
 pub mod json;
+mod objective;
 mod report;
 mod space;
 mod strategy;
 
 pub use archive::{Insert, ParetoArchive};
-pub use eval::{EvalStats, Evaluator, Objectives, PointEval};
+pub use contention::{ContentionMetrics, RuntimeEvaluator};
+pub use eval::{EvalStats, Evaluator, PointEval};
+pub use objective::{Objective, ObjectiveSet, Objectives};
 pub use report::{explore, ExploreReport};
 pub use space::{DesignSpace, PointIdx};
 pub use strategy::{Exhaustive, ExploreConfig, RandomSampling, SearchStrategy, SimulatedAnnealing};
@@ -137,17 +151,15 @@ mod tests {
             datapath: "two 2x2 CGCs".to_owned(),
             kernels_moved: 0,
             initial_cycles: cycles.max(1) * 2,
-            objectives: Objectives {
-                cycles,
-                area,
-                energy,
-            },
+            cycles,
             energy: EnergyBreakdown {
                 e_fpga_ops: energy,
                 e_reconfig: 0,
                 e_cgc_ops: 0,
                 e_comm: 0,
             },
+            contention: None,
+            objectives: Objectives::new(vec![cycles, area, energy]),
             met: true,
         }
     }
@@ -178,14 +190,9 @@ mod tests {
         // The grid-wide cycle optimum is on the frontier.
         let mut best = u64::MAX;
         for flat in 0..space.len() {
-            best = best.min(
-                eval.evaluate(&space, space.point(flat))
-                    .unwrap()
-                    .objectives
-                    .cycles,
-            );
+            best = best.min(eval.evaluate(&space, space.point(flat)).unwrap().cycles);
         }
-        assert_eq!(report.best_cycles().unwrap().objectives.cycles, best);
+        assert_eq!(report.best_cycles().unwrap().cycles, best);
     }
 
     #[test]
@@ -287,7 +294,8 @@ mod tests {
                 energy_of_assignment(&c.cdfg, &a, &platform, &EnergyModel::default(), &assignment)
                     .unwrap();
             assert_eq!(p.energy, oracle, "budget {budget}");
-            assert_eq!(p.objectives.energy, oracle.total());
+            assert_eq!(p.energy_total(), oracle.total());
+            assert_eq!(p.objectives.values()[2], oracle.total());
         }
     }
 
@@ -330,8 +338,8 @@ mod tests {
         archive.prune_to(5);
         assert_eq!(archive.len(), 5);
         let frontier = archive.frontier();
-        assert!(frontier.iter().any(|p| p.objectives.cycles == best_cycles));
-        assert!(frontier.iter().any(|p| p.objectives.area == best_area));
+        assert!(frontier.iter().any(|p| p.cycles == best_cycles));
+        assert!(frontier.iter().any(|p| p.area == best_area));
     }
 
     #[test]
@@ -347,7 +355,7 @@ mod tests {
         archive.prune_to(4);
         assert_eq!(archive, once);
         // The cycle minimiser survived.
-        assert_eq!(archive.frontier()[0].objectives.cycles, 951);
+        assert_eq!(archive.frontier()[0].cycles, 951);
     }
 
     #[test]
@@ -367,12 +375,76 @@ mod tests {
         )
         .unwrap();
         let json = json::report_to_json(&report);
-        assert!(json.contains("\"schema\": \"amdrel-explore/v1\""));
+        assert!(json.contains("\"schema\": \"amdrel-explore/v2\""));
+        assert!(json.contains("\"objectives\": [\"cycles\", \"area\", \"energy\"]"));
         assert!(json.contains("\"frontier\""));
         assert_eq!(
             json.matches("{\"area\":").count(),
             report.frontier.len(),
             "one object per frontier member"
+        );
+    }
+
+    #[test]
+    fn runtime_objectives_extend_the_vector_and_memoise_sims() {
+        use amdrel_runtime::{AppProfile, Fcfs};
+        let (c, a) = toy();
+        let base = Platform::paper(1500, 2);
+        let cache = MappingCache::new();
+        let background = vec![AppProfile::synthetic("bg", 0, 9_000, 2_500, vec![600])];
+        let contention = RuntimeEvaluator::new(background, Box::new(Fcfs))
+            .with_seed(11)
+            .with_njobs(48)
+            .with_load(125);
+        let eval = Evaluator::new("toy", &c.cdfg, &a, &base, EnergyModel::default(), &cache)
+            .with_objectives(ObjectiveSet::parse("cycles,area,energy,p95").unwrap())
+            .with_runtime(&contention);
+        let space = toy_space();
+        let p = PointIdx {
+            area: 1,
+            datapath: 0,
+            budget: 1,
+        };
+        let first = eval.evaluate(&space, p).unwrap();
+        assert_eq!(first.objectives.len(), 4);
+        let metrics = first.contention.expect("runtime objective scored");
+        assert_eq!(first.objectives.values()[3], metrics.p95_latency);
+        assert!(metrics.completed + metrics.rejected == 48);
+        // Re-evaluating the same point reuses the memoised simulation.
+        let again = eval.evaluate(&space, p).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(eval.stats().sim_runs, 1, "one point, one simulation");
+        // A different budget is a different candidate profile → new sim.
+        let other = eval
+            .evaluate(
+                &space,
+                PointIdx {
+                    area: 1,
+                    datapath: 0,
+                    budget: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(eval.stats().sim_runs, 2);
+        assert_ne!(other.contention, first.contention);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a RuntimeEvaluator")]
+    fn runtime_objectives_without_scorer_panic() {
+        let (c, a) = toy();
+        let base = Platform::paper(1500, 2);
+        let cache = MappingCache::new();
+        let eval = Evaluator::new("toy", &c.cdfg, &a, &base, EnergyModel::default(), &cache)
+            .with_objectives(ObjectiveSet::parse("cycles,p95").unwrap());
+        let space = toy_space();
+        let _ = eval.evaluate(
+            &space,
+            PointIdx {
+                area: 0,
+                datapath: 0,
+                budget: 0,
+            },
         );
     }
 }

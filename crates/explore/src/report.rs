@@ -9,14 +9,18 @@ use amdrel_core::{CacheStats, CoreError};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
-/// Everything one exploration produced: provenance (app, strategy, seed),
-/// effort counters, and the Pareto frontier.
+/// Everything one exploration produced: provenance (app, strategy, seed,
+/// objective selection), effort counters, and the Pareto frontier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExploreReport {
     /// Application label.
     pub app: String,
     /// Strategy identifier ([`SearchStrategy::name`]).
     pub strategy: String,
+    /// Canonical names of the minimised objectives, in vector order
+    /// (aligned with every frontier member's
+    /// [`objectives`](PointEval::objectives)).
+    pub objectives: Vec<String>,
     /// The RNG seed used.
     pub seed: u64,
     /// The evaluation budget requested.
@@ -33,36 +37,66 @@ pub struct ExploreReport {
     pub stats: EvalStats,
     /// Mapping work this exploration added on the shared cache.
     pub cache: CacheStats,
-    /// The Pareto frontier, sorted ascending by `(cycles, area, energy)`.
+    /// The Pareto frontier, sorted ascending by `(objectives, point)`.
     pub frontier: Vec<PointEval>,
 }
 
 impl ExploreReport {
-    /// The frontier member with the fewest total cycles (the frontier is
-    /// cycle-sorted, so this is its first entry).
+    /// The frontier member with the fewest total cycles (smallest
+    /// point index on ties).
     pub fn best_cycles(&self) -> Option<&PointEval> {
-        self.frontier.first()
+        self.frontier.iter().min_by_key(|p| (p.cycles, p.point))
     }
 
-    /// The frontier member with the smallest FPGA area (smallest cycle
-    /// count on ties).
+    /// The frontier member with the smallest FPGA area (fewest cycles,
+    /// then smallest point index, on ties).
     pub fn best_area(&self) -> Option<&PointEval> {
-        self.frontier.iter().min_by_key(|p| p.objectives.area)
+        self.frontier
+            .iter()
+            .min_by_key(|p| (p.area, p.cycles, p.point))
     }
 
-    /// The frontier member with the lowest energy (smallest cycle count
-    /// on ties).
+    /// The frontier member with the lowest energy (fewest cycles, then
+    /// smallest point index, on ties).
     pub fn best_energy(&self) -> Option<&PointEval> {
-        self.frontier.iter().min_by_key(|p| p.objectives.energy)
+        self.frontier
+            .iter()
+            .min_by_key(|p| (p.energy_total(), p.cycles, p.point))
+    }
+
+    /// The frontier member with the lowest simulated p95 latency
+    /// (`None` when the exploration ran without runtime objectives).
+    pub fn best_p95(&self) -> Option<&PointEval> {
+        self.frontier
+            .iter()
+            .filter(|p| p.contention.is_some())
+            .min_by_key(|p| {
+                (
+                    p.contention.as_ref().expect("filtered").p95_latency,
+                    p.cycles,
+                    p.point,
+                )
+            })
+    }
+
+    /// `true` if the frontier carries contention metrics (a runtime
+    /// objective was selected).
+    pub fn has_contention(&self) -> bool {
+        self.frontier.iter().any(|p| p.contention.is_some())
     }
 
     /// Render the report as a paper-style text table.
     pub fn format_table(&self) -> String {
+        let contention = self.has_contention();
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{} design-space exploration — strategy {} (seed {}, budget {})",
-            self.app, self.strategy, self.seed, self.eval_budget
+            "{} design-space exploration — strategy {} (seed {}, budget {}, objectives {})",
+            self.app,
+            self.strategy,
+            self.seed,
+            self.eval_budget,
+            self.objectives.join(",")
         );
         let _ = writeln!(
             out,
@@ -71,33 +105,54 @@ impl ExploreReport {
         );
         let _ = writeln!(
             out,
-            "effort: {} points evaluated, {} engine runs, {} cell-cache hits; \
+            "effort: {} points evaluated, {} engine runs, {} cell-cache hits, {} workload sims; \
              mappings: {} fine + {} coarse computed, {} served from cache",
             self.stats.points_evaluated,
             self.stats.engine_runs,
             self.stats.cell_hits,
+            self.stats.sim_runs,
             self.cache.fine_misses,
             self.cache.coarse_misses,
             self.cache.hits(),
         );
         let _ = writeln!(out, "Pareto frontier ({} points):", self.frontier.len());
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{:<8} {:<16} {:<8} {:<14} {:<9} {:<14} {:<4}",
             "A_FPGA", "datapath", "kernels", "final cycles", "speedup", "energy", "met"
         );
+        if contention {
+            let _ = write!(out, " {:<12} {:<10}", "p95 latency", "jobs/Mcyc");
+        }
+        out.push('\n');
         for p in &self.frontier {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{:<8} {:<16} {:<8} {:<14} {:<9} {:<14} {:<4}",
                 p.area,
                 p.datapath.trim_end_matches(" CGCs"),
                 p.kernels_moved,
-                p.objectives.cycles,
+                p.cycles,
                 format!("{:.2}x", p.speedup()),
-                p.objectives.energy,
+                p.energy_total(),
                 if p.met { "yes" } else { "NO" },
             );
+            if contention {
+                match &p.contention {
+                    Some(c) => {
+                        let _ = write!(
+                            out,
+                            " {:<12} {:<10}",
+                            c.p95_latency,
+                            format!("{:.2}", c.jobs_per_mcycle())
+                        );
+                    }
+                    None => {
+                        let _ = write!(out, " {:<12} {:<10}", "-", "-");
+                    }
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -108,7 +163,10 @@ impl ExploreReport {
 /// Effort counters are reported as the *delta* this call added, so one
 /// evaluator (and its shared [`amdrel_core::MappingCache`]) can serve
 /// several strategies in sequence — later strategies then inherit warm
-/// caches, exactly like a production sweep service would.
+/// caches, exactly like a production sweep service would. The objective
+/// selection lives on the evaluator ([`Evaluator::with_objectives`]),
+/// so one call explores under whatever vector — static or
+/// contention-aware — the evaluator was configured with.
 ///
 /// # Errors
 ///
@@ -128,6 +186,12 @@ pub fn explore(
     Ok(ExploreReport {
         app: eval.app().to_owned(),
         strategy: strategy.name().to_owned(),
+        objectives: eval
+            .objectives()
+            .names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
         seed: config.seed,
         eval_budget: config.eval_budget,
         jobs: config.jobs,

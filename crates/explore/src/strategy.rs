@@ -47,7 +47,44 @@ impl Default for ExploreConfig {
 /// Implementations must be deterministic in `(space, config.seed)`: the
 /// archive they leave behind may not depend on thread timing or
 /// `config.jobs` (the built-in three all guarantee this; the archive's
-/// order-independent insertion makes it easy to uphold).
+/// order-independent insertion makes it easy to uphold). Strategies are
+/// objective-agnostic: the evaluator prices each point on its configured
+/// [`ObjectiveSet`](crate::ObjectiveSet), and the archive keeps the
+/// frontier at whatever arity those vectors have.
+///
+/// # Examples
+///
+/// A custom strategy is one method: evaluate points, offer them to the
+/// archive.
+///
+/// ```
+/// use amdrel_core::CoreError;
+/// use amdrel_explore::{
+///     DesignSpace, Evaluator, ExploreConfig, ParetoArchive, SearchStrategy,
+/// };
+///
+/// /// Evaluate the first `eval_budget` points in flat order.
+/// struct Prefix;
+///
+/// impl SearchStrategy for Prefix {
+///     fn name(&self) -> &'static str {
+///         "prefix"
+///     }
+///
+///     fn run(
+///         &self,
+///         space: &DesignSpace,
+///         eval: &Evaluator<'_>,
+///         config: &ExploreConfig,
+///         archive: &mut ParetoArchive,
+///     ) -> Result<(), CoreError> {
+///         for flat in 0..space.len().min(config.eval_budget) {
+///             archive.insert(eval.evaluate(space, space.point(flat))?);
+///         }
+///         Ok(())
+///     }
+/// }
+/// ```
 pub trait SearchStrategy {
     /// Short identifier (CLI `--strategy` value, report label).
     fn name(&self) -> &'static str;
@@ -133,7 +170,7 @@ impl SearchStrategy for RandomSampling {
 /// (budget moves are drawn twice as often — they re-price an existing
 /// cell for free, while area/datapath moves cost an engine run), with an
 /// occasional uniform restart jump to escape local minima. Acceptance
-/// uses a scalarised cost (the three objectives normalised by the first
+/// uses a scalarised cost (the objective vector normalised by the first
 /// evaluated point and averaged) under a geometrically cooling
 /// temperature; *every* evaluated candidate is offered to the archive, so
 /// the returned frontier reflects the whole trajectory, not just the
@@ -211,15 +248,20 @@ impl SearchStrategy for SimulatedAnnealing {
             eval.evaluate(space, space.point(rng.below(space.len() as u64) as usize))?;
         archive.insert(current.clone());
         // Normalise each objective by the starting point so the scalar
-        // cost is scale-free across applications.
-        let reference = current.objectives.as_array().map(|v| v.max(1) as f64);
-        let cost = |o: &crate::eval::Objectives| -> f64 {
-            o.as_array()
+        // cost is scale-free across applications and objective arities.
+        let reference: Vec<f64> = current
+            .objectives
+            .values()
+            .iter()
+            .map(|&v| v.max(1) as f64)
+            .collect();
+        let cost = |o: &crate::Objectives| -> f64 {
+            o.values()
                 .iter()
                 .zip(&reference)
                 .map(|(&v, r)| v as f64 / r)
                 .sum::<f64>()
-                / 3.0
+                / reference.len() as f64
         };
         let mut current_cost = cost(&current.objectives);
         let mut temp = self.initial_temp;

@@ -22,7 +22,9 @@
 //! * [`run_simulation`] — the deterministic discrete-event simulator
 //!   (events totally ordered by `(time, sequence)`), with a
 //!   configuration cache, optional bitstream prefetch and an admission
-//!   bound ([`SimConfig`]);
+//!   bound ([`SimConfig`]); [`simulate_mix`] is the one-shot
+//!   `spec → jobs → report` convenience used by external scorers such
+//!   as `amdrel-explore`'s contention-aware objectives;
 //! * [`RuntimeReport`] — per-app latency percentiles, CGC/FPGA
 //!   utilization, reconfiguration loads and stall cycles, rejection
 //!   counts; renders as a table or JSON (schema `amdrel-simulate/v1`).
@@ -66,5 +68,5 @@ pub use policy::{
 };
 pub use profile::{AppProfile, ConfigId, FabricConfig};
 pub use report::{report_to_json, AppStats, RuntimeReport};
-pub use sim::{run_simulation, SimConfig};
+pub use sim::{run_simulation, simulate_mix, SimConfig};
 pub use workload::{AppShare, Job, WorkloadSpec};

@@ -279,6 +279,48 @@ pub fn run_simulation(
     state.run()
 }
 
+/// One-shot convenience: generate `spec`'s seeded job stream against
+/// `profiles` and play it through [`run_simulation`].
+///
+/// This is the entry point external scorers use (e.g. the
+/// contention-aware objectives in `amdrel-explore`): everything a run
+/// needs travels in the arguments, and identical arguments produce a
+/// bit-identical [`RuntimeReport`].
+///
+/// # Panics
+///
+/// As [`WorkloadSpec::generate`](crate::WorkloadSpec::generate) and
+/// [`run_simulation`] (empty mix, out-of-range app indices, coarse work
+/// with no CGCs).
+///
+/// # Examples
+///
+/// ```
+/// use amdrel_core::Platform;
+/// use amdrel_runtime::{simulate_mix, AppProfile, Fcfs, SimConfig, WorkloadSpec};
+///
+/// let profiles = vec![AppProfile::synthetic("app", 0, 5_000, 1_000, vec![400])];
+/// let spec = WorkloadSpec::uniform(42, 32, &profiles, 110);
+/// let report = simulate_mix(
+///     &profiles,
+///     &spec,
+///     &Platform::paper(1500, 2),
+///     &Fcfs,
+///     &SimConfig::default(),
+/// );
+/// assert_eq!(report.arrived(), 32);
+/// ```
+pub fn simulate_mix(
+    profiles: &[crate::AppProfile],
+    spec: &crate::WorkloadSpec,
+    platform: &Platform,
+    policy: &dyn SchedulePolicy,
+    config: &SimConfig,
+) -> RuntimeReport {
+    let jobs = spec.generate(profiles);
+    run_simulation(profiles, &jobs, platform, policy, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,28 @@ impl Job {
 }
 
 /// A seeded arrival process over an application mix.
+///
+/// # Examples
+///
+/// ```
+/// use amdrel_runtime::{AppProfile, AppShare, WorkloadSpec};
+///
+/// let profiles = vec![
+///     AppProfile::synthetic("interactive", 2, 5_000, 1_500, vec![400]),
+///     AppProfile::synthetic("batch", 0, 40_000, 9_000, vec![900]),
+/// ];
+/// let spec = WorkloadSpec {
+///     seed: 42,
+///     jobs: 64,
+///     mean_interarrival: 10_000,
+///     mix: vec![AppShare { app: 0, weight: 3 }, AppShare { app: 1, weight: 1 }],
+/// };
+/// let jobs = spec.generate(&profiles);
+/// assert_eq!(jobs.len(), 64);
+/// // Prefix-stable: growing the stream never rewrites history.
+/// let longer = WorkloadSpec { jobs: 128, ..spec.clone() }.generate(&profiles);
+/// assert_eq!(jobs[..], longer[..64]);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
     /// Master seed; every derived stream forks from it.
@@ -75,18 +97,31 @@ impl WorkloadSpec {
     ///
     /// Panics if `profiles` is empty or `load_percent == 0`.
     pub fn uniform(seed: u64, jobs: usize, profiles: &[AppProfile], load_percent: u64) -> Self {
-        assert!(!profiles.is_empty(), "need at least one application");
-        assert!(load_percent > 0, "offered load must be positive");
-        let mean_fine: u64 =
-            profiles.iter().map(|p| p.fine_cycles).sum::<u64>() / profiles.len() as u64;
         WorkloadSpec {
             seed,
             jobs,
-            mean_interarrival: (mean_fine * 100 / load_percent).max(1),
+            mean_interarrival: WorkloadSpec::mean_interarrival_for(profiles, load_percent),
             mix: (0..profiles.len())
                 .map(|app| AppShare { app, weight: 1 })
                 .collect(),
         }
+    }
+
+    /// The mean inter-arrival gap that offers `load_percent`% of
+    /// `profiles`' average fine-grain demand — [`Self::uniform`]'s
+    /// pacing rule, exposed so callers that pin an absolute arrival
+    /// rate (e.g. contention-aware exploration) derive it from the
+    /// same convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or `load_percent == 0`.
+    pub fn mean_interarrival_for(profiles: &[AppProfile], load_percent: u64) -> u64 {
+        assert!(!profiles.is_empty(), "need at least one application");
+        assert!(load_percent > 0, "offered load must be positive");
+        let mean_fine: u64 =
+            profiles.iter().map(|p| p.fine_cycles).sum::<u64>() / profiles.len() as u64;
+        (mean_fine * 100 / load_percent).max(1)
     }
 
     /// Generate the arrival stream against `profiles`.

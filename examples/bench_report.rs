@@ -1,12 +1,16 @@
 //! Machine-readable perf baseline: run the engine/sweep micro-benchmarks
 //! and write `BENCH_engine.json` with the mean ns per operation, one
 //! seeded exploration per search strategy into `BENCH_explore.json` with
-//! its effort counters, and one seeded 3-app runtime simulation per
-//! scheduling policy into `BENCH_runtime.json` (simulated throughput,
-//! latency percentiles, reconfiguration-stall share, wall-clock
-//! simulation speed), so the perf, search-efficiency and
-//! servable-workload trajectories can all be tracked PR over PR (and
-//! checked in CI without the full bench harness).
+//! its effort counters, the static-vs-contention co-exploration
+//! frontiers into `BENCH_explore_contention.json` (including the
+//! platform points only the contention-aware search surfaces), and one
+//! seeded 3-app runtime simulation per scheduling policy into
+//! `BENCH_runtime.json` (simulated throughput, latency percentiles,
+//! reconfiguration-stall share, wall-clock simulation speed), so the
+//! perf, search-efficiency and servable-workload trajectories can all
+//! be tracked PR over PR (and checked in CI without the full bench
+//! harness). Each file's schema and regression signatures are
+//! documented in `docs/BENCHMARKS.md`.
 //!
 //! Run with: `cargo run --release --example bench_report`
 
@@ -116,6 +120,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         explore_rows.push(result);
     }
 
+    // --- Contention-aware co-exploration on OFDM: the static exhaustive
+    //     frontier vs the 4-objective (… + p95) frontier scored by
+    //     simulating the seeded standard mix on every candidate
+    //     platform, for BENCH_explore_contention.json (the acceptance
+    //     baseline asserted by crates/apps/tests/explore_contention.rs).
+    let contention = amdrel::apps::runtime::contention_evaluator("ofdm", &platform)?;
+    let contention_objectives = ObjectiveSet::parse("cycles,area,energy,p95")?;
+    let shared_cache = MappingCache::new();
+    let static_eval = Evaluator::new(
+        &workload.name,
+        &program.cdfg,
+        &ofdm_analysis,
+        &platform,
+        EnergyModel::default(),
+        &shared_cache,
+    );
+    let static_frontier = explore(&static_eval, &space, &Exhaustive, &config)?;
+    let contention_eval = Evaluator::new(
+        &workload.name,
+        &program.cdfg,
+        &ofdm_analysis,
+        &platform,
+        EnergyModel::default(),
+        &shared_cache,
+    )
+    .with_objectives(contention_objectives)
+    .with_runtime(&contention);
+    let start = Instant::now();
+    let contention_frontier = explore(&contention_eval, &space, &Exhaustive, &config)?;
+    report.push((
+        "explore/contention_exhaustive".into(),
+        start.elapsed().as_nanos() as f64,
+        1,
+    ));
+
     // --- Runtime simulator on the seeded 3-app standard mix: one
     //     simulation per scheduling policy for BENCH_runtime.json, plus
     //     a wall-clock timing of the FCFS run for the perf report.
@@ -186,10 +225,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("  \"strategies\": [\n");
     for (i, r) in explore_rows.iter().enumerate() {
         let comma = if i + 1 == explore_rows.len() { "" } else { "," };
-        let best = r
-            .best_cycles()
-            .map(|p| p.objectives.cycles)
-            .unwrap_or(u64::MAX);
+        let best = r.best_cycles().map(|p| p.cycles).unwrap_or(u64::MAX);
         let _ = writeln!(
             json,
             "    {{ \"name\": \"{}\", \"points_evaluated\": {}, \"engine_runs\": {}, \
@@ -204,6 +240,94 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_explore.json", &json)?;
+
+    // --- Emit BENCH_explore_contention.json: both frontiers of the
+    //     co-exploration plus the platform points only the
+    //     contention-aware search surfaces.
+    let frontier_row = |p: &PointEval| -> String {
+        let mut row = format!(
+            "{{ \"area\": {}, \"datapath\": \"{}\", \"kernels_moved\": {}, \
+             \"final_cycles\": {}, \"energy\": {}",
+            p.area,
+            amdrel::core::json::escape(&p.datapath),
+            p.kernels_moved,
+            p.cycles,
+            p.energy_total(),
+        );
+        if let Some(c) = &p.contention {
+            let _ = write!(
+                row,
+                ", \"p95_latency\": {}, \"cycles_per_job\": {}",
+                c.p95_latency, c.cycles_per_job
+            );
+        }
+        row.push_str(" }");
+        row
+    };
+    let static_points: std::collections::BTreeSet<_> =
+        static_frontier.frontier.iter().map(|p| p.point).collect();
+    let added: Vec<&PointEval> = contention_frontier
+        .frontier
+        .iter()
+        .filter(|p| !static_points.contains(&p.point))
+        .collect();
+    let mut json = String::from("{\n  \"schema\": \"amdrel-explore-contention-report/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"app\": \"{}\",",
+        amdrel::core::json::escape(&workload.name)
+    );
+    let _ = writeln!(
+        json,
+        "  \"space\": {{ \"points\": {}, \"cells\": {}, \"constraint\": {} }},",
+        space.len(),
+        space.cells(),
+        space.constraint
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{ \"seed\": {}, \"njobs\": {}, \"load_percent\": {}, \
+         \"policy\": \"{}\", \"background\": {} }},",
+        contention.seed(),
+        contention.njobs(),
+        contention.load_percent(),
+        contention.policy_name(),
+        amdrel::core::json::string_array(
+            &contention
+                .background()
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>()
+        ),
+    );
+    let _ = writeln!(
+        json,
+        "  \"objectives\": {},",
+        amdrel::core::json::string_array(&contention_frontier.objectives)
+    );
+    let _ = writeln!(
+        json,
+        "  \"effort\": {{ \"engine_runs\": {}, \"sim_runs\": {} }},",
+        contention_frontier.stats.engine_runs, contention_frontier.stats.sim_runs
+    );
+    for (key, frontier) in [
+        ("static_frontier", &static_frontier.frontier),
+        ("contention_frontier", &contention_frontier.frontier),
+    ] {
+        let _ = writeln!(json, "  \"{key}\": [");
+        for (i, p) in frontier.iter().enumerate() {
+            let comma = if i + 1 == frontier.len() { "" } else { "," };
+            let _ = writeln!(json, "    {}{comma}", frontier_row(p));
+        }
+        json.push_str("  ],\n");
+    }
+    let _ = writeln!(json, "  \"added_platform_points\": [");
+    for (i, p) in added.iter().enumerate() {
+        let comma = if i + 1 == added.len() { "" } else { "," };
+        let _ = writeln!(json, "    {}{comma}", frontier_row(p));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_explore_contention.json", &json)?;
 
     // --- Emit BENCH_runtime.json: the servable-workload baseline on the
     //     seeded 3-app mix, per policy.
@@ -252,6 +376,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, ns, iters) in &report {
         println!("{name:<40} {ns:>14.1} {iters:>10}");
     }
-    println!("\nwrote BENCH_engine.json, BENCH_explore.json and BENCH_runtime.json");
+    println!(
+        "\nwrote BENCH_engine.json, BENCH_explore.json, BENCH_explore_contention.json \
+         and BENCH_runtime.json"
+    );
     Ok(())
 }

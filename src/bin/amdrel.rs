@@ -9,6 +9,8 @@
 //! amdrel explore   <src.c> [--strategy exhaustive|random|sa] [--seed S]
 //!                  [--budget N] [--jobs N] [--json] [--constraint N]
 //!                  [--areas A,A,..] [--cgc-list K,K,..] [--max-kernels K]
+//!                  [--objectives cycles,area,energy,p95,throughput]
+//!                  [--policy fcfs|sjf|priority|affinity] [--njobs N] [--load PCT]
 //!                  [--input name=v,v,..]...
 //! amdrel simulate  [--app ofdm|jpeg|sobel]... [--policy fcfs|sjf|priority|affinity]
 //!                  [--seed S] [--njobs N] [--load PCT | --arrival CYCLES]
@@ -21,6 +23,16 @@
 //! subset); `--input` binds global arrays before profiling. `simulate`
 //! takes no source file — it plays a seeded multi-tenant workload of the
 //! built-in case studies through the runtime simulator.
+//!
+//! `explore --objectives` selects the minimised objective vector
+//! (default `cycles,area,energy`). Adding `p95` and/or `throughput`
+//! scores every candidate platform by simulating a seeded workload mix
+//! on it — the source being explored plus the three built-in case
+//! studies as background tenants — under `--policy` (default `fcfs`),
+//! with `--njobs` jobs (default 64) at `--load` percent offered
+//! fine-grain load (default 130). The arrival rate is pinned from the
+//! background mix on the base platform, so every candidate platform
+//! sees identical offered traffic.
 //!
 //! Exit status: `amdrel <cmd> --help` prints that subcommand's usage on
 //! stdout and exits 0; an unknown subcommand or malformed flags print
@@ -54,7 +66,9 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
         "explore",
         "amdrel explore <src.c> [--strategy exhaustive|random|sa] [--seed S] [--budget N] \
          [--jobs N] [--json] [--constraint N] [--areas A,A,..] [--cgc-list K,K,..] \
-         [--max-kernels K] [--input name=v,v,..]...",
+         [--max-kernels K] [--objectives cycles,area,energy,p95,throughput] \
+         [--policy fcfs|sjf|priority|affinity] [--njobs N] [--load PCT] \
+         [--input name=v,v,..]...",
     ),
     (
         "simulate",
@@ -104,6 +118,7 @@ struct Options {
     jobs: usize,
     json: bool,
     max_kernels: usize,
+    objectives: String,
     apps: Vec<String>,
     policy: String,
     njobs: usize,
@@ -138,6 +153,7 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
         jobs: 0,
         json: false,
         max_kernels: 8,
+        objectives: "cycles,area,energy".to_owned(),
         apps: Vec::new(),
         policy: "fcfs".to_owned(),
         njobs: 64,
@@ -240,6 +256,7 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
                     .parse()
                     .map_err(|e| format!("--max-kernels: {e}"))?;
             }
+            "--objectives" => opts.objectives = value_of("--objectives")?,
             "--app" => {
                 let v = value_of("--app")?;
                 opts.apps
@@ -436,6 +453,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "explore" => {
+            let objectives = ObjectiveSet::parse(&opts.objectives)?;
             let (program, analysis) = analyzed(&opts)?;
             let strategy: Box<dyn SearchStrategy> = match opts.strategy.as_str() {
                 "exhaustive" => Box::new(Exhaustive),
@@ -449,6 +467,34 @@ fn run(args: Vec<String>) -> Result<(), String> {
             };
             let base = Platform::paper(opts.areas[0], opts.cgc_list[0]);
             let cache = MappingCache::new();
+            // Contention-aware objectives score each candidate platform
+            // by simulating the explored source alongside the built-in
+            // case studies as background tenants.
+            let contention = if objectives.needs_runtime() {
+                let policy = policy_by_name(&opts.policy).ok_or_else(|| {
+                    format!(
+                        "unknown policy '{}' (expected fcfs, sjf, priority or affinity)",
+                        opts.policy
+                    )
+                })?;
+                let background = amdrel::apps::runtime::standard_mix(&base)
+                    .map_err(|e| format!("building background tenants: {e}"))?;
+                // Pin one absolute arrival rate (derived from the
+                // background mix on the base platform) so every
+                // candidate platform is scored under identical offered
+                // traffic, not traffic scaled to its own speed.
+                let load = opts.load.unwrap_or(130);
+                let arrival = WorkloadSpec::mean_interarrival_for(&background, load);
+                Some(
+                    RuntimeEvaluator::new(background, policy)
+                        .with_seed(opts.seed)
+                        .with_njobs(opts.njobs)
+                        .with_load(load)
+                        .with_arrival(arrival),
+                )
+            } else {
+                None
+            };
             // Without --constraint, target half the all-FPGA cycle count
             // of the base configuration (a constraint that forces real
             // partitioning without being unreachable).
@@ -474,14 +520,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 max_kernel_budget: opts.max_kernels.min(analysis.kernels().len()),
                 constraint,
             };
-            let evaluator = Evaluator::new(
+            let mut evaluator = Evaluator::new(
                 &opts.source_path,
                 &program.cdfg,
                 &analysis,
                 &base,
                 EnergyModel::default(),
                 &cache,
-            );
+            )
+            .with_objectives(objectives);
+            if let Some(rt) = &contention {
+                evaluator = evaluator.with_runtime(rt);
+            }
             let config = ExploreConfig {
                 seed: opts.seed,
                 eval_budget: opts.budget,

@@ -77,14 +77,15 @@ pub mod prelude {
         PartitioningEngine, Platform,
     };
     pub use amdrel_explore::{
-        explore, DesignSpace, Evaluator, Exhaustive, ExploreConfig, ExploreReport, ParetoArchive,
-        PointEval, PointIdx, RandomSampling, SearchStrategy, SimulatedAnnealing,
+        explore, ContentionMetrics, DesignSpace, Evaluator, Exhaustive, ExploreConfig,
+        ExploreReport, Objective, ObjectiveSet, Objectives, ParetoArchive, PointEval, PointIdx,
+        RandomSampling, RuntimeEvaluator, SearchStrategy, SimulatedAnnealing,
     };
     pub use amdrel_finegrain::{FpgaDevice, ReconfigPolicy};
     pub use amdrel_minic::compile;
     pub use amdrel_profiler::{AnalysisReport, Interpreter, WeightTable};
     pub use amdrel_runtime::{
-        policy_by_name, run_simulation, AppProfile, AppShare, ConfigAffinity, Fcfs, PriorityFirst,
-        RuntimeReport, SchedulePolicy, ShortestJobFirst, SimConfig, WorkloadSpec,
+        policy_by_name, run_simulation, simulate_mix, AppProfile, AppShare, ConfigAffinity, Fcfs,
+        PriorityFirst, RuntimeReport, SchedulePolicy, ShortestJobFirst, SimConfig, WorkloadSpec,
     };
 }

@@ -136,7 +136,7 @@ fn explore_prints_frontier_table_and_json() {
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(
-        stdout.contains("strategy sa (seed 42, budget 24)"),
+        stdout.contains("strategy sa (seed 42, budget 24, objectives cycles,area,energy)"),
         "{stdout}"
     );
     assert!(stdout.contains("Pareto frontier"), "{stdout}");
@@ -152,12 +152,34 @@ fn explore_prints_frontier_table_and_json() {
         "--json",
     ]);
     assert!(ok, "stderr: {stderr}");
-    assert!(json.contains("\"schema\": \"amdrel-explore/v1\""), "{json}");
+    assert!(json.contains("\"schema\": \"amdrel-explore/v2\""), "{json}");
+    assert!(
+        json.contains("\"objectives\": [\"cycles\", \"area\", \"energy\"]"),
+        "{json}"
+    );
     assert!(json.contains("\"frontier\""), "{json}");
     assert!(
         json.contains("\"engine_runs\": 4"),
         "one run per cell: {json}"
     );
+    assert!(
+        !json.contains("\"contention\""),
+        "static objectives carry no contention block: {json}"
+    );
+}
+
+#[test]
+fn explore_rejects_unknown_objectives() {
+    let src = write_source("fir_objectives.c", FIR);
+    let (ok, _, stderr) = amdrel(&[
+        "explore",
+        src.to_str().unwrap(),
+        "--objectives",
+        "cycles,latency",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown objective 'latency'"), "{stderr}");
+    assert!(stderr.contains("usage: amdrel"), "{stderr}");
 }
 
 #[test]
