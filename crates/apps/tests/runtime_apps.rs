@@ -6,9 +6,10 @@
 use amdrel_apps::runtime::standard_mix;
 use amdrel_core::Platform;
 use amdrel_runtime::{
-    policy_by_name, run_simulation, AppProfile, AppShare, Fcfs, PriorityFirst, ShortestJobFirst,
-    SimConfig, WorkloadSpec,
+    policy_by_name, AppProfile, AppShare, Fcfs, PriorityFirst, ShortestJobFirst, SimConfig,
+    Simulation, WorkloadSpec,
 };
+use std::num::NonZeroUsize;
 use std::sync::OnceLock;
 
 /// The standard mix on the paper's small platform, built once
@@ -66,9 +67,9 @@ fn profiles_are_three_distinct_tenants() {
 fn sjf_beats_fcfs_on_p95_latency() {
     let (platform, profiles) = mix();
     let jobs = stream(profiles);
-    let config = SimConfig::default();
-    let fcfs = run_simulation(profiles, &jobs, platform, &Fcfs, &config);
-    let sjf = run_simulation(profiles, &jobs, platform, &ShortestJobFirst, &config);
+    let sim = Simulation::new(platform).profiles(profiles);
+    let fcfs = sim.policy(&Fcfs).run(&jobs);
+    let sjf = sim.policy(&ShortestJobFirst).run(&jobs);
     assert_eq!(fcfs.arrived(), 160);
     assert_eq!(fcfs.completed(), sjf.completed(), "work-conserving drain");
     assert!(
@@ -83,9 +84,9 @@ fn sjf_beats_fcfs_on_p95_latency() {
 fn priority_policy_protects_the_urgent_tenant() {
     let (platform, profiles) = mix();
     let jobs = stream(profiles);
-    let config = SimConfig::default();
-    let fcfs = run_simulation(profiles, &jobs, platform, &Fcfs, &config);
-    let prio = run_simulation(profiles, &jobs, platform, &PriorityFirst, &config);
+    let sim = Simulation::new(platform).profiles(profiles);
+    let fcfs = sim.policy(&Fcfs).run(&jobs);
+    let prio = sim.policy(&PriorityFirst).run(&jobs);
     // ofdm (priority 2) is profile 0.
     assert!(
         prio.apps[0].p95_latency <= fcfs.apps[0].p95_latency,
@@ -106,9 +107,10 @@ fn reconfiguration_stall_shrinks_with_cache_and_prefetch() {
         prefetch: true,
         ..SimConfig::default()
     };
-    let r_none = run_simulation(profiles, &jobs, platform, &Fcfs, &no_cache);
-    let r_cache = run_simulation(profiles, &jobs, platform, &Fcfs, &cached);
-    let r_pf = run_simulation(profiles, &jobs, platform, &Fcfs, &prefetched);
+    let sim = Simulation::new(platform).profiles(profiles).policy(&Fcfs);
+    let r_none = sim.config(no_cache).run(&jobs);
+    let r_cache = sim.config(cached).run(&jobs);
+    let r_pf = sim.config(prefetched).run(&jobs);
     assert!(
         r_pf.reconfig_stall_cycles > 0,
         "contention still reconfigures"
@@ -138,9 +140,11 @@ fn simulation_on_real_mix_is_bit_deterministic_across_policies() {
     let jobs = stream(profiles);
     for name in ["fcfs", "sjf", "priority", "affinity"] {
         let policy = policy_by_name(name).unwrap();
-        let config = SimConfig::default();
-        let a = run_simulation(profiles, &jobs, platform, policy.as_ref(), &config);
-        let b = run_simulation(profiles, &jobs, platform, policy.as_ref(), &config);
+        let sim = Simulation::new(platform)
+            .profiles(profiles)
+            .policy(policy.as_ref());
+        let a = sim.run(&jobs);
+        let b = sim.run(&jobs);
         assert_eq!(a, b, "policy {name}");
         assert_eq!(
             amdrel_runtime::report_to_json(&a),
@@ -155,10 +159,14 @@ fn admission_bound_sheds_load_under_overload() {
     // Heavier overload to force a standing queue.
     let jobs = WorkloadSpec::uniform(7, 120, profiles, 250).generate(profiles);
     let bounded = SimConfig {
-        queue_bound: 4,
+        queue_bound: NonZeroUsize::new(4),
         ..SimConfig::default()
     };
-    let r = run_simulation(profiles, &jobs, platform, &Fcfs, &bounded);
+    let r = Simulation::new(platform)
+        .profiles(profiles)
+        .policy(&Fcfs)
+        .config(bounded)
+        .run(&jobs);
     assert!(r.rejected() > 0, "250% load against a 4-deep queue rejects");
     assert_eq!(r.arrived(), r.completed() + r.rejected());
 }

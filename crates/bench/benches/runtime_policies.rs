@@ -7,7 +7,7 @@
 
 use amdrel_apps::runtime::standard_mix;
 use amdrel_core::Platform;
-use amdrel_runtime::{policy_by_name, run_simulation, SimConfig, WorkloadSpec};
+use amdrel_runtime::{policy_by_name, Simulation, WorkloadSpec};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -18,7 +18,7 @@ fn bench_runtime_policies(c: &mut Criterion) {
     let profiles = standard_mix(&platform).expect("standard mix builds");
     let spec = WorkloadSpec::uniform(42, 400, &profiles, 130);
     let jobs = spec.generate(&profiles);
-    let config = SimConfig::default();
+    let sim = Simulation::new(&platform).profiles(&profiles);
 
     println!(
         "\n========== Runtime policies (3-app mix, {} jobs at 130% fine-grain load) ==========",
@@ -26,7 +26,7 @@ fn bench_runtime_policies(c: &mut Criterion) {
     );
     for name in POLICIES {
         let policy = policy_by_name(name).expect("built-in policy");
-        let report = run_simulation(&profiles, &jobs, &platform, policy.as_ref(), &config);
+        let report = sim.policy(policy.as_ref()).run(&jobs);
         println!(
             "{:<9} p50 {:>9} p95 {:>9}  {:>6.2} jobs/Mcycle  stall {:>8} ({:>4.1}%)",
             report.policy,
@@ -43,16 +43,9 @@ fn bench_runtime_policies(c: &mut Criterion) {
 
     for name in POLICIES {
         let policy = policy_by_name(name).expect("built-in policy");
+        let run = sim.policy(policy.as_ref());
         c.bench_function(format!("runtime/{name}_400_jobs").as_str(), |b| {
-            b.iter(|| {
-                black_box(run_simulation(
-                    &profiles,
-                    &jobs,
-                    &platform,
-                    policy.as_ref(),
-                    &config,
-                ))
-            })
+            b.iter(|| black_box(run.run(&jobs)))
         });
     }
 }

@@ -94,6 +94,34 @@ pub fn synthetic_app(blocks: usize) -> (amdrel_cdfg::Cdfg, Vec<u64>) {
     (cdfg, freqs)
 }
 
+/// `n` synthetic tenant profiles for runtime scaling studies: varied
+/// service demands (2k–40k fine-grain cycles), priorities, partition
+/// footprints and communication costs, deterministic in `n`. Shared
+/// between the `runtime_scaling` bench and the `bench_report` example so
+/// the committed `BENCH_runtime.json` scaling row and the bench measure
+/// the same tenant population.
+pub fn synthetic_tenants(n: usize) -> Vec<amdrel_runtime::AppProfile> {
+    use amdrel_core::rng::SplitMix64;
+
+    assert!(n >= 1, "a tenant population needs at least one tenant");
+    let mut rng = SplitMix64::new(0x7E4A_4174 ^ n as u64);
+    (0..n)
+        .map(|i| {
+            let parts = 1 + rng.below(3) as usize;
+            let areas: Vec<u64> = (0..parts).map(|_| 50 + rng.below(400)).collect();
+            let mut p = amdrel_runtime::AppProfile::synthetic(
+                &format!("tenant{i:02}"),
+                (i % 4) as u8,
+                2_000 + rng.below(38_000),
+                rng.below(8_000),
+                areas,
+            );
+            p.comm_cycles = rng.below(1_000);
+            p
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +131,16 @@ mod tests {
         let p = ofdm_prepared();
         assert!(!p.analysis.kernels().is_empty());
         assert!(p.execution.instrs_retired > 0);
+    }
+
+    #[test]
+    fn synthetic_tenants_are_deterministic_and_well_formed() {
+        let a = synthetic_tenants(32);
+        assert_eq!(a.len(), 32);
+        assert_eq!(a, synthetic_tenants(32));
+        for t in &a {
+            assert!(t.fine_cycles >= 2_000);
+            assert!(!t.config.partition_areas.is_empty());
+        }
     }
 }

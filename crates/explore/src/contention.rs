@@ -20,7 +20,7 @@
 
 use amdrel_core::Platform;
 use amdrel_runtime::{
-    simulate_mix, AppProfile, FabricConfig, SchedulePolicy, SimConfig, WorkloadSpec,
+    AppProfile, FabricConfig, SchedulePolicy, SimConfig, Simulation, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -216,7 +216,11 @@ impl RuntimeEvaluator {
         if let Some(arrival) = self.arrival {
             spec.mean_interarrival = arrival;
         }
-        let report = simulate_mix(&profiles, &spec, platform, self.policy.as_ref(), &self.sim);
+        let report = Simulation::new(platform)
+            .profiles(&profiles)
+            .policy(self.policy.as_ref())
+            .config(self.sim)
+            .run_mix(&spec);
         let completed = report.completed();
         ContentionMetrics {
             p95_latency: report.p95_latency,

@@ -16,26 +16,30 @@
 //!   and temporal partitioning;
 //! * [`WorkloadSpec`] — a seeded arrival process over an application
 //!   mix, bit-reproducible and prefix-stable, built on
-//!   [`amdrel_core::rng`];
+//!   [`amdrel_core::rng`]; [`WorkloadSpec::generate_streaming`] yields
+//!   the identical stream lazily for million-job runs;
 //! * [`SchedulePolicy`] — pluggable dispatch: [`Fcfs`],
 //!   [`ShortestJobFirst`], [`PriorityFirst`], [`ConfigAffinity`];
-//! * [`run_simulation`] — the deterministic discrete-event simulator
-//!   (events totally ordered by `(time, sequence)`), with a
-//!   configuration cache, optional bitstream prefetch and an admission
-//!   bound ([`SimConfig`]); [`simulate_mix`] is the one-shot
-//!   `spec → jobs → report` convenience used by external scorers such
-//!   as `amdrel-explore`'s contention-aware objectives;
+//! * [`Simulation`] — the builder facade over the deterministic
+//!   discrete-event simulator (calendar-queue event core, events totally
+//!   ordered by `(time, sequence)`), with a configuration cache,
+//!   optional bitstream prefetch, an admission bound ([`SimConfig`])
+//!   and streaming latency aggregation ([`SketchMode`]); the historical
+//!   free functions `run_simulation` / `simulate_mix` remain as
+//!   deprecated shims over it;
+//! * [`LatencySketch`] — deterministic integer-only quantile sketch
+//!   (O(1) memory in the job count) with an exact fallback below
+//!   [`EXACT_THRESHOLD`] jobs;
 //! * [`RuntimeReport`] — per-app latency percentiles, CGC/FPGA
 //!   utilization, reconfiguration loads and stall cycles, rejection
-//!   counts; renders as a table or JSON (schema `amdrel-simulate/v1`).
+//!   counts and percentile provenance ([`LatencySource`]); renders as a
+//!   table or JSON (schema `amdrel-simulate/v2`).
 //!
 //! # Examples
 //!
 //! ```
 //! use amdrel_core::Platform;
-//! use amdrel_runtime::{
-//!     run_simulation, AppProfile, Fcfs, ShortestJobFirst, SimConfig, WorkloadSpec,
-//! };
+//! use amdrel_runtime::{AppProfile, Fcfs, ShortestJobFirst, Simulation, WorkloadSpec};
 //!
 //! // Two tenants: a light interactive app and a heavy batch app.
 //! let profiles = vec![
@@ -44,10 +48,10 @@
 //! ];
 //! let platform = Platform::paper(1500, 2);
 //! let spec = WorkloadSpec::uniform(42, 64, &profiles, 120); // 20% overload
-//! let jobs = spec.generate(&profiles);
 //!
-//! let fcfs = run_simulation(&profiles, &jobs, &platform, &Fcfs, &SimConfig::default());
-//! let sjf = run_simulation(&profiles, &jobs, &platform, &ShortestJobFirst, &SimConfig::default());
+//! let base = Simulation::new(&platform).profiles(&profiles);
+//! let fcfs = base.policy(&Fcfs).run_mix(&spec);
+//! let sjf = base.policy(&ShortestJobFirst).run_mix(&spec);
 //! assert_eq!(fcfs.arrived(), 64);
 //! // Work-conserving single fabric: both policies drain the same work.
 //! assert_eq!(fcfs.completed(), sjf.completed());
@@ -57,10 +61,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod calendar;
 mod policy;
 mod profile;
 mod report;
 mod sim;
+mod sketch;
 mod workload;
 
 pub use policy::{
@@ -68,5 +74,8 @@ pub use policy::{
 };
 pub use profile::{AppProfile, ConfigId, FabricConfig};
 pub use report::{report_to_json, AppStats, RuntimeReport};
-pub use sim::{run_simulation, simulate_mix, SimConfig};
-pub use workload::{AppShare, Job, WorkloadSpec};
+#[allow(deprecated)]
+pub use sim::{run_simulation, simulate_mix};
+pub use sim::{SimConfig, Simulation};
+pub use sketch::{LatencySketch, LatencySource, SketchMode, EXACT_THRESHOLD, SUB_BITS};
+pub use workload::{AppShare, Job, JobStream, WorkloadSpec};

@@ -4,6 +4,7 @@
 //! [`amdrel_core::json`] writer.
 
 use crate::sim::SimConfig;
+use crate::sketch::{LatencySketch, LatencySource};
 use amdrel_core::json::escape;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -59,6 +60,27 @@ impl AppStats {
             max_latency: latencies.last().copied().unwrap_or(0),
         }
     }
+
+    /// Build the stats from a streaming [`LatencySketch`] (what the
+    /// simulator records into). With an exact-representation sketch this
+    /// is identical to [`AppStats::from_latencies`] on the same sample.
+    pub fn from_sketch(
+        name: &str,
+        arrived: u64,
+        completed: u64,
+        rejected: u64,
+        sketch: &LatencySketch,
+    ) -> Self {
+        AppStats {
+            name: name.to_owned(),
+            arrived,
+            completed,
+            rejected,
+            p50_latency: sketch.percentile(50),
+            p95_latency: sketch.percentile(95),
+            max_latency: sketch.max(),
+        }
+    }
 }
 
 /// The complete outcome of one simulation run. All fields are integers
@@ -86,6 +108,9 @@ pub struct RuntimeReport {
     /// 95th-percentile latency across all completed jobs — the figure
     /// the policy comparisons use.
     pub p95_latency: u64,
+    /// Whether latency percentiles are exact nearest-rank values or
+    /// streaming-sketch upper bounds (within `2^-7` relative).
+    pub latency_source: LatencySource,
     /// Per-application breakdown, in profile order.
     pub apps: Vec<AppStats>,
 }
@@ -110,13 +135,6 @@ impl RuntimeReport {
     /// counterpart to the aggregate [`RuntimeReport::p95_latency`]).
     pub fn worst_p95_latency(&self) -> u64 {
         self.apps.iter().map(|a| a.p95_latency).max().unwrap_or(0)
-    }
-
-    /// Compute the aggregate percentiles from the full latency sample
-    /// (used by the simulator at report-build time).
-    pub(crate) fn aggregate_percentiles(mut all: Vec<u64>) -> (u64, u64) {
-        all.sort_unstable();
-        (percentile(&all, 50), percentile(&all, 95))
     }
 
     /// Fraction of the makespan the fabric was occupied (executing or
@@ -158,7 +176,7 @@ impl RuntimeReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "policy {} (cache {}, prefetch {}, queue bound {})",
+            "policy {} (cache {}, prefetch {}, queue bound {}, {} percentiles)",
             self.policy,
             if self.config.config_cache {
                 "on"
@@ -166,7 +184,11 @@ impl RuntimeReport {
                 "off"
             },
             if self.config.prefetch { "on" } else { "off" },
-            self.config.queue_bound,
+            match self.config.queue_bound {
+                Some(bound) => bound.to_string(),
+                None => "unbounded".to_owned(),
+            },
+            self.latency_source.as_str(),
         );
         let _ = writeln!(
             out,
@@ -212,27 +234,36 @@ impl RuntimeReport {
 }
 
 /// Render a [`RuntimeReport`] as deterministic JSON
-/// (schema `amdrel-simulate/v1`).
+/// (schema `amdrel-simulate/v2`).
+///
+/// v2 additions over v1: a `latency_source` provenance field in
+/// `totals` (`"exact"` nearest-rank percentiles vs `"sketched"` upper
+/// bounds from the streaming histogram). `queue_bound` keeps the v1
+/// convention of `0` meaning unbounded.
 pub fn report_to_json(report: &RuntimeReport) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"amdrel-simulate/v1\",\n");
+    out.push_str("{\n  \"schema\": \"amdrel-simulate/v2\",\n");
     let _ = writeln!(out, "  \"policy\": \"{}\",", escape(&report.policy));
     let _ = writeln!(
         out,
         "  \"config\": {{\"config_cache\": {}, \"prefetch\": {}, \"queue_bound\": {}}},",
-        report.config.config_cache, report.config.prefetch, report.config.queue_bound
+        report.config.config_cache,
+        report.config.prefetch,
+        report.config.queue_bound.map_or(0, |bound| bound.get())
     );
     let _ = writeln!(
         out,
         "  \"totals\": {{\"arrived\": {}, \"completed\": {}, \"rejected\": {}, \"makespan\": {}, \
-         \"jobs_per_mcycle\": {:.4}, \"p50_latency\": {}, \"p95_latency\": {}}},",
+         \"jobs_per_mcycle\": {:.4}, \"p50_latency\": {}, \"p95_latency\": {}, \
+         \"latency_source\": \"{}\"}},",
         report.arrived(),
         report.completed(),
         report.rejected(),
         report.makespan,
         report.jobs_per_mcycle(),
         report.p50_latency,
-        report.p95_latency
+        report.p95_latency,
+        report.latency_source.as_str()
     );
     let _ = writeln!(
         out,
@@ -309,6 +340,7 @@ mod tests {
             cgc_busy_cycles: 500,
             p50_latency: 5,
             p95_latency: 5,
+            latency_source: LatencySource::Exact,
             apps: vec![AppStats::from_latencies("a", 10, 8, 2, vec![5; 8])],
         }
     }
@@ -327,11 +359,25 @@ mod tests {
     fn json_and_table_shapes() {
         let r = toy_report();
         let json = report_to_json(&r);
-        assert!(json.contains("\"schema\": \"amdrel-simulate/v1\""));
+        assert!(json.contains("\"schema\": \"amdrel-simulate/v2\""));
         assert!(json.contains("\"apps\""));
         assert!(json.contains("\"p95_latency\":5"));
+        assert!(json.contains("\"latency_source\": \"exact\""));
+        assert!(json.contains("\"queue_bound\": 0"), "None renders as 0");
         let table = r.format_table();
         assert!(table.contains("policy fcfs"));
+        assert!(table.contains("queue bound unbounded"));
         assert!(table.contains("p95 latency"));
+    }
+
+    #[test]
+    fn sketch_backed_stats_match_buffered_stats_exactly() {
+        let sample = vec![40u64, 10, 77, 3, 3, 99, 18];
+        let mut sketch = LatencySketch::new(LatencySource::Exact);
+        sample.iter().for_each(|&v| sketch.record(v));
+        assert_eq!(
+            AppStats::from_sketch("x", 9, 7, 2, &sketch),
+            AppStats::from_latencies("x", 9, 7, 2, sample)
+        );
     }
 }

@@ -18,15 +18,36 @@
 //! seed-independent order — so identical inputs replay bit-for-bit. The
 //! simulator itself consumes no randomness; all stochasticity lives in
 //! the seeded [`WorkloadSpec`](crate::WorkloadSpec) generator.
+//!
+//! # Engine
+//!
+//! The event core is a [`CalendarQueue`] (O(1) amortised pop) rather
+//! than a binary heap, and it holds **only completion events**: at any
+//! instant at most one FPGA phase and `cgc_slots` coarse phases are in
+//! flight, so the event structure is O(1) in the job count. Arrivals are
+//! merged lazily from the (time-sorted) job stream, with arrivals
+//! winning time ties — exactly the order the historical heap produced,
+//! where every arrival was pushed before any completion and therefore
+//! carried a smaller sequence number. The heap implementation is
+//! retained behind `#[cfg(test)]` as a differential oracle.
+//!
+//! # Entry point
+//!
+//! [`Simulation`] is the builder facade every consumer routes through —
+//! the CLI, `amdrel-explore`'s contention scorer, the case-study crates
+//! and the benches. The historical free functions [`run_simulation`] and
+//! [`simulate_mix`] remain as thin deprecated shims over it.
 
-use crate::policy::SchedulePolicy;
+use crate::calendar::CalendarQueue;
+use crate::policy::{Fcfs, SchedulePolicy};
 use crate::profile::{AppProfile, ConfigId};
 use crate::report::{AppStats, RuntimeReport};
-use crate::workload::Job;
+use crate::sketch::{LatencySketch, LatencySource, SketchMode};
+use crate::workload::{Job, WorkloadSpec};
 use amdrel_core::Platform;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
 
 /// Runtime knobs orthogonal to the scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,8 +61,9 @@ pub struct SimConfig {
     /// stalls the fabric). Default `false`.
     pub prefetch: bool,
     /// Admission bound: a job arriving while this many jobs already wait
-    /// for the fabric is rejected. `0` means unbounded (no rejection).
-    pub queue_bound: usize,
+    /// for the fabric is rejected. `None` means unbounded (no
+    /// rejection).
+    pub queue_bound: Option<NonZeroUsize>,
 }
 
 impl Default for SimConfig {
@@ -49,32 +71,106 @@ impl Default for SimConfig {
         SimConfig {
             config_cache: true,
             prefetch: false,
-            queue_bound: 0,
+            queue_bound: None,
         }
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum EventKind {
-    Arrival(usize),
-    FpgaDone(Job),
-    CgcDone(Job),
+/// A completion event payload; arrivals never enter the event structure
+/// (they are merged lazily from the sorted job stream).
+#[derive(Debug, Clone, Copy)]
+enum Completion {
+    /// The fabric finishes `Job`'s fine-grain phase.
+    Fpga(Job),
+    /// A CGC slot finishes `Job`'s coarse phase.
+    Cgc(Job),
 }
 
-/// Heap entry: ordered by `(time, seq)` via the derived tuple order on
-/// `Reverse`, giving a total, deterministic processing order. `seq` is
-/// unique per event, so the `EventKind` ordering is never actually
-/// consulted — it is derived only to keep `Ord` consistent with `Eq`.
-type Event = Reverse<(u64, u64, EventKind)>;
+/// Streaming run accounting: counters plus one [`LatencySketch`] per
+/// application and one aggregate — O(1) memory in the job count when
+/// sketched. Shared by the calendar engine and the `#[cfg(test)]` heap
+/// oracle so differential tests isolate the event-core difference.
+struct Ledger {
+    arrived: Vec<u64>,
+    rejected: Vec<u64>,
+    completed: Vec<u64>,
+    per_app: Vec<LatencySketch>,
+    total: LatencySketch,
+    fpga_busy_cycles: u64,
+    reconfig_stall_cycles: u64,
+    reconfig_loads: u64,
+    cgc_busy_cycles: u64,
+    makespan: u64,
+}
 
-struct SimState<'a> {
+impl Ledger {
+    fn new(napps: usize, source: LatencySource) -> Self {
+        Ledger {
+            arrived: vec![0; napps],
+            rejected: vec![0; napps],
+            completed: vec![0; napps],
+            per_app: (0..napps).map(|_| LatencySketch::new(source)).collect(),
+            total: LatencySketch::new(source),
+            fpga_busy_cycles: 0,
+            reconfig_stall_cycles: 0,
+            reconfig_loads: 0,
+            cgc_busy_cycles: 0,
+            makespan: 0,
+        }
+    }
+
+    fn complete(&mut self, job: &Job, now: u64) {
+        self.completed[job.app] += 1;
+        let latency = now - job.arrival;
+        self.per_app[job.app].record(latency);
+        self.total.record(latency);
+        self.makespan = self.makespan.max(now);
+    }
+
+    fn into_report(
+        self,
+        profiles: &[AppProfile],
+        policy: &str,
+        config: SimConfig,
+        cgc_slots: usize,
+    ) -> RuntimeReport {
+        let apps: Vec<AppStats> = profiles
+            .iter()
+            .enumerate()
+            .map(|(a, p)| {
+                AppStats::from_sketch(
+                    &p.name,
+                    self.arrived[a],
+                    self.completed[a],
+                    self.rejected[a],
+                    &self.per_app[a],
+                )
+            })
+            .collect();
+        RuntimeReport {
+            policy: policy.to_owned(),
+            config,
+            cgc_slots,
+            makespan: self.makespan,
+            fpga_busy_cycles: self.fpga_busy_cycles,
+            reconfig_stall_cycles: self.reconfig_stall_cycles,
+            reconfig_loads: self.reconfig_loads,
+            cgc_busy_cycles: self.cgc_busy_cycles,
+            p50_latency: self.total.percentile(50),
+            p95_latency: self.total.percentile(95),
+            latency_source: self.total.source(),
+            apps,
+        }
+    }
+}
+
+struct Engine<'a> {
     profiles: &'a [AppProfile],
-    jobs: &'a [Job],
     platform: &'a Platform,
     policy: &'a dyn SchedulePolicy,
     config: SimConfig,
 
-    heap: BinaryHeap<Event>,
+    events: CalendarQueue<Completion>,
     next_seq: u64,
 
     fpga_queue: Vec<Job>,
@@ -84,21 +180,36 @@ struct SimState<'a> {
     cgc_queue: VecDeque<Job>,
     free_slots: usize,
 
-    // Accounting.
-    arrived: Vec<u64>,
-    rejected: Vec<u64>,
-    completed: Vec<u64>,
-    latencies: Vec<Vec<u64>>,
-    fpga_busy_cycles: u64,
-    reconfig_stall_cycles: u64,
-    reconfig_loads: u64,
-    cgc_busy_cycles: u64,
-    makespan: u64,
+    ledger: Ledger,
 }
 
-impl SimState<'_> {
-    fn push(&mut self, time: u64, kind: EventKind) {
-        self.heap.push(Reverse((time, self.next_seq, kind)));
+impl<'a> Engine<'a> {
+    fn new(sim: &Simulation<'a>, source: LatencySource) -> Self {
+        // Day width sized from the mean per-job service demand: events
+        // land one service time apart on average, so buckets stay short.
+        let width_hint = if sim.profiles.is_empty() {
+            1024
+        } else {
+            sim.profiles.iter().map(|p| p.service_cycles()).sum::<u64>() / sim.profiles.len() as u64
+        };
+        Engine {
+            profiles: sim.profiles,
+            platform: sim.platform,
+            policy: sim.policy,
+            config: sim.config,
+            events: CalendarQueue::new(width_hint),
+            next_seq: 0,
+            fpga_queue: Vec::new(),
+            fpga_busy: false,
+            loaded: None,
+            cgc_queue: VecDeque::new(),
+            free_slots: sim.platform.datapath.cgcs.len(),
+            ledger: Ledger::new(sim.profiles.len(), source),
+        }
+    }
+
+    fn schedule(&mut self, time: u64, completion: Completion) {
+        self.events.push(time, self.next_seq, completion);
         self.next_seq += 1;
     }
 
@@ -128,11 +239,11 @@ impl SimState<'_> {
         if loads > 0 {
             self.loaded = Some(job.config);
         }
-        self.reconfig_loads += loads;
-        self.reconfig_stall_cycles += stall;
-        self.fpga_busy_cycles += job.fine_cycles;
+        self.ledger.reconfig_loads += loads;
+        self.ledger.reconfig_stall_cycles += stall;
+        self.ledger.fpga_busy_cycles += job.fine_cycles;
         self.fpga_busy = true;
-        self.push(now + stall + job.fine_cycles, EventKind::FpgaDone(job));
+        self.schedule(now + stall + job.fine_cycles, Completion::Fpga(job));
     }
 
     fn dispatch_cgc(&mut self, now: u64) {
@@ -141,95 +252,304 @@ impl SimState<'_> {
                 return;
             };
             self.free_slots -= 1;
-            self.cgc_busy_cycles += job.coarse_cycles;
-            self.push(now + job.coarse_cycles, EventKind::CgcDone(job));
+            self.ledger.cgc_busy_cycles += job.coarse_cycles;
+            self.schedule(now + job.coarse_cycles, Completion::Cgc(job));
         }
     }
 
-    fn complete(&mut self, job: &Job, now: u64) {
-        self.completed[job.app] += 1;
-        self.latencies[job.app].push(now - job.arrival);
-        self.makespan = self.makespan.max(now);
+    fn arrive(&mut self, job: Job) {
+        self.ledger.arrived[job.app] += 1;
+        if self
+            .config
+            .queue_bound
+            .is_some_and(|bound| self.fpga_queue.len() >= bound.get())
+        {
+            self.ledger.rejected[job.app] += 1;
+        } else {
+            self.fpga_queue.push(job);
+            self.dispatch_fpga(job.arrival);
+        }
     }
 
-    fn run(mut self) -> RuntimeReport {
-        while let Some(Reverse((now, _, kind))) = self.heap.pop() {
-            match kind {
-                EventKind::Arrival(job_idx) => {
-                    let job = self.jobs[job_idx];
-                    self.arrived[job.app] += 1;
-                    if self.config.queue_bound > 0
-                        && self.fpga_queue.len() >= self.config.queue_bound
-                    {
-                        self.rejected[job.app] += 1;
-                    } else {
-                        self.fpga_queue.push(job);
+    /// Drain `jobs` (non-decreasing arrival times) against the platform.
+    ///
+    /// The lazy merge gives arrivals priority on time ties, reproducing
+    /// the historical heap order in which every arrival carried a
+    /// smaller sequence number than any completion.
+    fn run<I: Iterator<Item = Job>>(mut self, mut jobs: I) -> RuntimeReport {
+        let mut pending = jobs.next();
+        let mut last_arrival = 0u64;
+        loop {
+            let arrival_is_next = match (pending.as_ref(), self.events.peek_key()) {
+                (Some(job), Some((t, _))) => job.arrival <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if arrival_is_next {
+                let job = pending.take().unwrap();
+                assert!(
+                    job.arrival >= last_arrival,
+                    "job arrivals must be non-decreasing (job {} arrives at {} after {})",
+                    job.id,
+                    job.arrival,
+                    last_arrival
+                );
+                last_arrival = job.arrival;
+                pending = jobs.next();
+                self.arrive(job);
+            } else {
+                let (now, _, completion) = self.events.pop().unwrap();
+                match completion {
+                    Completion::Fpga(job) => {
+                        self.fpga_busy = false;
+                        if job.coarse_cycles > 0 {
+                            self.cgc_queue.push_back(job);
+                            self.dispatch_cgc(now);
+                        } else {
+                            self.ledger.complete(&job, now);
+                        }
                         self.dispatch_fpga(now);
                     }
-                }
-                EventKind::FpgaDone(job) => {
-                    self.fpga_busy = false;
-                    if job.coarse_cycles > 0 {
-                        self.cgc_queue.push_back(job);
+                    Completion::Cgc(job) => {
+                        self.free_slots += 1;
+                        self.ledger.complete(&job, now);
                         self.dispatch_cgc(now);
-                    } else {
-                        self.complete(&job, now);
                     }
-                    self.dispatch_fpga(now);
-                }
-                EventKind::CgcDone(job) => {
-                    self.free_slots += 1;
-                    self.complete(&job, now);
-                    self.dispatch_cgc(now);
                 }
             }
         }
-
-        let (p50, p95) = RuntimeReport::aggregate_percentiles(
-            self.latencies.iter().flatten().copied().collect(),
-        );
-        let apps: Vec<AppStats> = self
-            .profiles
-            .iter()
-            .enumerate()
-            .map(|(a, p)| {
-                AppStats::from_latencies(
-                    &p.name,
-                    self.arrived[a],
-                    self.completed[a],
-                    self.rejected[a],
-                    std::mem::take(&mut self.latencies[a]),
-                )
-            })
-            .collect();
-
-        RuntimeReport {
-            policy: self.policy.name().to_owned(),
-            config: self.config,
-            cgc_slots: self.platform.datapath.cgcs.len(),
-            makespan: self.makespan,
-            fpga_busy_cycles: self.fpga_busy_cycles,
-            reconfig_stall_cycles: self.reconfig_stall_cycles,
-            reconfig_loads: self.reconfig_loads,
-            cgc_busy_cycles: self.cgc_busy_cycles,
-            p50_latency: p50,
-            p95_latency: p95,
-            apps,
-        }
+        self.ledger.into_report(
+            self.profiles,
+            self.policy.name(),
+            self.config,
+            self.platform.datapath.cgcs.len(),
+        )
     }
 }
 
-/// Play `jobs` (from [`WorkloadSpec::generate`](crate::WorkloadSpec))
-/// against `platform` under `policy`.
+/// The simulation entry point: a builder over everything a run needs.
+///
+/// All consumers — the CLI, `amdrel-explore`'s contention scorer, the
+/// case studies and the benches — route through this facade, so new
+/// knobs land as builder methods instead of another positional parameter
+/// on a free function. The platform is the only required argument;
+/// profiles default to empty, the policy to [`Fcfs`], the knobs to
+/// [`SimConfig::default`] and latency aggregation to
+/// [`SketchMode::Auto`].
 ///
 /// Identical inputs produce bit-identical [`RuntimeReport`]s: the event
-/// order is total (`(time, sequence)`), the policies are deterministic,
-/// and the simulator draws no randomness.
+/// order is total, the policies are deterministic, and the simulator
+/// draws no randomness.
+///
+/// # Examples
+///
+/// ```
+/// use amdrel_core::Platform;
+/// use amdrel_runtime::{AppProfile, ShortestJobFirst, Simulation, WorkloadSpec};
+///
+/// let profiles = vec![
+///     AppProfile::synthetic("interactive", 2, 5_000, 1_500, vec![400, 300]),
+///     AppProfile::synthetic("batch", 0, 40_000, 9_000, vec![900]),
+/// ];
+/// let platform = Platform::paper(1500, 2);
+/// let spec = WorkloadSpec::uniform(42, 64, &profiles, 120); // 20% overload
+///
+/// let report = Simulation::new(&platform)
+///     .profiles(&profiles)
+///     .policy(&ShortestJobFirst)
+///     .run_mix(&spec);
+/// assert_eq!(report.arrived(), 64);
+/// println!("{}", report.format_table());
+/// ```
+#[derive(Clone, Copy)]
+pub struct Simulation<'a> {
+    platform: &'a Platform,
+    profiles: &'a [AppProfile],
+    policy: &'a dyn SchedulePolicy,
+    config: SimConfig,
+    sketch: SketchMode,
+}
+
+impl std::fmt::Debug for Simulation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("profiles", &self.profiles.len())
+            .field("policy", &self.policy.name())
+            .field("config", &self.config)
+            .field("sketch", &self.sketch)
+            .finish()
+    }
+}
+
+impl<'a> Simulation<'a> {
+    /// A simulation of `platform` with default knobs (no profiles, FCFS,
+    /// [`SimConfig::default`], [`SketchMode::Auto`]).
+    pub fn new(platform: &'a Platform) -> Self {
+        Simulation {
+            platform,
+            profiles: &[],
+            policy: &Fcfs,
+            config: SimConfig::default(),
+            sketch: SketchMode::Auto,
+        }
+    }
+
+    /// The application profiles jobs index into.
+    pub fn profiles(mut self, profiles: &'a [AppProfile]) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
+    /// The dispatch policy (default [`Fcfs`]).
+    pub fn policy(mut self, policy: &'a dyn SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the whole knob block at once.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Toggle the configuration cache (default on).
+    pub fn config_cache(mut self, on: bool) -> Self {
+        self.config.config_cache = on;
+        self
+    }
+
+    /// Toggle bitstream prefetch (default off).
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.config.prefetch = on;
+        self
+    }
+
+    /// Admission bound on the fabric queue; `None` (default) admits
+    /// everything.
+    pub fn queue_bound(mut self, bound: Option<NonZeroUsize>) -> Self {
+        self.config.queue_bound = bound;
+        self
+    }
+
+    /// How completion latencies are aggregated (default
+    /// [`SketchMode::Auto`]: exact below
+    /// [`EXACT_THRESHOLD`](crate::EXACT_THRESHOLD) jobs, sketched — and
+    /// O(1) in memory — at or above it).
+    pub fn sketch_mode(mut self, mode: SketchMode) -> Self {
+        self.sketch = mode;
+        self
+    }
+
+    /// Play an explicit job slice (any order; ties and out-of-order
+    /// arrivals replay exactly as the historical heap processed them:
+    /// by `(arrival, slice index)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job's `app` index is out of range for the profiles,
+    /// or if the platform has no CGCs while a job carries coarse-grain
+    /// work.
+    pub fn run(&self, jobs: &[Job]) -> RuntimeReport {
+        for job in jobs {
+            assert!(
+                job.app < self.profiles.len(),
+                "job {} references app {} but only {} profiles given",
+                job.id,
+                job.app,
+                self.profiles.len()
+            );
+            assert!(
+                job.coarse_cycles == 0 || !self.platform.datapath.cgcs.is_empty(),
+                "coarse-grain work needs at least one CGC"
+            );
+        }
+        let source = self.sketch.resolve(jobs.len());
+        let engine = Engine::new(self, source);
+        if jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival) {
+            engine.run(jobs.iter().copied())
+        } else {
+            // The historical heap ordered arrivals by (time, index); a
+            // stable sort on arrival reproduces that exactly.
+            let mut order: Vec<usize> = (0..jobs.len()).collect();
+            order.sort_by_key(|&i| jobs[i].arrival);
+            engine.run(order.into_iter().map(|i| jobs[i]))
+        }
+    }
+
+    /// Stream jobs straight from an iterator (arrival times must be
+    /// non-decreasing, as [`WorkloadSpec::generate_streaming`] yields
+    /// them), so million-job runs never materialise a `Vec<Job>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals regress, an `app` index is out of range, or
+    /// coarse-grain work meets a platform with no CGCs.
+    pub fn run_streaming<I>(&self, jobs: I) -> RuntimeReport
+    where
+        I: ExactSizeIterator<Item = Job>,
+    {
+        let source = self.sketch.resolve(jobs.len());
+        let platform_has_cgc = !self.platform.datapath.cgcs.is_empty();
+        let nprofiles = self.profiles.len();
+        let engine = Engine::new(self, source);
+        engine.run(jobs.inspect(move |job| {
+            assert!(
+                job.app < nprofiles,
+                "job {} references app {} but only {} profiles given",
+                job.id,
+                job.app,
+                nprofiles
+            );
+            assert!(
+                job.coarse_cycles == 0 || platform_has_cgc,
+                "coarse-grain work needs at least one CGC"
+            );
+        }))
+    }
+
+    /// Generate `spec`'s seeded job stream against the profiles and play
+    /// it — the one-shot entry point external scorers use. Streams the
+    /// generator straight into the engine, so memory stays O(1) in
+    /// `spec.jobs` when sketched.
+    ///
+    /// # Panics
+    ///
+    /// As [`WorkloadSpec::generate`] (empty mix, zero weight,
+    /// out-of-range app index) and [`Simulation::run`] (coarse work with
+    /// no CGCs).
+    pub fn run_mix(&self, spec: &WorkloadSpec) -> RuntimeReport {
+        self.run_streaming(spec.generate_streaming(self.profiles))
+    }
+}
+
+/// Play `jobs` (from [`WorkloadSpec::generate`]) against `platform`
+/// under `policy`.
+///
+/// # Deprecated
+///
+/// Route through the [`Simulation`] builder instead:
+///
+/// ```
+/// use amdrel_core::Platform;
+/// use amdrel_runtime::{AppProfile, Fcfs, SimConfig, Simulation, WorkloadSpec};
+///
+/// let profiles = vec![AppProfile::synthetic("app", 0, 5_000, 1_000, vec![400])];
+/// let platform = Platform::paper(1500, 2);
+/// let jobs = WorkloadSpec::uniform(42, 32, &profiles, 110).generate(&profiles);
+/// let report = Simulation::new(&platform)
+///     .profiles(&profiles)
+///     .policy(&Fcfs)
+///     .config(SimConfig::default())
+///     .run(&jobs);
+/// assert_eq!(report.arrived(), 32);
+/// ```
 ///
 /// # Panics
 ///
-/// Panics if a job's `app` index is out of range for `profiles`, or if
-/// the platform has no CGCs while a job carries coarse-grain work.
+/// As [`Simulation::run`].
+#[deprecated(note = "route through the `Simulation` builder: \
+                     `Simulation::new(platform).profiles(..).policy(..).run(jobs)`")]
 pub fn run_simulation(
     profiles: &[AppProfile],
     jobs: &[Job],
@@ -237,95 +557,215 @@ pub fn run_simulation(
     policy: &dyn SchedulePolicy,
     config: &SimConfig,
 ) -> RuntimeReport {
-    for job in jobs {
-        assert!(
-            job.app < profiles.len(),
-            "job {} references app {} but only {} profiles given",
-            job.id,
-            job.app,
-            profiles.len()
-        );
-        assert!(
-            job.coarse_cycles == 0 || !platform.datapath.cgcs.is_empty(),
-            "coarse-grain work needs at least one CGC"
-        );
-    }
-    let mut state = SimState {
-        profiles,
-        jobs,
-        platform,
-        policy,
-        config: *config,
-        heap: BinaryHeap::with_capacity(jobs.len() * 2),
-        next_seq: 0,
-        fpga_queue: Vec::new(),
-        fpga_busy: false,
-        loaded: None,
-        cgc_queue: VecDeque::new(),
-        free_slots: platform.datapath.cgcs.len(),
-        arrived: vec![0; profiles.len()],
-        rejected: vec![0; profiles.len()],
-        completed: vec![0; profiles.len()],
-        latencies: vec![Vec::new(); profiles.len()],
-        fpga_busy_cycles: 0,
-        reconfig_stall_cycles: 0,
-        reconfig_loads: 0,
-        cgc_busy_cycles: 0,
-        makespan: 0,
-    };
-    for (idx, job) in jobs.iter().enumerate() {
-        state.push(job.arrival, EventKind::Arrival(idx));
-    }
-    state.run()
+    Simulation::new(platform)
+        .profiles(profiles)
+        .policy(policy)
+        .config(*config)
+        .run(jobs)
 }
 
 /// One-shot convenience: generate `spec`'s seeded job stream against
-/// `profiles` and play it through [`run_simulation`].
+/// `profiles` and play it.
 ///
-/// This is the entry point external scorers use (e.g. the
-/// contention-aware objectives in `amdrel-explore`): everything a run
-/// needs travels in the arguments, and identical arguments produce a
-/// bit-identical [`RuntimeReport`].
+/// # Deprecated
 ///
-/// # Panics
-///
-/// As [`WorkloadSpec::generate`](crate::WorkloadSpec::generate) and
-/// [`run_simulation`] (empty mix, out-of-range app indices, coarse work
-/// with no CGCs).
-///
-/// # Examples
+/// Route through the [`Simulation`] builder instead:
 ///
 /// ```
 /// use amdrel_core::Platform;
-/// use amdrel_runtime::{simulate_mix, AppProfile, Fcfs, SimConfig, WorkloadSpec};
+/// use amdrel_runtime::{AppProfile, Fcfs, Simulation, WorkloadSpec};
 ///
 /// let profiles = vec![AppProfile::synthetic("app", 0, 5_000, 1_000, vec![400])];
 /// let spec = WorkloadSpec::uniform(42, 32, &profiles, 110);
-/// let report = simulate_mix(
-///     &profiles,
-///     &spec,
-///     &Platform::paper(1500, 2),
-///     &Fcfs,
-///     &SimConfig::default(),
-/// );
+/// let report = Simulation::new(&Platform::paper(1500, 2))
+///     .profiles(&profiles)
+///     .policy(&Fcfs)
+///     .run_mix(&spec);
 /// assert_eq!(report.arrived(), 32);
 /// ```
+///
+/// # Panics
+///
+/// As [`Simulation::run_mix`].
+#[deprecated(note = "route through the `Simulation` builder: \
+                     `Simulation::new(platform).profiles(..).policy(..).run_mix(spec)`")]
 pub fn simulate_mix(
-    profiles: &[crate::AppProfile],
-    spec: &crate::WorkloadSpec,
+    profiles: &[AppProfile],
+    spec: &WorkloadSpec,
     platform: &Platform,
     policy: &dyn SchedulePolicy,
     config: &SimConfig,
 ) -> RuntimeReport {
-    let jobs = spec.generate(profiles);
-    run_simulation(profiles, &jobs, platform, policy, config)
+    Simulation::new(platform)
+        .profiles(profiles)
+        .policy(policy)
+        .config(*config)
+        .run_mix(spec)
+}
+
+/// The retained `BinaryHeap` event core, kept verbatim as the
+/// differential-testing oracle: every event (arrivals included) enters
+/// one heap ordered by `(time, seq)`. Accounting goes through the same
+/// [`Ledger`], so a report mismatch can only come from the event core.
+#[cfg(test)]
+mod oracle {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum EventKind {
+        Arrival(usize),
+        FpgaDone(Job),
+        CgcDone(Job),
+    }
+
+    type Event = Reverse<(u64, u64, EventKind)>;
+
+    struct HeapState<'a> {
+        profiles: &'a [AppProfile],
+        jobs: &'a [Job],
+        platform: &'a Platform,
+        policy: &'a dyn SchedulePolicy,
+        config: SimConfig,
+        heap: BinaryHeap<Event>,
+        next_seq: u64,
+        fpga_queue: Vec<Job>,
+        fpga_busy: bool,
+        loaded: Option<ConfigId>,
+        cgc_queue: VecDeque<Job>,
+        free_slots: usize,
+        ledger: Ledger,
+    }
+
+    impl HeapState<'_> {
+        fn push(&mut self, time: u64, kind: EventKind) {
+            self.heap.push(Reverse((time, self.next_seq, kind)));
+            self.next_seq += 1;
+        }
+
+        fn reconfig_charge(&self, job: &Job) -> (u64, u64) {
+            let areas = &self.profiles[job.app].config.partition_areas;
+            if areas.is_empty() || (self.config.config_cache && self.loaded == Some(job.config)) {
+                return (0, 0);
+            }
+            let model = &self.platform.reconfig;
+            let stall = if self.config.prefetch {
+                model.load_cycles(areas[0])
+            } else {
+                areas.iter().map(|&a| model.load_cycles(a)).sum()
+            };
+            (areas.len() as u64, stall)
+        }
+
+        fn dispatch_fpga(&mut self, now: u64) {
+            if self.fpga_busy || self.fpga_queue.is_empty() {
+                return;
+            }
+            let pick = self.policy.pick(&self.fpga_queue, self.loaded);
+            let job = self.fpga_queue.swap_remove(pick);
+            let (loads, stall) = self.reconfig_charge(&job);
+            if loads > 0 {
+                self.loaded = Some(job.config);
+            }
+            self.ledger.reconfig_loads += loads;
+            self.ledger.reconfig_stall_cycles += stall;
+            self.ledger.fpga_busy_cycles += job.fine_cycles;
+            self.fpga_busy = true;
+            self.push(now + stall + job.fine_cycles, EventKind::FpgaDone(job));
+        }
+
+        fn dispatch_cgc(&mut self, now: u64) {
+            while self.free_slots > 0 {
+                let Some(job) = self.cgc_queue.pop_front() else {
+                    return;
+                };
+                self.free_slots -= 1;
+                self.ledger.cgc_busy_cycles += job.coarse_cycles;
+                self.push(now + job.coarse_cycles, EventKind::CgcDone(job));
+            }
+        }
+
+        fn run(mut self) -> RuntimeReport {
+            while let Some(Reverse((now, _, kind))) = self.heap.pop() {
+                match kind {
+                    EventKind::Arrival(job_idx) => {
+                        let job = self.jobs[job_idx];
+                        self.ledger.arrived[job.app] += 1;
+                        if self
+                            .config
+                            .queue_bound
+                            .is_some_and(|b| self.fpga_queue.len() >= b.get())
+                        {
+                            self.ledger.rejected[job.app] += 1;
+                        } else {
+                            self.fpga_queue.push(job);
+                            self.dispatch_fpga(now);
+                        }
+                    }
+                    EventKind::FpgaDone(job) => {
+                        self.fpga_busy = false;
+                        if job.coarse_cycles > 0 {
+                            self.cgc_queue.push_back(job);
+                            self.dispatch_cgc(now);
+                        } else {
+                            self.ledger.complete(&job, now);
+                        }
+                        self.dispatch_fpga(now);
+                    }
+                    EventKind::CgcDone(job) => {
+                        self.free_slots += 1;
+                        self.ledger.complete(&job, now);
+                        self.dispatch_cgc(now);
+                    }
+                }
+            }
+            self.ledger.into_report(
+                self.profiles,
+                self.policy.name(),
+                self.config,
+                self.platform.datapath.cgcs.len(),
+            )
+        }
+    }
+
+    /// Run the heap oracle over `jobs` with the given sketch mode.
+    pub(super) fn run_heap(
+        profiles: &[AppProfile],
+        jobs: &[Job],
+        platform: &Platform,
+        policy: &dyn SchedulePolicy,
+        config: SimConfig,
+        sketch: SketchMode,
+    ) -> RuntimeReport {
+        let mut state = HeapState {
+            profiles,
+            jobs,
+            platform,
+            policy,
+            config,
+            heap: BinaryHeap::with_capacity(jobs.len() * 2),
+            next_seq: 0,
+            fpga_queue: Vec::new(),
+            fpga_busy: false,
+            loaded: None,
+            cgc_queue: VecDeque::new(),
+            free_slots: platform.datapath.cgcs.len(),
+            ledger: Ledger::new(profiles.len(), sketch.resolve(jobs.len())),
+        };
+        for (idx, job) in jobs.iter().enumerate() {
+            state.push(job.arrival, EventKind::Arrival(idx));
+        }
+        state.run()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{Fcfs, ShortestJobFirst};
+    use crate::policy::{ConfigAffinity, Fcfs, PriorityFirst, ShortestJobFirst};
     use crate::profile::FabricConfig;
+    use crate::workload::AppShare;
     use amdrel_core::ReconfigModel;
 
     fn profile(name: &str, fine: u64, coarse: u64, areas: Vec<u64>) -> AppProfile {
@@ -351,17 +791,23 @@ mod tests {
         })
     }
 
+    fn sim<'a>(profiles: &'a [AppProfile], platform: &'a Platform) -> Simulation<'a> {
+        Simulation::new(platform).profiles(profiles)
+    }
+
     #[test]
     fn single_job_timeline() {
         let p = vec![profile("a", 100, 40, vec![30])];
         let jobs = vec![job(0, 0, 5, 100, 40, &p[0].config)];
-        let r = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        let pf = platform();
+        let r = sim(&p, &pf).run(&jobs);
         // Arrive 5, load 10+30=40, fine 100 → FPGA done 145, coarse 40 → 185.
         assert_eq!(r.makespan, 185);
         assert_eq!(r.reconfig_loads, 1);
         assert_eq!(r.reconfig_stall_cycles, 40);
         assert_eq!(r.apps[0].completed, 1);
         assert_eq!(r.apps[0].max_latency, 180);
+        assert_eq!(r.latency_source, LatencySource::Exact);
     }
 
     #[test]
@@ -370,20 +816,12 @@ mod tests {
         let jobs: Vec<Job> = (0..4)
             .map(|i| job(i, 0, i * 10, 100, 0, &p[0].config))
             .collect();
-        let cached = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        let pf = platform();
+        let cached = sim(&p, &pf).run(&jobs);
         assert_eq!(cached.reconfig_loads, 1, "first load only");
         assert_eq!(cached.reconfig_stall_cycles, 40);
 
-        let uncached = run_simulation(
-            &p,
-            &jobs,
-            &platform(),
-            &Fcfs,
-            &SimConfig {
-                config_cache: false,
-                ..SimConfig::default()
-            },
-        );
+        let uncached = sim(&p, &pf).config_cache(false).run(&jobs);
         assert_eq!(uncached.reconfig_loads, 4, "every dispatch reloads");
         assert_eq!(uncached.reconfig_stall_cycles, 160);
         assert!(uncached.makespan > cached.makespan);
@@ -401,7 +839,8 @@ mod tests {
                 job(i, app, i, 100, 0, &p[app].config)
             })
             .collect();
-        let r = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        let pf = platform();
+        let r = sim(&p, &pf).run(&jobs);
         assert_eq!(r.reconfig_loads, 6, "every dispatch swaps configs");
         assert_eq!(r.reconfig_stall_cycles, 3 * 40 + 3 * 60);
     }
@@ -410,23 +849,18 @@ mod tests {
     fn prefetch_hides_all_but_the_first_partition() {
         let p = vec![profile("a", 100, 0, vec![30, 30, 30])];
         let jobs = vec![job(0, 0, 0, 100, 0, &p[0].config)];
-        let plain = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        let pf = platform();
+        let plain = sim(&p, &pf).run(&jobs);
         assert_eq!(plain.reconfig_stall_cycles, 120);
-        let pf = run_simulation(
-            &p,
-            &jobs,
-            &platform(),
-            &Fcfs,
-            &SimConfig {
-                prefetch: true,
-                ..SimConfig::default()
-            },
-        );
+        let with_prefetch = sim(&p, &pf).prefetch(true).run(&jobs);
         assert_eq!(
-            pf.reconfig_stall_cycles, 40,
+            with_prefetch.reconfig_stall_cycles, 40,
             "only the first bitstream stalls"
         );
-        assert_eq!(pf.reconfig_loads, 3, "loads still happen, overlapped");
+        assert_eq!(
+            with_prefetch.reconfig_loads, 3,
+            "loads still happen, overlapped"
+        );
     }
 
     #[test]
@@ -437,16 +871,8 @@ mod tests {
         let jobs: Vec<Job> = (0..5)
             .map(|i| job(i, 0, i + 1, 1_000, 0, &p[0].config))
             .collect();
-        let r = run_simulation(
-            &p,
-            &jobs,
-            &platform(),
-            &Fcfs,
-            &SimConfig {
-                queue_bound: 2,
-                ..SimConfig::default()
-            },
-        );
+        let pf = platform();
+        let r = sim(&p, &pf).queue_bound(NonZeroUsize::new(2)).run(&jobs);
         assert_eq!(r.apps[0].arrived, 5);
         assert_eq!(r.apps[0].completed, 3);
         assert_eq!(r.apps[0].rejected, 2);
@@ -458,7 +884,8 @@ mod tests {
         // slots, four equal jobs → two waves.
         let p = vec![profile("a", 1, 100, vec![])];
         let jobs: Vec<Job> = (0..4).map(|i| job(i, 0, 0, 1, 100, &p[0].config)).collect();
-        let r = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
+        let pf = platform();
+        let r = sim(&p, &pf).run(&jobs);
         assert_eq!(r.cgc_slots, 2);
         assert_eq!(r.cgc_busy_cycles, 400);
         // Fine phases serialise, finishing at 1,2,3,4; the first wave
@@ -481,14 +908,9 @@ mod tests {
             job(2, 1, 2, 10, 0, &p[1].config),
             job(3, 1, 3, 10, 0, &p[1].config),
         ];
-        let fcfs = run_simulation(&p, &jobs, &platform(), &Fcfs, &SimConfig::default());
-        let sjf = run_simulation(
-            &p,
-            &jobs,
-            &platform(),
-            &ShortestJobFirst,
-            &SimConfig::default(),
-        );
+        let pf = platform();
+        let fcfs = sim(&p, &pf).run(&jobs);
+        let sjf = sim(&p, &pf).policy(&ShortestJobFirst).run(&jobs);
         assert_eq!(fcfs.makespan, sjf.makespan, "work-conserving: same drain");
         assert!(
             sjf.apps[1].max_latency < fcfs.apps[1].max_latency,
@@ -499,9 +921,162 @@ mod tests {
     #[test]
     fn empty_workload_is_a_quiet_report() {
         let p = vec![profile("a", 10, 0, vec![5])];
-        let r = run_simulation(&p, &[], &platform(), &Fcfs, &SimConfig::default());
+        let pf = platform();
+        let r = sim(&p, &pf).run(&[]);
         assert_eq!(r.makespan, 0);
         assert_eq!(r.arrived(), 0);
         assert_eq!(r.completed(), 0);
+    }
+
+    #[test]
+    fn unsorted_job_slices_replay_in_heap_order() {
+        // The heap processed arrivals by (time, index) no matter the
+        // slice order; the streaming engine must match.
+        let p = vec![
+            profile("a", 100, 0, vec![30]),
+            profile("b", 80, 20, vec![50]),
+        ];
+        let pf = platform();
+        let mut jobs = vec![
+            job(0, 0, 500, 100, 0, &p[0].config),
+            job(1, 1, 20, 80, 20, &p[1].config),
+            job(2, 0, 20, 100, 0, &p[0].config),
+            job(3, 1, 700, 80, 20, &p[1].config),
+        ];
+        let streamed = sim(&p, &pf).run(&jobs);
+        let expect = oracle::run_heap(
+            &p,
+            &jobs,
+            &pf,
+            &Fcfs,
+            SimConfig::default(),
+            SketchMode::Auto,
+        );
+        assert_eq!(streamed, expect);
+        // Equal-arrival ties keep slice order even after the swap.
+        jobs.swap(1, 2);
+        let swapped = sim(&p, &pf).run(&jobs);
+        let expect = oracle::run_heap(
+            &p,
+            &jobs,
+            &pf,
+            &Fcfs,
+            SimConfig::default(),
+            SketchMode::Auto,
+        );
+        assert_eq!(swapped, expect);
+    }
+
+    #[test]
+    fn deprecated_shims_route_through_the_builder() {
+        let p = vec![profile("a", 100, 40, vec![30])];
+        let jobs = vec![job(0, 0, 5, 100, 40, &p[0].config)];
+        let pf = platform();
+        #[allow(deprecated)]
+        let shim = run_simulation(&p, &jobs, &pf, &Fcfs, &SimConfig::default());
+        assert_eq!(shim, sim(&p, &pf).run(&jobs));
+        let spec = WorkloadSpec::uniform(7, 24, &p, 110);
+        #[allow(deprecated)]
+        let shim = simulate_mix(&p, &spec, &pf, &Fcfs, &SimConfig::default());
+        assert_eq!(shim, sim(&p, &pf).run_mix(&spec));
+    }
+
+    /// The tentpole acceptance test: the calendar engine is bit-identical
+    /// (full `RuntimeReport`) to the retained heap oracle across seeds ×
+    /// all four policies × `SimConfig` variants × sketch modes.
+    #[test]
+    fn calendar_engine_matches_heap_oracle_bit_for_bit() {
+        let profiles = vec![
+            AppProfile::synthetic("interactive", 2, 5_000, 1_500, vec![400, 300]),
+            AppProfile::synthetic("batch", 0, 40_000, 9_000, vec![900]),
+            AppProfile::synthetic("stream", 1, 12_000, 4_000, vec![600, 200, 200]),
+        ];
+        let pf = platform();
+        let policies: [&dyn SchedulePolicy; 4] =
+            [&Fcfs, &ShortestJobFirst, &PriorityFirst, &ConfigAffinity];
+        let configs = [
+            SimConfig::default(),
+            SimConfig {
+                config_cache: false,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                prefetch: true,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                queue_bound: NonZeroUsize::new(3),
+                ..SimConfig::default()
+            },
+        ];
+        for seed in [1u64, 7, 42, 2004] {
+            let spec = WorkloadSpec {
+                seed,
+                jobs: 300,
+                mean_interarrival: 9_000,
+                mix: vec![
+                    AppShare { app: 0, weight: 3 },
+                    AppShare { app: 1, weight: 1 },
+                    AppShare { app: 2, weight: 2 },
+                ],
+            };
+            let jobs = spec.generate(&profiles);
+            for policy in policies {
+                for config in &configs {
+                    for mode in [SketchMode::Auto, SketchMode::Sketched] {
+                        let calendar = Simulation::new(&pf)
+                            .profiles(&profiles)
+                            .policy(policy)
+                            .config(*config)
+                            .sketch_mode(mode)
+                            .run(&jobs);
+                        let heap = oracle::run_heap(&profiles, &jobs, &pf, policy, *config, mode);
+                        assert_eq!(
+                            calendar,
+                            heap,
+                            "divergence: seed {seed}, policy {}, config {config:?}, {mode:?}",
+                            policy.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_run_matches_batch_run() {
+        let profiles = vec![
+            AppProfile::synthetic("a", 2, 5_000, 1_500, vec![400]),
+            AppProfile::synthetic("b", 0, 40_000, 9_000, vec![900]),
+        ];
+        let pf = platform();
+        let spec = WorkloadSpec::uniform(42, 500, &profiles, 120);
+        let jobs = spec.generate(&profiles);
+        for mode in [SketchMode::Auto, SketchMode::Sketched, SketchMode::Exact] {
+            let s = Simulation::new(&pf)
+                .profiles(&profiles)
+                .policy(&ShortestJobFirst)
+                .sketch_mode(mode);
+            assert_eq!(s.run(&jobs), s.run_mix(&spec), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn sketched_reports_record_their_provenance() {
+        let p = vec![profile("a", 500, 0, vec![])];
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| job(i, 0, i * 10, 500, 0, &p[0].config))
+            .collect();
+        let pf = platform();
+        let sketched = sim(&p, &pf).sketch_mode(SketchMode::Sketched).run(&jobs);
+        assert_eq!(sketched.latency_source, LatencySource::Sketched);
+        let exact = sim(&p, &pf).run(&jobs);
+        assert_eq!(exact.latency_source, LatencySource::Exact);
+        // Counters are representation-independent; percentiles stay
+        // within the sketch bound.
+        assert_eq!(sketched.makespan, exact.makespan);
+        assert_eq!(sketched.completed(), exact.completed());
+        assert!(sketched.p95_latency >= exact.p95_latency);
+        assert!(sketched.p95_latency - exact.p95_latency <= exact.p95_latency >> 7);
     }
 }

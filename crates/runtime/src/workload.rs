@@ -126,11 +126,28 @@ impl WorkloadSpec {
 
     /// Generate the arrival stream against `profiles`.
     ///
+    /// Equivalent to collecting [`WorkloadSpec::generate_streaming`];
+    /// use the iterator directly when the stream is large.
+    ///
     /// # Panics
     ///
     /// Panics if the mix is empty, a weight is zero, or an app index is
     /// out of range.
     pub fn generate(&self, profiles: &[AppProfile]) -> Vec<Job> {
+        self.generate_streaming(profiles).collect()
+    }
+
+    /// Generate the arrival stream lazily, one [`Job`] at a time, so a
+    /// million-job run never materialises the full `Vec<Job>`. Yields
+    /// exactly the sequence [`WorkloadSpec::generate`] returns (the
+    /// property tests pin prefix-for-prefix equality), with strictly
+    /// increasing arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is empty, a weight is zero, or an app index is
+    /// out of range.
+    pub fn generate_streaming<'a>(&'a self, profiles: &'a [AppProfile]) -> JobStream<'a> {
         assert!(!self.mix.is_empty(), "workload mix must not be empty");
         let total_weight: u64 = self
             .mix
@@ -148,41 +165,85 @@ impl WorkloadSpec {
             .sum();
 
         let mut master = SplitMix64::new(self.seed);
-        let mut arrivals = master.fork();
-        let mut picks = master.fork();
-        let mut jitter = master.fork();
+        let arrivals = master.fork();
+        let picks = master.fork();
+        let jitter = master.fork();
 
-        let mean = self.mean_interarrival.max(1);
-        let mut now = 0u64;
-        let mut out = Vec::with_capacity(self.jobs);
-        for id in 0..self.jobs as u64 {
-            now += 1 + arrivals.below(2 * mean);
-            let mut ticket = picks.below(total_weight);
-            let mut chosen = self.mix[0].app;
-            for share in &self.mix {
-                if ticket < u64::from(share.weight) {
-                    chosen = share.app;
-                    break;
-                }
-                ticket -= u64::from(share.weight);
-            }
-            let profile = &profiles[chosen];
-            let fine_scale = JITTER_MIN_PERMILLE + jitter.below(JITTER_SPAN);
-            let coarse_scale = JITTER_MIN_PERMILLE + jitter.below(JITTER_SPAN);
-            let coarse_demand = profile.coarse_cycles + profile.comm_cycles;
-            out.push(Job {
-                id,
-                app: chosen,
-                arrival: now,
-                priority: profile.priority,
-                fine_cycles: scale(profile.fine_cycles, fine_scale),
-                coarse_cycles: scale(coarse_demand, coarse_scale),
-                config: profile.config.id,
-            });
+        JobStream {
+            profiles,
+            mix: &self.mix,
+            total_weight,
+            arrivals,
+            picks,
+            jitter,
+            mean: self.mean_interarrival.max(1),
+            now: 0,
+            next_id: 0,
+            remaining: self.jobs,
         }
-        out
     }
 }
+
+/// The lazy job iterator behind [`WorkloadSpec::generate_streaming`].
+///
+/// Exact-size, and yields jobs in strictly increasing arrival order —
+/// the contract [`Simulation::run_streaming`](crate::Simulation::run_streaming)
+/// relies on for its lazy arrival merge.
+#[derive(Debug, Clone)]
+pub struct JobStream<'a> {
+    profiles: &'a [AppProfile],
+    mix: &'a [AppShare],
+    total_weight: u64,
+    arrivals: SplitMix64,
+    picks: SplitMix64,
+    jitter: SplitMix64,
+    mean: u64,
+    now: u64,
+    next_id: u64,
+    remaining: usize,
+}
+
+impl Iterator for JobStream<'_> {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.now += 1 + self.arrivals.below(2 * self.mean);
+        let mut ticket = self.picks.below(self.total_weight);
+        let mut chosen = self.mix[0].app;
+        for share in self.mix {
+            if ticket < u64::from(share.weight) {
+                chosen = share.app;
+                break;
+            }
+            ticket -= u64::from(share.weight);
+        }
+        let profile = &self.profiles[chosen];
+        let fine_scale = JITTER_MIN_PERMILLE + self.jitter.below(JITTER_SPAN);
+        let coarse_scale = JITTER_MIN_PERMILLE + self.jitter.below(JITTER_SPAN);
+        let coarse_demand = profile.coarse_cycles + profile.comm_cycles;
+        Some(Job {
+            id,
+            app: chosen,
+            arrival: self.now,
+            priority: profile.priority,
+            fine_cycles: scale(profile.fine_cycles, fine_scale),
+            coarse_cycles: scale(coarse_demand, coarse_scale),
+            config: profile.config.id,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for JobStream<'_> {}
 
 /// `value × permille / 1000`, keeping nonzero values nonzero so a jittered
 /// job never degenerates to a zero-length phase.
@@ -263,6 +324,16 @@ mod tests {
         // mean fine = (1000 + 10000) / 2 = 5500 → 5500 * 100 / 110 = 5000.
         assert_eq!(spec.mean_interarrival, 5_000);
         assert_eq!(spec.mix.len(), 2);
+    }
+
+    #[test]
+    fn streaming_yields_the_identical_sequence() {
+        let p = profiles();
+        let s = spec(128);
+        let batch = s.generate(&p);
+        let streamed: Vec<Job> = s.generate_streaming(&p).collect();
+        assert_eq!(batch, streamed);
+        assert_eq!(s.generate_streaming(&p).len(), 128);
     }
 
     #[test]

@@ -5,10 +5,11 @@
 use amdrel_core::rng::SplitMix64;
 use amdrel_core::{Platform, ReconfigModel};
 use amdrel_runtime::{
-    policy_by_name, report_to_json, run_simulation, AppProfile, AppShare, Fcfs, SimConfig,
+    policy_by_name, report_to_json, AppProfile, AppShare, Fcfs, Job, SimConfig, Simulation,
     WorkloadSpec,
 };
 use proptest::prelude::*;
+use std::num::NonZeroUsize;
 
 /// Expand a seed into a small heterogeneous tenant set (1–4 apps with
 /// varied sizes, priorities and partition footprints).
@@ -59,8 +60,9 @@ proptest! {
         let stream = spec_for(seed ^ 0xA5A5, &profiles, jobs).generate(&profiles);
         for name in POLICIES {
             let policy = policy_by_name(name).unwrap();
-            let a = run_simulation(&profiles, &stream, &platform, policy.as_ref(), &SimConfig::default());
-            let b = run_simulation(&profiles, &stream, &platform, policy.as_ref(), &SimConfig::default());
+            let sim = Simulation::new(&platform).profiles(&profiles).policy(policy.as_ref());
+            let a = sim.run(&stream);
+            let b = sim.run(&stream);
             prop_assert_eq!(&a, &b, "policy {}", name);
             prop_assert_eq!(report_to_json(&a), report_to_json(&b));
         }
@@ -79,12 +81,31 @@ proptest! {
         let platform = Platform::paper(1500, 3);
         for name in POLICIES {
             let policy = policy_by_name(name).unwrap();
-            let _ = run_simulation(&profiles, &stream, &platform, policy.as_ref(), &SimConfig::default());
+            let _ = Simulation::new(&platform)
+                .profiles(&profiles)
+                .policy(policy.as_ref())
+                .run(&stream);
         }
         prop_assert_eq!(&stream, &spec.generate(&profiles));
         // ...and growing the job count only appends.
         let longer = spec_for(seed, &profiles, jobs + 40).generate(&profiles);
         prop_assert_eq!(&stream[..], &longer[..jobs]);
+    }
+
+    /// The lazy generator is the batch generator, element for element:
+    /// full streams agree, and any shorter spec's batch output is a
+    /// prefix of the longer stream consumed lazily.
+    #[test]
+    fn streaming_generation_matches_batch_on_prefixes(seed in any::<u64>(), jobs in 1usize..120) {
+        let profiles = tenants(seed);
+        let spec = spec_for(seed, &profiles, jobs);
+        let batch = spec.generate(&profiles);
+        let streamed: Vec<Job> = spec.generate_streaming(&profiles).collect();
+        prop_assert_eq!(&batch, &streamed);
+        let prefix_len = jobs.div_ceil(2);
+        let shorter = spec_for(seed, &profiles, prefix_len).generate(&profiles);
+        let prefix: Vec<Job> = spec.generate_streaming(&profiles).take(prefix_len).collect();
+        prop_assert_eq!(shorter, prefix);
     }
 
     /// Conservation: every arrived job is exactly one of
@@ -97,8 +118,11 @@ proptest! {
         let stream = spec_for(seed, &profiles, jobs).generate(&profiles);
         for name in POLICIES {
             let policy = policy_by_name(name).unwrap();
-            let config = SimConfig { queue_bound: bound, ..SimConfig::default() };
-            let r = run_simulation(&profiles, &stream, &platform, policy.as_ref(), &config);
+            let r = Simulation::new(&platform)
+                .profiles(&profiles)
+                .policy(policy.as_ref())
+                .queue_bound(NonZeroUsize::new(bound))
+                .run(&stream);
             prop_assert_eq!(r.arrived(), jobs as u64);
             prop_assert_eq!(r.arrived(), r.completed() + r.rejected());
             for a in &r.apps {
@@ -125,8 +149,8 @@ proptest! {
             SimConfig { config_cache: false, ..SimConfig::default() },
             SimConfig { prefetch: true, ..SimConfig::default() },
         ] {
-            let with_cost = run_simulation(&profiles, &stream, &charged, &Fcfs, &config);
-            let no_cost = run_simulation(&profiles, &stream, &free, &Fcfs, &config);
+            let with_cost = Simulation::new(&charged).profiles(&profiles).policy(&Fcfs).config(config).run(&stream);
+            let no_cost = Simulation::new(&free).profiles(&profiles).policy(&Fcfs).config(config).run(&stream);
             prop_assert!(
                 no_cost.makespan <= with_cost.makespan,
                 "free reconfig increased makespan: {} > {} (config {:?})",

@@ -1,0 +1,109 @@
+//! Property tests for the streaming latency sketch: percentile error
+//! bounds against exact nearest-rank on adversarial distributions, and
+//! bit-determinism of sketched simulation reports across runs and job
+//! counts.
+
+use amdrel_core::rng::SplitMix64;
+use amdrel_core::Platform;
+use amdrel_runtime::{
+    report_to_json, AppProfile, LatencySketch, LatencySource, Simulation, SketchMode, WorkloadSpec,
+    SUB_BITS,
+};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile (the definition the sketch bounds).
+fn exact_nearest_rank(sample: &[u64], q: u64) -> u64 {
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let rank = (q * n).div_ceil(100).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Assert the documented sketch contract on `sample`: every queried
+/// percentile is ≥ the exact value and overshoots by at most
+/// `exact >> SUB_BITS` (relative error < 2^-7).
+fn assert_sketch_bounds(sample: &[u64]) {
+    let mut sketch = LatencySketch::new(LatencySource::Sketched);
+    sample.iter().for_each(|&v| sketch.record(v));
+    for q in [1u64, 10, 25, 50, 75, 90, 95, 99, 100] {
+        let exact = exact_nearest_rank(sample, q);
+        let approx = sketch.percentile(q);
+        assert!(approx >= exact, "p{q}: sketch {approx} below exact {exact}");
+        assert!(
+            approx - exact <= exact >> SUB_BITS,
+            "p{q}: sketch {approx} overshoots exact {exact} beyond 2^-{SUB_BITS}"
+        );
+    }
+    assert_eq!(sketch.max(), sample.iter().copied().max().unwrap_or(0));
+}
+
+proptest! {
+    /// Constant distributions: every value identical — all percentiles
+    /// must land in the same bucket, so the overshoot bound still holds.
+    #[test]
+    fn constant_distribution_respects_the_bound(value in 0u64..u64::MAX / 2, n in 1usize..4_000) {
+        assert_sketch_bounds(&vec![value; n]);
+    }
+
+    /// Bimodal distributions: two far-apart modes stress the rank
+    /// boundary where a percentile jumps modes.
+    #[test]
+    fn bimodal_distribution_respects_the_bound(
+        seed in any::<u64>(),
+        low in 1u64..10_000,
+        spread in 1_000u64..1_000_000_000,
+        n in 2usize..4_000,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let high = low.saturating_add(spread);
+        let sample: Vec<u64> = (0..n)
+            .map(|_| if rng.below(2) == 0 { low } else { high })
+            .collect();
+        assert_sketch_bounds(&sample);
+    }
+
+    /// Heavy-tail distributions: most mass tiny, rare huge outliers —
+    /// the regime log-bucketing exists for.
+    #[test]
+    fn heavy_tail_distribution_respects_the_bound(seed in any::<u64>(), n in 1usize..4_000) {
+        let mut rng = SplitMix64::new(seed);
+        let sample: Vec<u64> = (0..n)
+            .map(|_| {
+                // Pareto-ish: exponentiate a uniform magnitude draw.
+                let magnitude = rng.below(50);
+                (1u64 << magnitude) + rng.below((1u64 << magnitude).max(1))
+            })
+            .collect();
+        assert_sketch_bounds(&sample);
+    }
+
+    /// Sketched simulation reports are bit-deterministic: identical
+    /// inputs replay to identical reports (and identical JSON), and the
+    /// workload's prefix stability survives sketching — growing the job
+    /// count never rewrites the jobs already simulated.
+    #[test]
+    fn sketched_reports_replay_bit_identical(seed in any::<u64>(), jobs in 1usize..200) {
+        let profiles = vec![
+            AppProfile::synthetic("interactive", 2, 5_000, 1_500, vec![400, 300]),
+            AppProfile::synthetic("batch", 0, 40_000, 9_000, vec![900]),
+        ];
+        let platform = Platform::paper(1500, 2);
+        let spec = WorkloadSpec::uniform(seed, jobs, &profiles, 120);
+        let sim = Simulation::new(&platform)
+            .profiles(&profiles)
+            .sketch_mode(SketchMode::Sketched);
+        let a = sim.run_mix(&spec);
+        let b = sim.run_mix(&spec);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(report_to_json(&a), report_to_json(&b));
+        prop_assert_eq!(a.latency_source, LatencySource::Sketched);
+
+        // Cross-job-count determinism of the underlying stream: the
+        // longer run consumes a superset of the same jobs, so regenerating
+        // the shorter stream after simulating is still bit-identical.
+        let longer = WorkloadSpec { jobs: jobs + 64, ..spec.clone() };
+        let _ = sim.run_mix(&longer);
+        prop_assert_eq!(sim.run_mix(&spec), a);
+    }
+}

@@ -15,7 +15,7 @@
 //! Run with: `cargo run --release --example bench_report`
 
 use amdrel::prelude::*;
-use amdrel_bench::synthetic_app;
+use amdrel_bench::{synthetic_app, synthetic_tenants};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -162,32 +162,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profiles = amdrel::apps::runtime::standard_mix(&sim_platform)?;
     let spec = WorkloadSpec::uniform(42, 400, &profiles, 130);
     let sim_jobs = spec.generate(&profiles);
-    let sim_config = SimConfig::default();
+    let sim = Simulation::new(&sim_platform).profiles(&profiles);
     let mut runtime_rows = Vec::new();
     for name in ["fcfs", "sjf", "priority", "affinity"] {
         let policy = policy_by_name(name).expect("built-in policy");
-        let (wall_ns, iters) = measure(|| {
-            run_simulation(
-                &profiles,
-                &sim_jobs,
-                &sim_platform,
-                policy.as_ref(),
-                &sim_config,
-            )
-        });
-        let result = run_simulation(
-            &profiles,
-            &sim_jobs,
-            &sim_platform,
-            policy.as_ref(),
-            &sim_config,
-        );
+        let run = sim.policy(policy.as_ref());
+        let (wall_ns, iters) = measure(|| run.run(&sim_jobs));
+        let result = run.run(&sim_jobs);
         let sim_jobs_per_sec = result.completed() as f64 * 1e9 / wall_ns;
         if name == "fcfs" {
             report.push(("runtime/fcfs_400_jobs".into(), wall_ns, iters));
         }
         runtime_rows.push((result, sim_jobs_per_sec));
     }
+
+    // --- Planet-scale runtime row: one million jobs over 32 synthetic
+    //     tenants, streamed through the calendar-queue engine with
+    //     sketched percentiles (the stream is never materialised and
+    //     latency memory stays O(1) in the job count). Timed once — at
+    //     this size a single run is its own statistics.
+    let tenants = synthetic_tenants(32);
+    let scaling_spec = WorkloadSpec::uniform(42, 1_000_000, &tenants, 90);
+    let scaling_sim = Simulation::new(&sim_platform)
+        .profiles(&tenants)
+        .policy(&Fcfs)
+        .sketch_mode(SketchMode::Sketched);
+    let start = Instant::now();
+    let scaling_report = scaling_sim.run_mix(&scaling_spec);
+    let scaling_wall_ns = start.elapsed().as_nanos() as f64;
+    let scaling_jobs_per_sec = scaling_report.completed() as f64 * 1e9 / scaling_wall_ns;
+    report.push(("runtime/fcfs_1m_jobs_32_tenants".into(), scaling_wall_ns, 1));
 
     // --- Emit BENCH_engine.json (no serde in the offline vendor set, so
     //     the JSON is assembled by hand).
@@ -330,8 +334,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write("BENCH_explore_contention.json", &json)?;
 
     // --- Emit BENCH_runtime.json: the servable-workload baseline on the
-    //     seeded 3-app mix, per policy.
-    let mut json = String::from("{\n  \"schema\": \"amdrel-runtime-report/v1\",\n");
+    //     seeded 3-app mix, per policy, plus the million-job scaling row.
+    let mut json = String::from("{\n  \"schema\": \"amdrel-runtime-report/v2\",\n");
     let _ = writeln!(
         json,
         "  \"workload\": {{ \"seed\": {}, \"jobs\": {}, \"mean_interarrival\": {}, \"apps\": [{}] }},",
@@ -369,7 +373,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sim_jobs_per_sec,
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // The scaling row: throughput_ratio normalises the wall-clock rate to
+    // the 400-job FCFS row above; scale_up is the jobs/sec-normalised
+    // scale factor (jobs ratio × throughput ratio) CI asserts stays ≥100.
+    let fcfs_400_jobs_per_sec = runtime_rows[0].1;
+    let throughput_ratio = scaling_jobs_per_sec / fcfs_400_jobs_per_sec;
+    let scale_up = (scaling_spec.jobs as f64 / spec.jobs as f64) * throughput_ratio;
+    let _ = writeln!(
+        json,
+        "  \"scaling\": {{ \"tenants\": {}, \"jobs\": {}, \"seed\": {}, \
+         \"mean_interarrival\": {}, \"load_percent\": 90, \"policy\": \"{}\", \
+         \"completed\": {}, \"rejected\": {}, \"makespan\": {}, \
+         \"p50_latency\": {}, \"p95_latency\": {}, \"latency_source\": \"{}\", \
+         \"sim_jobs_per_sec\": {:.0}, \"throughput_ratio\": {:.3}, \"scale_up\": {:.0} }}",
+        tenants.len(),
+        scaling_spec.jobs,
+        scaling_spec.seed,
+        scaling_spec.mean_interarrival,
+        scaling_report.policy,
+        scaling_report.completed(),
+        scaling_report.rejected(),
+        scaling_report.makespan,
+        scaling_report.p50_latency,
+        scaling_report.p95_latency,
+        scaling_report.latency_source.as_str(),
+        scaling_jobs_per_sec,
+        throughput_ratio,
+        scale_up,
+    );
+    json.push_str("}\n");
     std::fs::write("BENCH_runtime.json", &json)?;
 
     println!("{:<40} {:>14} {:>10}", "bench", "mean ns/op", "iters");

@@ -15,7 +15,7 @@
 //! amdrel simulate  [--app ofdm|jpeg|sobel]... [--policy fcfs|sjf|priority|affinity]
 //!                  [--seed S] [--njobs N] [--load PCT | --arrival CYCLES]
 //!                  [--queue-bound N] [--no-config-cache] [--prefetch]
-//!                  [--area A] [--cgcs K] [--json]
+//!                  [--sketch auto|exact|sketched] [--area A] [--cgcs K] [--json]
 //! amdrel dot       <src.c> [--block N] [--input name=v,v,..]...
 //! ```
 //!
@@ -74,7 +74,8 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
         "simulate",
         "amdrel simulate [--app ofdm|jpeg|sobel]... [--policy fcfs|sjf|priority|affinity] \
          [--seed S] [--njobs N] [--load PCT | --arrival CYCLES] [--queue-bound N] \
-         [--no-config-cache] [--prefetch] [--area A] [--cgcs K] [--json]",
+         [--no-config-cache] [--prefetch] [--sketch auto|exact|sketched] [--area A] \
+         [--cgcs K] [--json]",
     ),
     (
         "dot",
@@ -127,6 +128,7 @@ struct Options {
     queue_bound: usize,
     no_config_cache: bool,
     prefetch: bool,
+    sketch: String,
 }
 
 /// Whether a subcommand takes a mini-C source file as its positional
@@ -162,6 +164,7 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
         queue_bound: 0,
         no_config_cache: false,
         prefetch: false,
+        sketch: "auto".to_owned(),
     };
     let mut it = args.iter().peekable();
     let mut positional = Vec::new();
@@ -293,6 +296,7 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
             }
             "--no-config-cache" => opts.no_config_cache = true,
             "--prefetch" => opts.prefetch = true,
+            "--sketch" => opts.sketch = value_of("--sketch")?,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -581,13 +585,21 @@ fn run(args: Vec<String>) -> Result<(), String> {
             if let Some(arrival) = opts.arrival {
                 spec.mean_interarrival = arrival;
             }
-            let jobs = spec.generate(&profiles);
-            let config = SimConfig {
-                config_cache: !opts.no_config_cache,
-                prefetch: opts.prefetch,
-                queue_bound: opts.queue_bound,
-            };
-            let report = run_simulation(&profiles, &jobs, &platform, policy.as_ref(), &config);
+            let sketch = SketchMode::parse(&opts.sketch).ok_or_else(|| {
+                format!(
+                    "unknown sketch mode '{}' (expected auto, exact or sketched)",
+                    opts.sketch
+                )
+            })?;
+            // `--queue-bound 0` keeps its historical meaning: unbounded.
+            let report = Simulation::new(&platform)
+                .profiles(&profiles)
+                .policy(policy.as_ref())
+                .config_cache(!opts.no_config_cache)
+                .prefetch(opts.prefetch)
+                .queue_bound(std::num::NonZeroUsize::new(opts.queue_bound))
+                .sketch_mode(sketch)
+                .run_mix(&spec);
             if opts.json {
                 print!("{}", amdrel::runtime::report_to_json(&report));
             } else {

@@ -252,10 +252,11 @@ fn simulate_json_is_bit_deterministic() {
     let (ok1, out1, stderr) = amdrel(&args);
     assert!(ok1, "stderr: {stderr}");
     assert!(
-        out1.contains("\"schema\": \"amdrel-simulate/v1\""),
+        out1.contains("\"schema\": \"amdrel-simulate/v2\""),
         "{out1}"
     );
     assert!(out1.contains("\"apps\""), "{out1}");
+    assert!(out1.contains("\"latency_source\": \"exact\""), "{out1}");
     assert!(!out1.contains("p95 latency "), "no table in JSON mode");
     let (ok2, out2, _) = amdrel(&args);
     assert!(ok2);
@@ -278,6 +279,74 @@ fn simulate_json_is_bit_deterministic() {
     let (ok4, out4, _) = amdrel(&bounded);
     assert!(ok3 && ok4);
     assert_eq!(out3, out4);
+}
+
+#[test]
+fn simulate_queue_bound_zero_still_means_unbounded() {
+    // `--queue-bound 0` predates the Option<NonZeroUsize> config field;
+    // it must keep its historical meaning (no admission control).
+    let args = |bound: &'static str| {
+        [
+            "simulate",
+            "--app",
+            "ofdm",
+            "--seed",
+            "42",
+            "--njobs",
+            "24",
+            "--queue-bound",
+            bound,
+            "--json",
+        ]
+    };
+    let (ok_zero, zero, stderr) = amdrel(&args("0"));
+    assert!(ok_zero, "stderr: {stderr}");
+    let (ok_default, default, _) = amdrel(&[
+        "simulate", "--app", "ofdm", "--seed", "42", "--njobs", "24", "--json",
+    ]);
+    assert!(ok_default);
+    assert_eq!(zero, default, "--queue-bound 0 must equal the default");
+    assert!(zero.contains("\"queue_bound\": 0"), "{zero}");
+    assert!(zero.contains("\"rejected\": 0"), "{zero}");
+
+    let (ok_table, table, _) = amdrel(&[
+        "simulate",
+        "--app",
+        "ofdm",
+        "--njobs",
+        "8",
+        "--queue-bound",
+        "0",
+    ]);
+    assert!(ok_table);
+    assert!(table.contains("queue bound unbounded"), "{table}");
+}
+
+#[test]
+fn simulate_sketch_modes_agree_on_percentile_buckets() {
+    let args = |mode: &'static str| {
+        [
+            "simulate", "--app", "ofdm", "--seed", "42", "--njobs", "24", "--sketch", mode,
+            "--json",
+        ]
+    };
+    let (ok_exact, exact, stderr) = amdrel(&args("exact"));
+    assert!(ok_exact, "stderr: {stderr}");
+    assert!(exact.contains("\"latency_source\": \"exact\""), "{exact}");
+    let (ok_sketched, sketched, _) = amdrel(&args("sketched"));
+    assert!(ok_sketched);
+    assert!(
+        sketched.contains("\"latency_source\": \"sketched\""),
+        "{sketched}"
+    );
+    // Sketched runs stay bit-deterministic too.
+    let (ok_again, sketched_again, _) = amdrel(&args("sketched"));
+    assert!(ok_again);
+    assert_eq!(sketched, sketched_again);
+
+    let (ok_bad, _, stderr) = amdrel(&args("psychic"));
+    assert!(!ok_bad);
+    assert!(stderr.contains("unknown sketch mode 'psychic'"), "{stderr}");
 }
 
 #[test]
