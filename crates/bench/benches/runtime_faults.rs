@@ -1,0 +1,71 @@
+//! Fault-injection overhead and recovery head to head: the seeded
+//! 3-app standard mix played under `affinity` with the fault layer off,
+//! inert (zero-rate spec threaded through the engine), injecting at
+//! 30‰ with abort-on-exhaustion, and injecting at 30‰ with graceful
+//! degradation. Prints the reliability summary once, then times one
+//! full simulation per configuration — the off/inert pair is the
+//! zero-cost-abstraction check (the inert spec must not slow the
+//! fault-free hot loop), the abort/degrade pair prices recovery.
+
+use amdrel_apps::runtime::standard_mix;
+use amdrel_core::Platform;
+use amdrel_runtime::{policy_by_name, FaultSpec, RecoveryPolicy, Simulation, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const FAULT_RATE: u16 = 30;
+
+fn bench_runtime_faults(c: &mut Criterion) {
+    let platform = Platform::paper(1500, 2);
+    let profiles = standard_mix(&platform).expect("standard mix builds");
+    let spec = WorkloadSpec::uniform(42, 400, &profiles, 130);
+    let jobs = spec.generate(&profiles);
+    let policy = policy_by_name("affinity").expect("built-in policy");
+    let sim = Simulation::new(&platform)
+        .profiles(&profiles)
+        .policy(policy.as_ref());
+
+    let abort = RecoveryPolicy::default();
+    let degrade = RecoveryPolicy {
+        degrade: true,
+        ..RecoveryPolicy::default()
+    };
+    let configs: [(&str, FaultSpec, RecoveryPolicy); 4] = [
+        ("off", FaultSpec::none(), abort),
+        ("inert", FaultSpec::uniform(7, 0), abort),
+        ("abort", FaultSpec::uniform(7, FAULT_RATE), abort),
+        ("degrade", FaultSpec::uniform(7, FAULT_RATE), degrade),
+    ];
+
+    println!(
+        "\n========== Runtime faults (affinity, {} jobs, {FAULT_RATE} permille) ==========",
+        jobs.len()
+    );
+    for (name, faults, recovery) in &configs {
+        let report = sim.faults(*faults).recovery(*recovery).run(&jobs);
+        let r = &report.reliability;
+        println!(
+            "{:<8} {:>3} injected  {:>3} retries  {:>3} degraded  {:>3} aborted  \
+             avail {:.4}  goodput {:>5.2}/{:>5.2} jobs/Mcycle",
+            name,
+            r.injected,
+            r.retries,
+            r.degraded,
+            r.aborted,
+            report.availability(),
+            report.goodput_jobs_per_mcycle(),
+            report.throughput_jobs_per_mcycle(),
+        );
+    }
+    println!("===============================================================================\n");
+
+    for (name, faults, recovery) in &configs {
+        let run = sim.faults(*faults).recovery(*recovery);
+        c.bench_function(format!("runtime/faults_{name}_400_jobs").as_str(), |b| {
+            b.iter(|| black_box(run.run(&jobs)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_runtime_faults);
+criterion_main!(benches);

@@ -20,7 +20,8 @@
 
 use amdrel_core::Platform;
 use amdrel_runtime::{
-    AppProfile, FabricConfig, SchedulePolicy, SimConfig, Simulation, WorkloadSpec,
+    AppProfile, FabricConfig, FaultSpec, RecoveryPolicy, SchedulePolicy, SimConfig, Simulation,
+    WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,14 @@ pub struct ContentionMetrics {
     pub makespan: u64,
     /// Fabric cycles lost to reconfiguration stalls.
     pub reconfig_stall_cycles: u64,
+    /// Aggregate p95 latency of the faulted re-simulation (equals
+    /// [`Self::p95_latency`] when the evaluator's fault spec is inert,
+    /// so the objective degenerates gracefully).
+    pub p95_under_faults: u64,
+    /// Permille of the faulted run's completions that took the
+    /// coarse-grain-only fallback path (0 with the inert spec; 1000 if
+    /// nothing completed).
+    pub degraded_permille: u64,
 }
 
 impl ContentionMetrics {
@@ -92,6 +101,8 @@ pub struct RuntimeEvaluator {
     load_percent: u64,
     arrival: Option<u64>,
     sim: SimConfig,
+    faults: FaultSpec,
+    recovery: RecoveryPolicy,
 }
 
 impl RuntimeEvaluator {
@@ -110,6 +121,8 @@ impl RuntimeEvaluator {
             load_percent: 130,
             arrival: None,
             sim: SimConfig::default(),
+            faults: FaultSpec::none(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -175,6 +188,27 @@ impl RuntimeEvaluator {
         self
     }
 
+    /// Attach a fault-injection spec for the reliability objectives
+    /// (`p95_under_faults`, `degraded_share`). The baseline metrics are
+    /// still scored fault-free; a second, faulted simulation runs only
+    /// when the spec is not inert, so existing searches pay nothing.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replace the recovery policy the faulted re-simulation uses
+    /// (default [`RecoveryPolicy::default`]).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// The fault spec the reliability objectives simulate under.
+    pub fn faults(&self) -> FaultSpec {
+        self.faults
+    }
+
     /// The workload seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -216,11 +250,27 @@ impl RuntimeEvaluator {
         if let Some(arrival) = self.arrival {
             spec.mean_interarrival = arrival;
         }
-        let report = Simulation::new(platform)
+        let base = Simulation::new(platform)
             .profiles(&profiles)
             .policy(self.policy.as_ref())
-            .config(self.sim)
-            .run_mix(&spec);
+            .config(self.sim);
+        let report = base.run_mix(&spec);
+        let (p95_under_faults, degraded_permille) = if self.faults.is_none() {
+            // No faulted re-simulation: the reliability objectives
+            // degenerate to the clean p95 and a zero degraded share.
+            (report.p95_latency, 0)
+        } else {
+            let faulted = base
+                .faults(self.faults)
+                .recovery(self.recovery)
+                .run_mix(&spec);
+            let share = if faulted.completed() == 0 {
+                1000
+            } else {
+                faulted.reliability.degraded * 1000 / faulted.completed()
+            };
+            (faulted.p95_latency, share)
+        };
         let completed = report.completed();
         ContentionMetrics {
             p95_latency: report.p95_latency,
@@ -233,6 +283,8 @@ impl RuntimeEvaluator {
             rejected: report.rejected(),
             makespan: report.makespan,
             reconfig_stall_cycles: report.reconfig_stall_cycles,
+            p95_under_faults,
+            degraded_permille,
         }
     }
 
@@ -288,6 +340,42 @@ mod tests {
         assert!(jpm > 0.0);
         // cycles_per_job is the (ceiling) inverse of jobs/Mcycle.
         assert!((1_000_000.0 / jpm - a.cycles_per_job as f64).abs() <= 1.0);
+    }
+
+    #[test]
+    fn inert_faults_score_for_free_and_real_faults_move_the_metrics() {
+        let rt = evaluator();
+        let candidate = rt.candidate_profile("cand", 5_000, 1_000, 200, vec![300, 200]);
+        let platform = Platform::paper(1500, 2);
+        let clean = rt.score(&candidate, &platform);
+        assert_eq!(
+            clean.p95_under_faults, clean.p95_latency,
+            "inert spec degenerates to the clean p95"
+        );
+        assert_eq!(clean.degraded_permille, 0);
+
+        let faulted_rt = evaluator()
+            .with_faults(FaultSpec::uniform(7, 200))
+            .with_recovery(RecoveryPolicy {
+                degrade: true,
+                ..RecoveryPolicy::default()
+            });
+        assert!(!faulted_rt.faults().is_none());
+        let faulted = faulted_rt.score(&candidate, &platform);
+        assert_eq!(
+            faulted.p95_latency, clean.p95_latency,
+            "baseline metrics stay fault-free"
+        );
+        assert_ne!(
+            faulted.p95_under_faults, faulted.p95_latency,
+            "the faulted re-simulation actually differs"
+        );
+        assert!(faulted.degraded_permille <= 1000);
+        assert_eq!(
+            faulted,
+            faulted_rt.score(&candidate, &platform),
+            "faulted scoring is deterministic"
+        );
     }
 
     #[test]

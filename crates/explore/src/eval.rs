@@ -272,6 +272,18 @@ impl<'a> Evaluator<'a> {
                         .expect("runtime metrics computed")
                         .cycles_per_job
                 }
+                Objective::P95UnderFaults => {
+                    contention
+                        .as_ref()
+                        .expect("runtime metrics computed")
+                        .p95_under_faults
+                }
+                Objective::DegradedShare => {
+                    contention
+                        .as_ref()
+                        .expect("runtime metrics computed")
+                        .degraded_permille
+                }
             })
             .collect();
         Ok(PointEval {

@@ -19,7 +19,8 @@
 //! * frontier members scored under runtime objectives carry a
 //!   `"contention"` object (`p95_latency`, `cycles_per_job`,
 //!   `jobs_per_mcycle`, `completed`, `rejected`, `makespan`,
-//!   `reconfig_stall_cycles`).
+//!   `reconfig_stall_cycles`, and the reliability pair
+//!   `p95_under_faults` / `degraded_permille`).
 
 pub use amdrel_core::json::{cache_to_json, escape, grid_to_json, string_array, u64_array};
 
@@ -76,7 +77,7 @@ pub fn report_to_json(report: &ExploreReport) -> String {
                 out,
                 ",\"contention\":{{\"p95_latency\":{},\"cycles_per_job\":{},\
                  \"jobs_per_mcycle\":{:.4},\"completed\":{},\"rejected\":{},\"makespan\":{},\
-                 \"reconfig_stall_cycles\":{}}}",
+                 \"reconfig_stall_cycles\":{},\"p95_under_faults\":{},\"degraded_permille\":{}}}",
                 c.p95_latency,
                 c.cycles_per_job,
                 c.jobs_per_mcycle(),
@@ -84,6 +85,8 @@ pub fn report_to_json(report: &ExploreReport) -> String {
                 c.rejected,
                 c.makespan,
                 c.reconfig_stall_cycles,
+                c.p95_under_faults,
+                c.degraded_permille,
             );
         }
         out.push('}');

@@ -34,16 +34,31 @@ pub enum Objective {
     /// cycles per completed job (minimising this maximises jobs per
     /// Mcycle). Needs a [`RuntimeEvaluator`](crate::RuntimeEvaluator).
     Throughput,
+    /// Aggregate 95th-percentile latency of the mix re-simulated under
+    /// the evaluator's fault-injection spec — how gracefully the
+    /// candidate platform degrades when reconfiguration loads fail and
+    /// resources drop out. Needs a
+    /// [`RuntimeEvaluator`](crate::RuntimeEvaluator) with faults
+    /// configured ([`RuntimeEvaluator::with_faults`](crate::RuntimeEvaluator::with_faults));
+    /// with the inert spec it collapses to [`Objective::P95Latency`].
+    P95UnderFaults,
+    /// Permille of completions that took the coarse-grain-only fallback
+    /// path in the faulted re-simulation (0 with the inert spec;
+    /// 1000 if nothing completed). Needs a
+    /// [`RuntimeEvaluator`](crate::RuntimeEvaluator).
+    DegradedShare,
 }
 
 impl Objective {
     /// Every objective, in the canonical (enum) order.
-    pub const ALL: [Objective; 5] = [
+    pub const ALL: [Objective; 7] = [
         Objective::Cycles,
         Objective::Area,
         Objective::Energy,
         Objective::P95Latency,
         Objective::Throughput,
+        Objective::P95UnderFaults,
+        Objective::DegradedShare,
     ];
 
     /// The canonical name (CLI `--objectives` value, JSON key).
@@ -54,11 +69,14 @@ impl Objective {
             Objective::Energy => "energy",
             Objective::P95Latency => "p95",
             Objective::Throughput => "throughput",
+            Objective::P95UnderFaults => "p95_under_faults",
+            Objective::DegradedShare => "degraded_share",
         }
     }
 
     /// Parse one objective name. Accepts the canonical names plus the
-    /// runtime report's aliases (`p95_latency`, `jobs_per_mcycle`).
+    /// runtime report's aliases (`p95_latency`, `jobs_per_mcycle`,
+    /// `p95_faults`).
     pub fn parse(name: &str) -> Option<Objective> {
         match name.trim() {
             "cycles" => Some(Objective::Cycles),
@@ -66,6 +84,8 @@ impl Objective {
             "energy" => Some(Objective::Energy),
             "p95" | "p95_latency" => Some(Objective::P95Latency),
             "throughput" | "jobs_per_mcycle" => Some(Objective::Throughput),
+            "p95_under_faults" | "p95_faults" => Some(Objective::P95UnderFaults),
+            "degraded_share" => Some(Objective::DegradedShare),
             _ => None,
         }
     }
@@ -73,7 +93,13 @@ impl Objective {
     /// `true` if evaluating this objective requires simulating the
     /// workload mix (a [`RuntimeEvaluator`](crate::RuntimeEvaluator)).
     pub fn needs_runtime(self) -> bool {
-        matches!(self, Objective::P95Latency | Objective::Throughput)
+        matches!(
+            self,
+            Objective::P95Latency
+                | Objective::Throughput
+                | Objective::P95UnderFaults
+                | Objective::DegradedShare
+        )
     }
 }
 
@@ -271,7 +297,25 @@ mod tests {
             Some(Objective::Throughput)
         );
         assert_eq!(Objective::parse("p95_latency"), Some(Objective::P95Latency));
+        assert_eq!(
+            Objective::parse("p95_faults"),
+            Some(Objective::P95UnderFaults)
+        );
         assert_eq!(Objective::parse("nope"), None);
+    }
+
+    #[test]
+    fn reliability_objectives_are_selectable() {
+        let set = ObjectiveSet::parse("degraded_share,cycles,p95_under_faults").unwrap();
+        assert_eq!(
+            set.names(),
+            ["cycles", "p95_under_faults", "degraded_share"]
+        );
+        assert!(set.needs_runtime());
+        assert!(set.contains(Objective::P95UnderFaults));
+        assert!(set.contains(Objective::DegradedShare));
+        assert!(Objective::P95UnderFaults.needs_runtime());
+        assert!(Objective::DegradedShare.needs_runtime());
     }
 
     #[test]

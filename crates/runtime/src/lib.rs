@@ -27,13 +27,23 @@
 //!   and streaming latency aggregation ([`SketchMode`]); the historical
 //!   free functions `run_simulation` / `simulate_mix` remain as
 //!   deprecated shims over it;
+//! * [`FaultSpec`] / [`RecoveryPolicy`] — seeded, bit-deterministic
+//!   fault injection (reconfiguration-load failures, transient fabric
+//!   kills, CGC slot outages with timed repair, per-job deadlines) and
+//!   the recovery layered on top: bounded retry under a pure
+//!   [`BackoffSchedule`], plus graceful degradation to the
+//!   coarse-grain-only fallback path
+//!   ([`AppProfile::fallback_cycles`]); the zero-rate spec is inert and
+//!   leaves every report byte-identical to a fault-free run;
 //! * [`LatencySketch`] — deterministic integer-only quantile sketch
 //!   (O(1) memory in the job count) with an exact fallback below
 //!   [`EXACT_THRESHOLD`] jobs;
 //! * [`RuntimeReport`] — per-app latency percentiles, CGC/FPGA
 //!   utilization, reconfiguration loads and stall cycles, rejection
-//!   counts and percentile provenance ([`LatencySource`]); renders as a
-//!   table or JSON (schema `amdrel-simulate/v2`).
+//!   counts, percentile provenance ([`LatencySource`]) and reliability
+//!   metrics ([`ReliabilityStats`]: injected/retried/degraded/aborted
+//!   counts, availability, goodput vs raw throughput, fault-conditioned
+//!   p95s); renders as a table or JSON (schema `amdrel-simulate/v3`).
 //!
 //! # Examples
 //!
@@ -61,7 +71,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backoff;
 mod calendar;
+mod fault;
 mod policy;
 mod profile;
 mod report;
@@ -69,11 +81,13 @@ mod sim;
 mod sketch;
 mod workload;
 
+pub use backoff::BackoffSchedule;
+pub use fault::{FaultSpec, RecoveryPolicy};
 pub use policy::{
     policy_by_name, ConfigAffinity, Fcfs, PriorityFirst, SchedulePolicy, ShortestJobFirst,
 };
-pub use profile::{AppProfile, ConfigId, FabricConfig};
-pub use report::{report_to_json, AppStats, RuntimeReport};
+pub use profile::{AppProfile, ConfigId, FabricConfig, FALLBACK_FINE_PENALTY};
+pub use report::{report_to_json, AppStats, ReliabilityStats, RuntimeReport};
 #[allow(deprecated)]
 pub use sim::{run_simulation, simulate_mix};
 pub use sim::{SimConfig, Simulation};

@@ -85,11 +85,30 @@ pub struct AppProfile {
     pub config: FabricConfig,
 }
 
+/// Cost multiplier for fine-grain work emulated on the coarse-grain
+/// datapath when a job degrades to its fallback path (the fabric's
+/// bit-level parallelism is lost, so each residual FPGA cycle is priced
+/// at this many CGC cycles).
+pub const FALLBACK_FINE_PENALTY: u64 = 4;
+
 impl AppProfile {
     /// Total service demand of one job, ignoring reconfiguration and
     /// queueing (the shortest-job-first ranking key).
     pub fn service_cycles(&self) -> u64 {
         self.fine_cycles + self.coarse_cycles + self.comm_cycles
+    }
+
+    /// Cycles one job takes on the **coarse-grain-only fallback path** —
+    /// the graceful-degradation route a job whose fabric retries are
+    /// exhausted is re-priced onto. Derived from the same per-budget
+    /// [`Breakdown`](amdrel_core::Breakdown) phase split the profile
+    /// carries (eq. (2)): the coarse and communication phases run as
+    /// priced, and the residual fine-grain phase is emulated on the
+    /// coarse datapath at [`FALLBACK_FINE_PENALTY`]× its FPGA cost.
+    pub fn fallback_cycles(&self) -> u64 {
+        self.coarse_cycles
+            .saturating_add(self.comm_cycles)
+            .saturating_add(self.fine_cycles.saturating_mul(FALLBACK_FINE_PENALTY))
     }
 
     /// Derive a profile from the static flow's outputs: the engine's
@@ -165,5 +184,21 @@ mod tests {
         let mut p = AppProfile::synthetic("x", 1, 100, 30, vec![50]);
         p.comm_cycles = 7;
         assert_eq!(p.service_cycles(), 137);
+    }
+
+    #[test]
+    fn fallback_reprices_the_fine_phase_onto_the_coarse_path() {
+        let mut p = AppProfile::synthetic("x", 1, 100, 30, vec![50]);
+        p.comm_cycles = 7;
+        assert_eq!(p.fallback_cycles(), 30 + 7 + 4 * 100);
+        assert!(p.fallback_cycles() > p.service_cycles());
+        let coarse_only = AppProfile::synthetic("y", 0, 0, 500, vec![]);
+        assert_eq!(
+            coarse_only.fallback_cycles(),
+            coarse_only.service_cycles(),
+            "no fine phase, no penalty"
+        );
+        let huge = AppProfile::synthetic("z", 0, u64::MAX, u64::MAX, vec![]);
+        assert_eq!(huge.fallback_cycles(), u64::MAX, "saturates, no overflow");
     }
 }

@@ -3,6 +3,7 @@
 //! JSON rendering through the workspace's shared
 //! [`amdrel_core::json`] writer.
 
+use crate::fault::{FaultSpec, RecoveryPolicy};
 use crate::sim::SimConfig;
 use crate::sketch::{LatencySketch, LatencySource};
 use amdrel_core::json::escape;
@@ -83,6 +84,46 @@ impl AppStats {
     }
 }
 
+/// Reliability accounting for one run: what the fault layer injected
+/// and what the recovery policy did about it. All-zero (the `Default`)
+/// on a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReliabilityStats {
+    /// Total faults injected (`load_failures + fabric_kills +
+    /// slot_outages`).
+    pub injected: u64,
+    /// Bitstream-load attempts that failed.
+    pub load_failures: u64,
+    /// Fine-grain phases killed by transient fabric faults.
+    pub fabric_kills: u64,
+    /// Coarse-grain phases killed by CGC slot outages.
+    pub slot_outages: u64,
+    /// Retry attempts the recovery policy issued (fabric and slot).
+    pub retries: u64,
+    /// Jobs completed on the coarse-grain-only fallback path.
+    pub degraded: u64,
+    /// Jobs dropped after exhausting their retry budget (degradation
+    /// off, or no CGC to fall back to).
+    pub aborted: u64,
+    /// Jobs reaped while still queued at their deadline.
+    pub deadline_misses: u64,
+    /// Cycles of work destroyed by faults (failed-load stalls plus
+    /// partially-executed killed phases).
+    pub fault_lost_cycles: u64,
+    /// CGC slot-cycles lost to outage repair windows.
+    pub slot_downtime_cycles: u64,
+    /// Completions that never saw a fault.
+    pub clean_completed: u64,
+    /// Completions that recovered from at least one fault (degraded
+    /// included).
+    pub faulted_completed: u64,
+    /// 95th-percentile latency over fault-free completions only.
+    pub p95_clean: u64,
+    /// 95th-percentile latency over fault-touched completions only (0
+    /// when none).
+    pub p95_faulted: u64,
+}
+
 /// The complete outcome of one simulation run. All fields are integers
 /// or strings, so two runs over identical inputs compare bit-equal.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -111,6 +152,14 @@ pub struct RuntimeReport {
     /// Whether latency percentiles are exact nearest-rank values or
     /// streaming-sketch upper bounds (within `2^-7` relative).
     pub latency_source: LatencySource,
+    /// The fault-injection spec the run used ([`FaultSpec::none`] when
+    /// faults were off).
+    pub faults: FaultSpec,
+    /// The recovery policy the run used (behaviour-neutral metadata
+    /// while `faults` is inert).
+    pub recovery: RecoveryPolicy,
+    /// What the fault layer injected and the recovery layer salvaged.
+    pub reliability: ReliabilityStats,
     /// Per-application breakdown, in profile order.
     pub apps: Vec<AppStats>,
 }
@@ -171,6 +220,43 @@ impl RuntimeReport {
         self.completed() as f64 * 1_000_000.0 / self.makespan as f64
     }
 
+    /// Fraction of the platform's cycle capacity over the makespan that
+    /// was *not* destroyed by faults or outage repair windows. Capacity
+    /// counts the fabric plus every CGC slot; a fault-free run has
+    /// availability exactly 1.0, and any run stays in `(0, 1]`.
+    pub fn availability(&self) -> f64 {
+        let capacity = self.makespan.saturating_mul(1 + self.cgc_slots as u64);
+        if capacity == 0 {
+            return 1.0;
+        }
+        let lost = self
+            .reliability
+            .fault_lost_cycles
+            .saturating_add(self.reliability.slot_downtime_cycles)
+            .min(capacity);
+        (capacity - lost) as f64 / capacity as f64
+    }
+
+    /// Goodput: *delivered results* per million cycles — every
+    /// completion counts, degraded-path ones included. Always ≤
+    /// [`RuntimeReport::throughput_jobs_per_mcycle`].
+    pub fn goodput_jobs_per_mcycle(&self) -> f64 {
+        self.jobs_per_mcycle()
+    }
+
+    /// Raw drain throughput: job *disposals* (completions, aborts and
+    /// deadline reaps) per million cycles. The gap to
+    /// [`RuntimeReport::goodput_jobs_per_mcycle`] is exactly the jobs
+    /// the platform disposed of without delivering a result.
+    pub fn throughput_jobs_per_mcycle(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let disposed =
+            self.completed() + self.reliability.aborted + self.reliability.deadline_misses;
+        disposed as f64 * 1_000_000.0 / self.makespan as f64
+    }
+
     /// Human-readable summary table.
     pub fn format_table(&self) -> String {
         let mut out = String::new();
@@ -229,20 +315,50 @@ impl RuntimeReport {
                 a.max_latency
             );
         }
+        if !self.faults.is_none() {
+            let r = &self.reliability;
+            let _ = writeln!(
+                out,
+                "faults: {} injected ({} load, {} fabric, {} outage), {} retries, \
+                 {} degraded, {} aborted, {} deadline misses",
+                r.injected,
+                r.load_failures,
+                r.fabric_kills,
+                r.slot_outages,
+                r.retries,
+                r.degraded,
+                r.aborted,
+                r.deadline_misses,
+            );
+            let _ = writeln!(
+                out,
+                "availability {:.4}  goodput {:.2} / throughput {:.2} jobs/Mcycle  \
+                 p95 clean {} / faulted {}",
+                self.availability(),
+                self.goodput_jobs_per_mcycle(),
+                self.throughput_jobs_per_mcycle(),
+                r.p95_clean,
+                r.p95_faulted,
+            );
+        }
         out
     }
 }
 
 /// Render a [`RuntimeReport`] as deterministic JSON
-/// (schema `amdrel-simulate/v2`).
+/// (schema `amdrel-simulate/v3`).
 ///
-/// v2 additions over v1: a `latency_source` provenance field in
-/// `totals` (`"exact"` nearest-rank percentiles vs `"sketched"` upper
-/// bounds from the streaming histogram). `queue_bound` keeps the v1
-/// convention of `0` meaning unbounded.
+/// v3 additions over v2: `faults` (the injection spec), `recovery` (the
+/// policy) and `reliability` (injection/recovery counters plus
+/// availability, goodput vs raw throughput, and fault-conditioned p95s)
+/// objects. Every v2 key is retained unchanged, and a fault-free run
+/// renders the zero-rate spec with an all-zero `reliability` block.
+/// Earlier history: v2 added the `latency_source` provenance field in
+/// `totals`; `queue_bound` keeps the v1 convention of `0` meaning
+/// unbounded.
 pub fn report_to_json(report: &RuntimeReport) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"amdrel-simulate/v2\",\n");
+    out.push_str("{\n  \"schema\": \"amdrel-simulate/v3\",\n");
     let _ = writeln!(out, "  \"policy\": \"{}\",", escape(&report.policy));
     let _ = writeln!(
         out,
@@ -281,6 +397,53 @@ pub fn report_to_json(report: &RuntimeReport) -> String {
         report.cgc_slots,
         report.cgc_busy_cycles,
         report.cgc_utilization()
+    );
+    let _ = writeln!(
+        out,
+        "  \"faults\": {{\"seed\": {}, \"load_fail_permille\": {}, \"transient_permille\": {}, \
+         \"outage_permille\": {}, \"repair_cycles\": {}, \"deadline\": {}}},",
+        report.faults.seed,
+        report.faults.load_fail_permille,
+        report.faults.transient_permille,
+        report.faults.outage_permille,
+        report.faults.repair_cycles,
+        report.faults.deadline.map_or(0, |d| d.get())
+    );
+    let _ = writeln!(
+        out,
+        "  \"recovery\": {{\"max_retries\": {}, \"backoff_base_cycles\": {}, \
+         \"backoff_cap_cycles\": {}, \"degrade\": {}}},",
+        report.recovery.max_retries,
+        report.recovery.backoff.base_cycles,
+        report.recovery.backoff.cap_cycles,
+        report.recovery.degrade
+    );
+    let r = &report.reliability;
+    let _ = writeln!(
+        out,
+        "  \"reliability\": {{\"injected\": {}, \"load_failures\": {}, \"fabric_kills\": {}, \
+         \"slot_outages\": {}, \"retries\": {}, \"degraded\": {}, \"aborted\": {}, \
+         \"deadline_misses\": {}, \"fault_lost_cycles\": {}, \"slot_downtime_cycles\": {}, \
+         \"clean_completed\": {}, \"faulted_completed\": {}, \"p95_clean\": {}, \
+         \"p95_faulted\": {}, \"availability\": {:.4}, \"goodput_jobs_per_mcycle\": {:.4}, \
+         \"throughput_jobs_per_mcycle\": {:.4}}},",
+        r.injected,
+        r.load_failures,
+        r.fabric_kills,
+        r.slot_outages,
+        r.retries,
+        r.degraded,
+        r.aborted,
+        r.deadline_misses,
+        r.fault_lost_cycles,
+        r.slot_downtime_cycles,
+        r.clean_completed,
+        r.faulted_completed,
+        r.p95_clean,
+        r.p95_faulted,
+        report.availability(),
+        report.goodput_jobs_per_mcycle(),
+        report.throughput_jobs_per_mcycle()
     );
     out.push_str("  \"apps\": [\n");
     for (i, a) in report.apps.iter().enumerate() {
@@ -341,6 +504,9 @@ mod tests {
             p50_latency: 5,
             p95_latency: 5,
             latency_source: LatencySource::Exact,
+            faults: FaultSpec::none(),
+            recovery: RecoveryPolicy::default(),
+            reliability: ReliabilityStats::default(),
             apps: vec![AppStats::from_latencies("a", 10, 8, 2, vec![5; 8])],
         }
     }
@@ -356,18 +522,67 @@ mod tests {
     }
 
     #[test]
+    fn reliability_metrics_on_a_clean_run() {
+        let r = toy_report();
+        assert_eq!(r.availability(), 1.0, "nothing lost, fully available");
+        assert_eq!(r.goodput_jobs_per_mcycle(), r.jobs_per_mcycle());
+        assert_eq!(
+            r.throughput_jobs_per_mcycle(),
+            r.goodput_jobs_per_mcycle(),
+            "no aborts or reaps: the two rates coincide"
+        );
+    }
+
+    #[test]
+    fn reliability_metrics_under_faults() {
+        let mut r = toy_report();
+        r.faults = FaultSpec::uniform(7, 100);
+        // Capacity = 1000 * (1 fabric + 2 slots) = 3000; lose 600.
+        r.reliability.fault_lost_cycles = 400;
+        r.reliability.slot_downtime_cycles = 200;
+        r.reliability.aborted = 1;
+        r.reliability.deadline_misses = 1;
+        assert!((r.availability() - 0.8).abs() < 1e-12);
+        // 8 completed vs 10 disposed over 1000 cycles.
+        assert!((r.goodput_jobs_per_mcycle() - 8_000.0).abs() < 1e-9);
+        assert!((r.throughput_jobs_per_mcycle() - 10_000.0).abs() < 1e-9);
+        assert!(r.goodput_jobs_per_mcycle() <= r.throughput_jobs_per_mcycle());
+        // Losses beyond capacity clamp instead of going negative.
+        r.reliability.fault_lost_cycles = u64::MAX;
+        assert_eq!(r.availability(), 0.0);
+        let mut empty = toy_report();
+        empty.makespan = 0;
+        assert_eq!(empty.availability(), 1.0, "zero capacity is vacuously up");
+    }
+
+    #[test]
     fn json_and_table_shapes() {
         let r = toy_report();
         let json = report_to_json(&r);
-        assert!(json.contains("\"schema\": \"amdrel-simulate/v2\""));
+        assert!(json.contains("\"schema\": \"amdrel-simulate/v3\""));
         assert!(json.contains("\"apps\""));
         assert!(json.contains("\"p95_latency\":5"));
         assert!(json.contains("\"latency_source\": \"exact\""));
         assert!(json.contains("\"queue_bound\": 0"), "None renders as 0");
+        assert!(json.contains("\"faults\""));
+        assert!(json.contains("\"recovery\""));
+        assert!(json.contains("\"reliability\""));
+        assert!(json.contains("\"availability\": 1.0000"));
+        assert!(json.contains("\"deadline\": 0"), "None renders as 0");
         let table = r.format_table();
         assert!(table.contains("policy fcfs"));
         assert!(table.contains("queue bound unbounded"));
         assert!(table.contains("p95 latency"));
+        assert!(
+            !table.contains("availability"),
+            "inert spec keeps the table fault-silent"
+        );
+        let mut faulted = r.clone();
+        faulted.faults = FaultSpec::uniform(7, 100);
+        faulted.reliability.injected = 3;
+        let table = faulted.format_table();
+        assert!(table.contains("3 injected"));
+        assert!(table.contains("availability"));
     }
 
     #[test]

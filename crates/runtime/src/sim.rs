@@ -17,7 +17,12 @@
 //! Every event is ordered by `(time, sequence number)` — a total,
 //! seed-independent order — so identical inputs replay bit-for-bit. The
 //! simulator itself consumes no randomness; all stochasticity lives in
-//! the seeded [`WorkloadSpec`](crate::WorkloadSpec) generator.
+//! the seeded [`WorkloadSpec`](crate::WorkloadSpec) generator and, when
+//! one is attached, the seeded [`FaultSpec`](crate::FaultSpec) whose
+//! per-`(channel, job, attempt)` draws are pure functions — fault,
+//! repair and deadline events flow through the same calendar queue and
+//! the same total order, so faulted runs replay bit-for-bit too, and a
+//! zero-rate spec is byte-identical to attaching none.
 //!
 //! # Engine
 //!
@@ -39,9 +44,10 @@
 //! [`simulate_mix`] remain as thin deprecated shims over it.
 
 use crate::calendar::CalendarQueue;
+use crate::fault::{permille_of, FaultSpec, RecoveryPolicy};
 use crate::policy::{Fcfs, SchedulePolicy};
 use crate::profile::{AppProfile, ConfigId};
-use crate::report::{AppStats, RuntimeReport};
+use crate::report::{AppStats, ReliabilityStats, RuntimeReport};
 use crate::sketch::{LatencySketch, LatencySource, SketchMode};
 use crate::workload::{Job, WorkloadSpec};
 use amdrel_core::Platform;
@@ -76,14 +82,49 @@ impl Default for SimConfig {
     }
 }
 
+/// One coarse-phase work item in a CGC slot or waiting for one. Plain
+/// jobs carry their own `coarse_cycles`; degraded jobs carry the
+/// profile's fallback pricing instead and are immune to further faults
+/// (the reliable slow path).
+#[derive(Debug, Clone, Copy)]
+struct CgcTask {
+    job: Job,
+    /// Slot cycles this execution takes.
+    cycles: u64,
+    /// Coarse-phase attempt counter (slot-outage retries).
+    attempt: u32,
+    /// On the coarse-grain-only fallback path (fault-immune).
+    degraded: bool,
+    /// The job saw at least one fault anywhere on its way here.
+    faulted: bool,
+}
+
 /// A completion event payload; arrivals never enter the event structure
-/// (they are merged lazily from the sorted job stream).
+/// (they are merged lazily from the sorted job stream). Fault, repair
+/// and deadline events flow through the same calendar queue and the
+/// same `(time, seq)` total order as completions — at equal times the
+/// earlier-scheduled event fires first, deterministically.
 #[derive(Debug, Clone, Copy)]
 enum Completion {
-    /// The fabric finishes `Job`'s fine-grain phase.
-    Fpga(Job),
-    /// A CGC slot finishes `Job`'s coarse phase.
-    Cgc(Job),
+    /// The fabric finishes `Job`'s fine-grain phase (attempt > 0 means
+    /// it recovered from at least one fault first).
+    Fpga { job: Job, attempt: u32 },
+    /// A CGC slot finishes a coarse-phase task.
+    Cgc(CgcTask),
+    /// A bitstream load for `job`'s attempt fails after stalling the
+    /// fabric for its full streaming time.
+    LoadFault { job: Job, attempt: u32 },
+    /// A transient fabric fault kills `job`'s in-flight fine phase.
+    FabricFault { job: Job, attempt: u32 },
+    /// Backoff elapsed: the fabric (still held by `job`) retries.
+    FabricRetry { job: Job, attempt: u32 },
+    /// A CGC slot outage kills the task's in-flight coarse phase; the
+    /// slot stays down until its repair event.
+    SlotFault(CgcTask),
+    /// A failed CGC slot returns to the pool.
+    SlotRepair,
+    /// `job_id`'s deadline: reap it if it still waits for the fabric.
+    Deadline { job_id: u64 },
 }
 
 /// Streaming run accounting: counters plus one [`LatencySketch`] per
@@ -101,6 +142,18 @@ struct Ledger {
     reconfig_loads: u64,
     cgc_busy_cycles: u64,
     makespan: u64,
+    // Reliability accounting (all zero on a fault-free run).
+    load_failures: u64,
+    fabric_kills: u64,
+    slot_outages: u64,
+    retries: u64,
+    degraded: u64,
+    aborted: u64,
+    deadline_misses: u64,
+    fault_lost_cycles: u64,
+    slot_downtime_cycles: u64,
+    clean: LatencySketch,
+    faulted: LatencySketch,
 }
 
 impl Ledger {
@@ -116,14 +169,30 @@ impl Ledger {
             reconfig_loads: 0,
             cgc_busy_cycles: 0,
             makespan: 0,
+            load_failures: 0,
+            fabric_kills: 0,
+            slot_outages: 0,
+            retries: 0,
+            degraded: 0,
+            aborted: 0,
+            deadline_misses: 0,
+            fault_lost_cycles: 0,
+            slot_downtime_cycles: 0,
+            clean: LatencySketch::new(source),
+            faulted: LatencySketch::new(source),
         }
     }
 
-    fn complete(&mut self, job: &Job, now: u64) {
+    fn complete(&mut self, job: &Job, now: u64, faulted: bool) {
         self.completed[job.app] += 1;
         let latency = now - job.arrival;
         self.per_app[job.app].record(latency);
         self.total.record(latency);
+        if faulted {
+            self.faulted.record(latency);
+        } else {
+            self.clean.record(latency);
+        }
         self.makespan = self.makespan.max(now);
     }
 
@@ -133,6 +202,8 @@ impl Ledger {
         policy: &str,
         config: SimConfig,
         cgc_slots: usize,
+        faults: FaultSpec,
+        recovery: RecoveryPolicy,
     ) -> RuntimeReport {
         let apps: Vec<AppStats> = profiles
             .iter()
@@ -159,6 +230,24 @@ impl Ledger {
             p50_latency: self.total.percentile(50),
             p95_latency: self.total.percentile(95),
             latency_source: self.total.source(),
+            faults,
+            recovery,
+            reliability: ReliabilityStats {
+                injected: self.load_failures + self.fabric_kills + self.slot_outages,
+                load_failures: self.load_failures,
+                fabric_kills: self.fabric_kills,
+                slot_outages: self.slot_outages,
+                retries: self.retries,
+                degraded: self.degraded,
+                aborted: self.aborted,
+                deadline_misses: self.deadline_misses,
+                fault_lost_cycles: self.fault_lost_cycles,
+                slot_downtime_cycles: self.slot_downtime_cycles,
+                clean_completed: self.clean.count(),
+                faulted_completed: self.faulted.count(),
+                p95_clean: self.clean.percentile(95),
+                p95_faulted: self.faulted.percentile(95),
+            },
             apps,
         }
     }
@@ -169,6 +258,8 @@ struct Engine<'a> {
     platform: &'a Platform,
     policy: &'a dyn SchedulePolicy,
     config: SimConfig,
+    faults: FaultSpec,
+    recovery: RecoveryPolicy,
 
     events: CalendarQueue<Completion>,
     next_seq: u64,
@@ -177,7 +268,7 @@ struct Engine<'a> {
     fpga_busy: bool,
     loaded: Option<ConfigId>,
 
-    cgc_queue: VecDeque<Job>,
+    cgc_queue: VecDeque<CgcTask>,
     free_slots: usize,
 
     ledger: Ledger,
@@ -197,6 +288,8 @@ impl<'a> Engine<'a> {
             platform: sim.platform,
             policy: sim.policy,
             config: sim.config,
+            faults: sim.faults,
+            recovery: sim.recovery,
             events: CalendarQueue::new(width_hint),
             next_seq: 0,
             fpga_queue: Vec::new(),
@@ -235,25 +328,103 @@ impl<'a> Engine<'a> {
         }
         let pick = self.policy.pick(&self.fpga_queue, self.loaded);
         let job = self.fpga_queue.swap_remove(pick);
+        self.fpga_busy = true;
+        self.start_fabric_attempt(job, 0, now);
+    }
+
+    /// Begin fabric attempt `attempt` of `job` (the fabric is already
+    /// held). Consults the fault spec for a load failure, then a
+    /// transient kill; on the zero-rate spec neither stream is touched
+    /// and the charge/schedule sequence is exactly the fault-free one.
+    fn start_fabric_attempt(&mut self, job: Job, attempt: u32, now: u64) {
         let (loads, stall) = self.reconfig_charge(&job);
+        if loads > 0 && self.faults.load_fails(job.id, attempt) {
+            // The load aborts after its full streaming stall; a partial
+            // bitstream is useless, so the resident configuration is
+            // scrubbed and the stall is pure loss.
+            self.ledger.load_failures += 1;
+            self.ledger.fault_lost_cycles += stall;
+            self.loaded = None;
+            self.schedule(now + stall, Completion::LoadFault { job, attempt });
+            return;
+        }
         if loads > 0 {
             self.loaded = Some(job.config);
         }
         self.ledger.reconfig_loads += loads;
         self.ledger.reconfig_stall_cycles += stall;
+        if let Some(frac) = self.faults.fabric_kill(job.id, attempt) {
+            // Transient fault: the drawn fraction of the fine phase runs
+            // (and is wasted) before the kill.
+            let wasted = permille_of(job.fine_cycles, frac);
+            self.ledger.fabric_kills += 1;
+            self.ledger.fault_lost_cycles += wasted;
+            self.schedule(
+                now + stall + wasted,
+                Completion::FabricFault { job, attempt },
+            );
+            return;
+        }
         self.ledger.fpga_busy_cycles += job.fine_cycles;
-        self.fpga_busy = true;
-        self.schedule(now + stall + job.fine_cycles, Completion::Fpga(job));
+        self.schedule(
+            now + stall + job.fine_cycles,
+            Completion::Fpga { job, attempt },
+        );
+    }
+
+    /// A fabric attempt failed (load fault or transient kill): retry
+    /// after backoff while budget remains — the job holds the fabric
+    /// through the whole retry chain — else release the fabric and
+    /// degrade or abort.
+    fn recover_fabric(&mut self, job: Job, attempt: u32, now: u64) {
+        if attempt < self.recovery.max_retries {
+            self.ledger.retries += 1;
+            let delay = self.recovery.backoff.delay(attempt);
+            self.schedule(
+                now + delay,
+                Completion::FabricRetry {
+                    job,
+                    attempt: attempt + 1,
+                },
+            );
+            return;
+        }
+        self.fpga_busy = false;
+        if self.recovery.degrade && !self.platform.datapath.cgcs.is_empty() {
+            self.cgc_queue.push_back(CgcTask {
+                job,
+                cycles: self.profiles[job.app].fallback_cycles(),
+                attempt: 0,
+                degraded: true,
+                faulted: true,
+            });
+            self.dispatch_cgc(now);
+        } else {
+            self.ledger.aborted += 1;
+        }
+        self.dispatch_fpga(now);
     }
 
     fn dispatch_cgc(&mut self, now: u64) {
         while self.free_slots > 0 {
-            let Some(job) = self.cgc_queue.pop_front() else {
+            let Some(task) = self.cgc_queue.pop_front() else {
                 return;
             };
             self.free_slots -= 1;
-            self.ledger.cgc_busy_cycles += job.coarse_cycles;
-            self.schedule(now + job.coarse_cycles, Completion::Cgc(job));
+            if !task.degraded {
+                if let Some(frac) = self.faults.slot_outage(task.job.id, task.attempt) {
+                    // Outage: the drawn fraction of the coarse phase runs
+                    // before the slot dies; the slot stays down until its
+                    // repair event returns it to the pool.
+                    let wasted = permille_of(task.cycles, frac);
+                    self.ledger.slot_outages += 1;
+                    self.ledger.fault_lost_cycles += wasted;
+                    self.schedule(now + wasted, Completion::SlotFault(task));
+                    continue;
+                }
+            }
+            self.ledger.cgc_busy_cycles += task.cycles;
+            self.schedule(now + task.cycles, Completion::Cgc(task));
         }
     }
 
@@ -266,6 +437,9 @@ impl<'a> Engine<'a> {
         {
             self.ledger.rejected[job.app] += 1;
         } else {
+            if let Some(reap) = self.faults.job_deadline(job.arrival) {
+                self.schedule(reap, Completion::Deadline { job_id: job.id });
+            }
             self.fpga_queue.push(job);
             self.dispatch_fpga(job.arrival);
         }
@@ -301,20 +475,75 @@ impl<'a> Engine<'a> {
             } else {
                 let (now, _, completion) = self.events.pop().unwrap();
                 match completion {
-                    Completion::Fpga(job) => {
+                    Completion::Fpga { job, attempt } => {
                         self.fpga_busy = false;
+                        let faulted = attempt > 0;
                         if job.coarse_cycles > 0 {
-                            self.cgc_queue.push_back(job);
+                            self.cgc_queue.push_back(CgcTask {
+                                job,
+                                cycles: job.coarse_cycles,
+                                attempt: 0,
+                                degraded: false,
+                                faulted,
+                            });
                             self.dispatch_cgc(now);
                         } else {
-                            self.ledger.complete(&job, now);
+                            self.ledger.complete(&job, now, faulted);
                         }
                         self.dispatch_fpga(now);
                     }
-                    Completion::Cgc(job) => {
+                    Completion::Cgc(task) => {
                         self.free_slots += 1;
-                        self.ledger.complete(&job, now);
+                        if task.degraded {
+                            self.ledger.degraded += 1;
+                        }
+                        self.ledger
+                            .complete(&task.job, now, task.faulted || task.attempt > 0);
                         self.dispatch_cgc(now);
+                    }
+                    Completion::LoadFault { job, attempt }
+                    | Completion::FabricFault { job, attempt } => {
+                        self.recover_fabric(job, attempt, now);
+                    }
+                    Completion::FabricRetry { job, attempt } => {
+                        self.start_fabric_attempt(job, attempt, now);
+                    }
+                    Completion::SlotFault(task) => {
+                        // The slot stays out of the pool until repair.
+                        self.ledger.slot_downtime_cycles += self.faults.repair_cycles;
+                        self.schedule(now + self.faults.repair_cycles, Completion::SlotRepair);
+                        if task.attempt < self.recovery.max_retries {
+                            self.ledger.retries += 1;
+                            self.cgc_queue.push_back(CgcTask {
+                                attempt: task.attempt + 1,
+                                faulted: true,
+                                ..task
+                            });
+                            self.dispatch_cgc(now);
+                        } else if self.recovery.degrade {
+                            // Same pricing, but on the fault-immune
+                            // fallback path: the reliable slow lane.
+                            self.cgc_queue.push_back(CgcTask {
+                                degraded: true,
+                                faulted: true,
+                                ..task
+                            });
+                            self.dispatch_cgc(now);
+                        } else {
+                            self.ledger.aborted += 1;
+                        }
+                    }
+                    Completion::SlotRepair => {
+                        self.free_slots += 1;
+                        self.dispatch_cgc(now);
+                    }
+                    Completion::Deadline { job_id } => {
+                        // Only still-queued jobs are reaped; a dispatched
+                        // job is committed and runs to completion.
+                        if let Some(pos) = self.fpga_queue.iter().position(|j| j.id == job_id) {
+                            self.fpga_queue.swap_remove(pos);
+                            self.ledger.deadline_misses += 1;
+                        }
                     }
                 }
             }
@@ -324,6 +553,8 @@ impl<'a> Engine<'a> {
             self.policy.name(),
             self.config,
             self.platform.datapath.cgcs.len(),
+            self.faults,
+            self.recovery,
         )
     }
 }
@@ -369,6 +600,8 @@ pub struct Simulation<'a> {
     policy: &'a dyn SchedulePolicy,
     config: SimConfig,
     sketch: SketchMode,
+    faults: FaultSpec,
+    recovery: RecoveryPolicy,
 }
 
 impl std::fmt::Debug for Simulation<'_> {
@@ -378,13 +611,15 @@ impl std::fmt::Debug for Simulation<'_> {
             .field("policy", &self.policy.name())
             .field("config", &self.config)
             .field("sketch", &self.sketch)
+            .field("faults", &self.faults)
+            .field("recovery", &self.recovery)
             .finish()
     }
 }
 
 impl<'a> Simulation<'a> {
     /// A simulation of `platform` with default knobs (no profiles, FCFS,
-    /// [`SimConfig::default`], [`SketchMode::Auto`]).
+    /// [`SimConfig::default`], [`SketchMode::Auto`], no faults).
     pub fn new(platform: &'a Platform) -> Self {
         Simulation {
             platform,
@@ -392,6 +627,8 @@ impl<'a> Simulation<'a> {
             policy: &Fcfs,
             config: SimConfig::default(),
             sketch: SketchMode::Auto,
+            faults: FaultSpec::none(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -429,6 +666,23 @@ impl<'a> Simulation<'a> {
     /// everything.
     pub fn queue_bound(mut self, bound: Option<NonZeroUsize>) -> Self {
         self.config.queue_bound = bound;
+        self
+    }
+
+    /// Attach a seeded fault-injection spec (default
+    /// [`FaultSpec::none`]). A zero-rate spec is inert: the run is
+    /// byte-identical to one with no spec attached.
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The recovery policy applied when injected faults fire (default
+    /// [`RecoveryPolicy::default`]: 3 retries, abort on exhaustion).
+    /// Irrelevant — and behaviour-neutral — while the fault spec is
+    /// inert.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -709,22 +963,27 @@ mod oracle {
                             self.cgc_queue.push_back(job);
                             self.dispatch_cgc(now);
                         } else {
-                            self.ledger.complete(&job, now);
+                            self.ledger.complete(&job, now, false);
                         }
                         self.dispatch_fpga(now);
                     }
                     EventKind::CgcDone(job) => {
                         self.free_slots += 1;
-                        self.ledger.complete(&job, now);
+                        self.ledger.complete(&job, now, false);
                         self.dispatch_cgc(now);
                     }
                 }
             }
+            // The oracle is deliberately fault-free: fault determinism is
+            // covered by explicit replay tests, and a zero-rate calendar
+            // run must match this fault-free core bit for bit.
             self.ledger.into_report(
                 self.profiles,
                 self.policy.name(),
                 self.config,
                 self.platform.datapath.cgcs.len(),
+                FaultSpec::none(),
+                RecoveryPolicy::default(),
             )
         }
     }
@@ -1059,6 +1318,187 @@ mod tests {
                 .sketch_mode(mode);
             assert_eq!(s.run(&jobs), s.run_mix(&spec), "mode {mode:?}");
         }
+    }
+
+    #[test]
+    fn inert_faults_leave_reports_bit_identical() {
+        let profiles = vec![
+            AppProfile::synthetic("interactive", 2, 5_000, 1_500, vec![400, 300]),
+            AppProfile::synthetic("batch", 0, 40_000, 9_000, vec![900]),
+        ];
+        let pf = platform();
+        let spec = WorkloadSpec::uniform(42, 200, &profiles, 120);
+        let jobs = spec.generate(&profiles);
+        let policies: [&dyn SchedulePolicy; 4] =
+            [&Fcfs, &ShortestJobFirst, &PriorityFirst, &ConfigAffinity];
+        for policy in policies {
+            let base = Simulation::new(&pf).profiles(&profiles).policy(policy);
+            let plain = base.run(&jobs);
+            assert_eq!(
+                plain,
+                base.faults(FaultSpec::none()).run(&jobs),
+                "attaching the inert spec must change nothing ({})",
+                policy.name()
+            );
+            // Even an exotic recovery policy is behaviour-neutral while
+            // the spec is inert — only the recorded metadata differs.
+            let exotic = RecoveryPolicy {
+                max_retries: 99,
+                degrade: true,
+                ..RecoveryPolicy::default()
+            };
+            let mut faulted = base.faults(FaultSpec::none()).recovery(exotic).run(&jobs);
+            assert_eq!(faulted.recovery, exotic);
+            faulted.recovery = plain.recovery;
+            assert_eq!(plain, faulted, "policy {}", policy.name());
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_bit_deterministic_and_stream_invariant() {
+        let profiles = vec![
+            AppProfile::synthetic("interactive", 2, 5_000, 1_500, vec![400, 300]),
+            AppProfile::synthetic("batch", 0, 40_000, 9_000, vec![900]),
+            AppProfile::synthetic("stream", 1, 12_000, 4_000, vec![600, 200, 200]),
+        ];
+        let pf = platform();
+        let spec = WorkloadSpec::uniform(2004, 300, &profiles, 120);
+        let jobs = spec.generate(&profiles);
+        let mut faults = FaultSpec::uniform(7, 150);
+        faults.deadline = std::num::NonZeroU64::new(40_000_000);
+        for degrade in [false, true] {
+            let recovery = RecoveryPolicy {
+                degrade,
+                ..RecoveryPolicy::default()
+            };
+            let s = Simulation::new(&pf)
+                .profiles(&profiles)
+                .policy(&ConfigAffinity)
+                .faults(faults)
+                .recovery(recovery);
+            let a = s.run(&jobs);
+            assert!(a.reliability.injected > 0, "faults must actually fire");
+            assert_eq!(a, s.run(&jobs), "same inputs, same report");
+            assert_eq!(a, s.run_mix(&spec), "batch and streaming runs agree");
+        }
+    }
+
+    #[test]
+    fn exhausted_fabric_retries_abort_or_degrade() {
+        let p = vec![profile("a", 100, 40, vec![30])];
+        let jobs = vec![job(0, 0, 0, 100, 40, &p[0].config)];
+        let pf = platform();
+        let mut fs = FaultSpec::none();
+        fs.load_fail_permille = 1000; // every load attempt fails
+        let recovery = RecoveryPolicy {
+            max_retries: 2,
+            ..RecoveryPolicy::default()
+        };
+        let abort = sim(&p, &pf).faults(fs).recovery(recovery).run(&jobs);
+        assert_eq!(abort.completed(), 0);
+        assert_eq!(abort.reliability.aborted, 1);
+        assert_eq!(abort.reliability.load_failures, 3, "initial + 2 retries");
+        assert_eq!(abort.reliability.retries, 2);
+        assert_eq!(abort.reliability.injected, 3);
+        assert_eq!(abort.reconfig_loads, 0, "no load ever succeeded");
+        assert_eq!(abort.reliability.fault_lost_cycles, 3 * 40);
+
+        let degrade = sim(&p, &pf)
+            .faults(fs)
+            .recovery(RecoveryPolicy {
+                degrade: true,
+                ..recovery
+            })
+            .run(&jobs);
+        assert_eq!(degrade.completed(), 1, "degradation saves the job");
+        assert_eq!(degrade.reliability.degraded, 1);
+        assert_eq!(degrade.reliability.aborted, 0);
+        // Loads fail at 40, 336, 888 (backoff 256 then 512 between
+        // attempts, 40-cycle stall each); the fallback path then prices
+        // the job at 40 + 4*100 = 440 CGC cycles.
+        assert_eq!(degrade.makespan, 888 + 440);
+        assert_eq!(degrade.reliability.faulted_completed, 1);
+        assert_eq!(degrade.reliability.clean_completed, 0);
+    }
+
+    #[test]
+    fn transient_kills_waste_the_drawn_fraction() {
+        let p = vec![profile("a", 1_000, 0, vec![])];
+        let jobs = vec![job(0, 0, 0, 1_000, 0, &p[0].config)];
+        let pf = platform();
+        let mut fs = FaultSpec::none();
+        fs.transient_permille = 1000; // every fabric attempt is killed
+        let r = sim(&p, &pf)
+            .faults(fs)
+            .recovery(RecoveryPolicy {
+                max_retries: 0,
+                ..RecoveryPolicy::default()
+            })
+            .run(&jobs);
+        assert_eq!(r.reliability.fabric_kills, 1);
+        assert_eq!(r.reliability.aborted, 1);
+        assert_eq!(r.reliability.retries, 0);
+        assert!(r.reliability.fault_lost_cycles < 1_000, "partial phase");
+        assert_eq!(r.fpga_busy_cycles, 0, "killed work is not busy time");
+    }
+
+    #[test]
+    fn slot_outages_down_the_slot_until_repair() {
+        // Zero fine phase: jobs pass straight to the CGC stage.
+        let p = vec![profile("a", 0, 100, vec![])];
+        let jobs = vec![job(0, 0, 0, 0, 100, &p[0].config)];
+        let pf = platform();
+        let mut fs = FaultSpec::none();
+        fs.outage_permille = 1000; // every regular coarse attempt dies
+        fs.repair_cycles = 5_000;
+        let recovery = RecoveryPolicy {
+            max_retries: 1,
+            degrade: true,
+            ..RecoveryPolicy::default()
+        };
+        let r = sim(&p, &pf).faults(fs).recovery(recovery).run(&jobs);
+        assert_eq!(r.reliability.slot_outages, 2, "attempt 0 and its retry");
+        assert_eq!(r.reliability.retries, 1);
+        assert_eq!(r.reliability.degraded, 1, "exhaustion degrades");
+        assert_eq!(r.completed(), 1, "the fallback path is fault-immune");
+        assert_eq!(r.reliability.slot_downtime_cycles, 10_000);
+
+        let no_degrade = sim(&p, &pf)
+            .faults(fs)
+            .recovery(RecoveryPolicy {
+                degrade: false,
+                ..recovery
+            })
+            .run(&jobs);
+        assert_eq!(no_degrade.completed(), 0);
+        assert_eq!(no_degrade.reliability.aborted, 1);
+    }
+
+    #[test]
+    fn deadlines_reap_only_still_queued_jobs() {
+        let p = vec![profile("a", 1_000, 0, vec![])];
+        // Job 0 seizes the fabric at t=0 (committed); jobs 1 and 2 queue
+        // behind it and are still waiting at their deadlines.
+        let jobs: Vec<Job> = (0..3)
+            .map(|i| job(i, 0, i * 10, 1_000, 0, &p[0].config))
+            .collect();
+        let pf = platform();
+        let mut fs = FaultSpec::none();
+        fs.deadline = std::num::NonZeroU64::new(500);
+        let r = sim(&p, &pf).faults(fs).run(&jobs);
+        assert_eq!(r.completed(), 1, "the dispatched job runs to completion");
+        assert_eq!(r.reliability.deadline_misses, 2);
+        assert_eq!(r.makespan, 1_000);
+        assert_eq!(
+            r.arrived(),
+            r.completed() + r.reliability.deadline_misses,
+            "every job is accounted for"
+        );
+        // A generous deadline reaps nothing and changes nothing else.
+        fs.deadline = std::num::NonZeroU64::new(1 << 40);
+        let generous = sim(&p, &pf).faults(fs).run(&jobs);
+        assert_eq!(generous.reliability.deadline_misses, 0);
+        assert_eq!(generous.completed(), 3);
     }
 
     #[test]

@@ -5,11 +5,11 @@
 use amdrel_core::rng::SplitMix64;
 use amdrel_core::{Platform, ReconfigModel};
 use amdrel_runtime::{
-    policy_by_name, report_to_json, AppProfile, AppShare, Fcfs, Job, SimConfig, Simulation,
-    WorkloadSpec,
+    policy_by_name, report_to_json, AppProfile, AppShare, FaultSpec, Fcfs, Job, RecoveryPolicy,
+    SimConfig, Simulation, WorkloadSpec,
 };
 use proptest::prelude::*;
-use std::num::NonZeroUsize;
+use std::num::{NonZeroU64, NonZeroUsize};
 
 /// Expand a seed into a small heterogeneous tenant set (1–4 apps with
 /// varied sizes, priorities and partition footprints).
@@ -131,6 +131,96 @@ proptest! {
             if bound == 0 {
                 prop_assert_eq!(r.rejected(), 0, "unbounded queue never rejects");
             }
+        }
+    }
+
+    /// The zero-rate fault spec is inert: attaching it — with any
+    /// recovery policy — reproduces the default run's behaviour exactly
+    /// (everything but the recorded recovery metadata), under every
+    /// policy.
+    #[test]
+    fn inert_fault_spec_changes_nothing(seed in any::<u64>(), jobs in 1usize..60, retries in 0u32..8, degrade in any::<bool>()) {
+        let profiles = tenants(seed);
+        let platform = Platform::paper(1500, 2);
+        let stream = spec_for(seed, &profiles, jobs).generate(&profiles);
+        let recovery = RecoveryPolicy { max_retries: retries, degrade, ..RecoveryPolicy::default() };
+        for name in POLICIES {
+            let policy = policy_by_name(name).unwrap();
+            let sim = Simulation::new(&platform).profiles(&profiles).policy(policy.as_ref());
+            let plain = sim.run(&stream);
+            let mut inert = sim.faults(FaultSpec::none()).recovery(recovery).run(&stream);
+            prop_assert_eq!(inert.recovery, recovery);
+            inert.recovery = plain.recovery;
+            prop_assert_eq!(&plain, &inert, "policy {}", name);
+        }
+    }
+
+    /// Fault streams are prefix-stable across job-count forks and
+    /// policy-independent: a job's fault draws depend only on
+    /// `(fault seed, channel, job id, attempt)`, never on how many
+    /// other jobs exist or what the scheduler did.
+    #[test]
+    fn fault_streams_are_prefix_stable(seed in any::<u64>(), jobs in 1u64..200, rate in 1u16..1001) {
+        let spec = FaultSpec::uniform(seed, rate);
+        let draws = |n: u64| -> Vec<(bool, Option<u64>, Option<u64>)> {
+            (0..n)
+                .map(|j| (spec.load_fails(j, 0), spec.fabric_kill(j, 1), spec.slot_outage(j, 2)))
+                .collect()
+        };
+        let short = draws(jobs);
+        // Simulate in between: decisions are pure, nothing perturbs them.
+        let profiles = tenants(seed);
+        let platform = Platform::paper(1500, 2);
+        let stream = spec_for(seed, &profiles, 24).generate(&profiles);
+        let _ = Simulation::new(&platform).profiles(&profiles).faults(spec).run(&stream);
+        let longer = draws(jobs + 100);
+        prop_assert_eq!(&short[..], &longer[..jobs as usize], "growing the job count moved an existing draw");
+        prop_assert_eq!(&short, &draws(jobs), "replay changed a draw");
+    }
+
+    /// Conservation under faults: every arrived job is exactly one of
+    /// completed / rejected / aborted / reaped-at-deadline, in
+    /// aggregate, for every policy and recovery mode — and the
+    /// goodput ≤ throughput invariant holds.
+    #[test]
+    fn jobs_are_conserved_under_faults(
+        seed in any::<u64>(),
+        jobs in 1usize..60,
+        rate in 0u16..401,
+        degrade in any::<bool>(),
+        deadline in 0u64..1u64 << 24, // 0 = no deadline
+    ) {
+        let profiles = tenants(seed);
+        let platform = Platform::paper(1500, 2);
+        let stream = spec_for(seed, &profiles, jobs).generate(&profiles);
+        let mut faults = FaultSpec::uniform(seed ^ 0x5A5A, rate);
+        faults.deadline = NonZeroU64::new(deadline);
+        let recovery = RecoveryPolicy { degrade, ..RecoveryPolicy::default() };
+        for name in POLICIES {
+            let policy = policy_by_name(name).unwrap();
+            let r = Simulation::new(&platform)
+                .profiles(&profiles)
+                .policy(policy.as_ref())
+                .faults(faults)
+                .recovery(recovery)
+                .run(&stream);
+            prop_assert_eq!(r.arrived(), jobs as u64);
+            prop_assert_eq!(
+                r.arrived(),
+                r.completed() + r.rejected() + r.reliability.aborted + r.reliability.deadline_misses,
+                "policy {}", name
+            );
+            prop_assert_eq!(
+                r.completed(),
+                r.reliability.clean_completed + r.reliability.faulted_completed
+            );
+            if degrade {
+                prop_assert_eq!(r.reliability.aborted, 0, "degradation never drops a job");
+            }
+            prop_assert!(r.reliability.degraded <= r.completed());
+            prop_assert!(r.goodput_jobs_per_mcycle() <= r.throughput_jobs_per_mcycle() + 1e-9);
+            let avail = r.availability();
+            prop_assert!((0.0..=1.0).contains(&avail), "availability {} out of range", avail);
         }
     }
 

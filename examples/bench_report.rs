@@ -6,7 +6,8 @@
 //! platform points only the contention-aware search surfaces), and one
 //! seeded 3-app runtime simulation per scheduling policy into
 //! `BENCH_runtime.json` (simulated throughput, latency percentiles,
-//! reconfiguration-stall share, wall-clock simulation speed), so the
+//! reconfiguration-stall share, wall-clock simulation speed, plus one
+//! fault-injected reliability row for the recovery invariants), so the
 //! perf, search-efficiency and servable-workload trajectories can all
 //! be tracked PR over PR (and checked in CI without the full bench
 //! harness). Each file's schema and regression signatures are
@@ -335,7 +336,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Emit BENCH_runtime.json: the servable-workload baseline on the
     //     seeded 3-app mix, per policy, plus the million-job scaling row.
-    let mut json = String::from("{\n  \"schema\": \"amdrel-runtime-report/v2\",\n");
+    let mut json = String::from("{\n  \"schema\": \"amdrel-runtime-report/v3\",\n");
     let _ = writeln!(
         json,
         "  \"workload\": {{ \"seed\": {}, \"jobs\": {}, \"mean_interarrival\": {}, \"apps\": [{}] }},",
@@ -374,6 +375,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     json.push_str("  ],\n");
+    // The reliability row: the same seeded 400-job mix played under FCFS
+    // with the deterministic fault layer injecting on every channel at
+    // 30 permille and graceful degradation on, so CI can gate the
+    // recovery invariants (availability in (0, 1], goodput <= raw
+    // throughput, salvage accounting consistent with what was injected).
+    let fault_rate: u16 = 30;
+    let faults = FaultSpec::uniform(7, fault_rate);
+    let recovery = RecoveryPolicy {
+        degrade: true,
+        ..RecoveryPolicy::default()
+    };
+    let fcfs = policy_by_name("fcfs").expect("built-in policy");
+    let faulted = sim
+        .policy(fcfs.as_ref())
+        .faults(faults)
+        .recovery(recovery)
+        .run(&sim_jobs);
+    let rel = &faulted.reliability;
+    let _ = writeln!(
+        json,
+        "  \"reliability\": {{ \"policy\": \"{}\", \"fault_rate_permille\": {fault_rate}, \
+         \"fault_seed\": {}, \"max_retries\": {}, \"degrade\": {}, \
+         \"injected\": {}, \"load_failures\": {}, \"fabric_kills\": {}, \"slot_outages\": {}, \
+         \"retries\": {}, \"degraded\": {}, \"aborted\": {}, \"deadline_misses\": {}, \
+         \"completed\": {}, \"makespan\": {}, \"availability\": {:.4}, \
+         \"goodput_jobs_per_mcycle\": {:.4}, \"throughput_jobs_per_mcycle\": {:.4} }},",
+        faulted.policy,
+        faults.seed,
+        recovery.max_retries,
+        recovery.degrade,
+        rel.injected,
+        rel.load_failures,
+        rel.fabric_kills,
+        rel.slot_outages,
+        rel.retries,
+        rel.degraded,
+        rel.aborted,
+        rel.deadline_misses,
+        faulted.completed(),
+        faulted.makespan,
+        faulted.availability(),
+        faulted.goodput_jobs_per_mcycle(),
+        faulted.throughput_jobs_per_mcycle(),
+    );
     // The scaling row: throughput_ratio normalises the wall-clock rate to
     // the 400-job FCFS row above; scale_up is the jobs/sec-normalised
     // scale factor (jobs ratio × throughput ratio) CI asserts stays ≥100.

@@ -9,13 +9,17 @@
 //! amdrel explore   <src.c> [--strategy exhaustive|random|sa] [--seed S]
 //!                  [--budget N] [--jobs N] [--json] [--constraint N]
 //!                  [--areas A,A,..] [--cgc-list K,K,..] [--max-kernels K]
-//!                  [--objectives cycles,area,energy,p95,throughput]
+//!                  [--objectives cycles,area,energy,p95,throughput,
+//!                                p95_under_faults,degraded_share]
 //!                  [--policy fcfs|sjf|priority|affinity] [--njobs N] [--load PCT]
-//!                  [--input name=v,v,..]...
+//!                  [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES]
+//!                  [--max-retries N] [--degrade] [--input name=v,v,..]...
 //! amdrel simulate  [--app ofdm|jpeg|sobel]... [--policy fcfs|sjf|priority|affinity]
 //!                  [--seed S] [--njobs N] [--load PCT | --arrival CYCLES]
 //!                  [--queue-bound N] [--no-config-cache] [--prefetch]
-//!                  [--sketch auto|exact|sketched] [--area A] [--cgcs K] [--json]
+//!                  [--sketch auto|exact|sketched] [--area A] [--cgcs K]
+//!                  [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES]
+//!                  [--max-retries N] [--degrade] [--json]
 //! amdrel dot       <src.c> [--block N] [--input name=v,v,..]...
 //! ```
 //!
@@ -33,6 +37,16 @@
 //! fine-grain load (default 130). The arrival rate is pinned from the
 //! background mix on the base platform, so every candidate platform
 //! sees identical offered traffic.
+//!
+//! The fault flags drive the deterministic fault-injection layer:
+//! `--fault-rate` is a per-mille probability (0..=1000) applied to
+//! reconfiguration loads, in-flight fine-grain phases, and CGC slots;
+//! `--fault-seed` seeds the fault streams independently of the workload
+//! seed; `--deadline` reaps jobs still queued after that many cycles;
+//! `--max-retries` bounds recovery attempts per phase; `--degrade`
+//! reroutes retry-exhausted jobs to a coarse-grain-only fallback
+//! instead of aborting them. `--fault-rate 0` (the default) is exactly
+//! the fault-free simulator: output is byte-identical.
 //!
 //! Exit status: `amdrel <cmd> --help` prints that subcommand's usage on
 //! stdout and exits 0; an unknown subcommand or malformed flags print
@@ -66,16 +80,19 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
         "explore",
         "amdrel explore <src.c> [--strategy exhaustive|random|sa] [--seed S] [--budget N] \
          [--jobs N] [--json] [--constraint N] [--areas A,A,..] [--cgc-list K,K,..] \
-         [--max-kernels K] [--objectives cycles,area,energy,p95,throughput] \
+         [--max-kernels K] \
+         [--objectives cycles,area,energy,p95,throughput,p95_under_faults,degraded_share] \
          [--policy fcfs|sjf|priority|affinity] [--njobs N] [--load PCT] \
-         [--input name=v,v,..]...",
+         [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES] [--max-retries N] \
+         [--degrade] [--input name=v,v,..]...",
     ),
     (
         "simulate",
         "amdrel simulate [--app ofdm|jpeg|sobel]... [--policy fcfs|sjf|priority|affinity] \
          [--seed S] [--njobs N] [--load PCT | --arrival CYCLES] [--queue-bound N] \
          [--no-config-cache] [--prefetch] [--sketch auto|exact|sketched] [--area A] \
-         [--cgcs K] [--json]",
+         [--cgcs K] [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES] \
+         [--max-retries N] [--degrade] [--json]",
     ),
     (
         "dot",
@@ -129,6 +146,11 @@ struct Options {
     no_config_cache: bool,
     prefetch: bool,
     sketch: String,
+    fault_rate: u16,
+    fault_seed: u64,
+    deadline: Option<u64>,
+    max_retries: u32,
+    degrade: bool,
 }
 
 /// Whether a subcommand takes a mini-C source file as its positional
@@ -165,6 +187,11 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
         no_config_cache: false,
         prefetch: false,
         sketch: "auto".to_owned(),
+        fault_rate: 0,
+        fault_seed: 7,
+        deadline: None,
+        max_retries: 3,
+        degrade: false,
     };
     let mut it = args.iter().peekable();
     let mut positional = Vec::new();
@@ -297,6 +324,37 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
             "--no-config-cache" => opts.no_config_cache = true,
             "--prefetch" => opts.prefetch = true,
             "--sketch" => opts.sketch = value_of("--sketch")?,
+            "--fault-rate" => {
+                let rate: u16 = value_of("--fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("--fault-rate: {e}"))?;
+                if rate > 1000 {
+                    return Err(format!(
+                        "--fault-rate is permille and must be 0..=1000 (got {rate})"
+                    ));
+                }
+                opts.fault_rate = rate;
+            }
+            "--fault-seed" => {
+                opts.fault_seed = value_of("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?;
+            }
+            "--deadline" => {
+                let deadline: u64 = value_of("--deadline")?
+                    .parse()
+                    .map_err(|e| format!("--deadline: {e}"))?;
+                if deadline == 0 {
+                    return Err("--deadline must be a positive cycle count".to_owned());
+                }
+                opts.deadline = Some(deadline);
+            }
+            "--max-retries" => {
+                opts.max_retries = value_of("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?;
+            }
+            "--degrade" => opts.degrade = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -312,6 +370,21 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
         (false, 0) => Ok(opts),
         _ => Err(format!("unexpected arguments: {positional:?}")),
     }
+}
+
+/// Build the fault-injection spec and recovery policy selected on the
+/// command line. `--fault-rate 0` with no `--deadline` yields
+/// [`FaultSpec::none`], which the simulator treats as exactly the
+/// fault-free path (byte-identical output).
+fn fault_config(opts: &Options) -> (FaultSpec, RecoveryPolicy) {
+    let mut faults = FaultSpec::uniform(opts.fault_seed, opts.fault_rate);
+    faults.deadline = opts.deadline.and_then(std::num::NonZeroU64::new);
+    let recovery = RecoveryPolicy {
+        max_retries: opts.max_retries,
+        backoff: BackoffSchedule::default(),
+        degrade: opts.degrade,
+    };
+    (faults, recovery)
 }
 
 fn analyzed(opts: &Options) -> Result<(amdrel_minic::CompiledProgram, AnalysisReport), String> {
@@ -489,12 +562,15 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 // traffic, not traffic scaled to its own speed.
                 let load = opts.load.unwrap_or(130);
                 let arrival = WorkloadSpec::mean_interarrival_for(&background, load);
+                let (faults, recovery) = fault_config(&opts);
                 Some(
                     RuntimeEvaluator::new(background, policy)
                         .with_seed(opts.seed)
                         .with_njobs(opts.njobs)
                         .with_load(load)
-                        .with_arrival(arrival),
+                        .with_arrival(arrival)
+                        .with_faults(faults)
+                        .with_recovery(recovery),
                 )
             } else {
                 None
@@ -591,6 +667,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     opts.sketch
                 )
             })?;
+            let (faults, recovery) = fault_config(&opts);
             // `--queue-bound 0` keeps its historical meaning: unbounded.
             let report = Simulation::new(&platform)
                 .profiles(&profiles)
@@ -599,6 +676,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 .prefetch(opts.prefetch)
                 .queue_bound(std::num::NonZeroUsize::new(opts.queue_bound))
                 .sketch_mode(sketch)
+                .faults(faults)
+                .recovery(recovery)
                 .run_mix(&spec);
             if opts.json {
                 print!("{}", amdrel::runtime::report_to_json(&report));

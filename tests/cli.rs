@@ -252,7 +252,7 @@ fn simulate_json_is_bit_deterministic() {
     let (ok1, out1, stderr) = amdrel(&args);
     assert!(ok1, "stderr: {stderr}");
     assert!(
-        out1.contains("\"schema\": \"amdrel-simulate/v2\""),
+        out1.contains("\"schema\": \"amdrel-simulate/v3\""),
         "{out1}"
     );
     assert!(out1.contains("\"apps\""), "{out1}");
@@ -378,6 +378,133 @@ fn simulate_rejects_bad_app_and_policy() {
     let (ok, _, stderr) = amdrel(&["simulate", "--app", "ofdm", "--arrival", "0"]);
     assert!(!ok);
     assert!(stderr.contains("--arrival must be a positive"), "{stderr}");
+}
+
+#[test]
+fn simulate_fault_flags_are_documented_and_validated() {
+    // `--help` documents every fault flag on both fault-aware
+    // subcommands.
+    for cmd in ["simulate", "explore"] {
+        let (ok, stdout, stderr) = amdrel(&[cmd, "--help"]);
+        assert!(ok, "{cmd} --help (stderr: {stderr})");
+        for flag in [
+            "--fault-rate",
+            "--fault-seed",
+            "--deadline",
+            "--max-retries",
+            "--degrade",
+        ] {
+            assert!(
+                stdout.contains(flag),
+                "{cmd} --help must list {flag}: {stdout}"
+            );
+        }
+    }
+    let (_, stdout, _) = amdrel(&["explore", "--help"]);
+    assert!(stdout.contains("p95_under_faults"), "{stdout}");
+    assert!(stdout.contains("degraded_share"), "{stdout}");
+
+    // Malformed fault flags exit nonzero with the usage on stderr.
+    for bad in [
+        &["simulate", "--fault-rate", "-1"][..],
+        &["simulate", "--fault-rate", "1001"],
+        &["simulate", "--fault-rate", "many"],
+        &["simulate", "--max-retries", "garbage"],
+        &["simulate", "--deadline", "0"],
+        &["simulate", "--fault-seed", "not-a-number"],
+    ] {
+        let (ok, _, stderr) = amdrel(bad);
+        assert!(!ok, "{bad:?} must fail");
+        assert!(stderr.contains("error:"), "{bad:?}: {stderr}");
+        assert!(stderr.contains("usage: amdrel"), "{bad:?}: {stderr}");
+        assert!(stderr.contains(bad[1]), "{bad:?} names the flag: {stderr}");
+    }
+}
+
+#[test]
+fn simulate_zero_fault_rate_is_byte_identical_to_default() {
+    let base = [
+        "simulate", "--app", "ofdm", "--seed", "42", "--njobs", "24", "--json",
+    ];
+    let (ok_default, default, stderr) = amdrel(&base);
+    assert!(ok_default, "stderr: {stderr}");
+    let (ok_zero, zero, _) = amdrel(&[
+        "simulate",
+        "--app",
+        "ofdm",
+        "--seed",
+        "42",
+        "--njobs",
+        "24",
+        "--fault-rate",
+        "0",
+        "--max-retries",
+        "5",
+        "--degrade",
+        "--json",
+    ]);
+    assert!(ok_zero);
+    // Recovery metadata differs, but every simulated quantity must not.
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| {
+                !l.contains("\"recovery\"")
+                    && !l.contains("\"max_retries\"")
+                    && !l.contains("\"degrade\"")
+                    && !l.contains("\"backoff_")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&default),
+        strip(&zero),
+        "--fault-rate 0 must be the fault-free simulator"
+    );
+    assert!(default.contains("\"injected\": 0"), "{default}");
+}
+
+#[test]
+fn simulate_faulted_runs_are_bit_deterministic() {
+    let args = [
+        "simulate",
+        "--app",
+        "ofdm",
+        "--seed",
+        "42",
+        "--njobs",
+        "24",
+        "--fault-rate",
+        "80",
+        "--fault-seed",
+        "9",
+        "--degrade",
+        "--json",
+    ];
+    let (ok1, out1, stderr) = amdrel(&args);
+    assert!(ok1, "stderr: {stderr}");
+    let (ok2, out2, _) = amdrel(&args);
+    assert!(ok2);
+    assert_eq!(out1, out2, "faulted runs must replay bit-for-bit");
+    assert!(
+        !out1.contains("\"injected\": 0"),
+        "faults were live: {out1}"
+    );
+    assert!(out1.contains("\"availability\""), "{out1}");
+
+    // The fault table lines only appear when faults are live.
+    let (ok_table, table, _) = amdrel(&[
+        "simulate",
+        "--app",
+        "ofdm",
+        "--njobs",
+        "24",
+        "--fault-rate",
+        "80",
+    ]);
+    assert!(ok_table);
+    assert!(table.contains("faults:"), "{table}");
+    assert!(table.contains("availability"), "{table}");
 }
 
 #[test]
