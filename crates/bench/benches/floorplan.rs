@@ -1,0 +1,86 @@
+//! Floorplanner throughput plus the region-vs-streamed reconfiguration
+//! comparison: place the standard mix's real configuration footprints
+//! onto 1/2/4/8-band grids (printing the fragmentation summary once),
+//! then time the deterministic placement itself and one full runtime
+//! simulation under each reconfiguration model. The 1-region plan is
+//! the degenerate scalar path, so the `region_1` / `streamed` pair
+//! doubles as a zero-cost-abstraction check.
+
+use amdrel_apps::runtime::standard_mix;
+use amdrel_core::Platform;
+use amdrel_floorplan::{FabricGrid, Floorplanner, Footprint};
+use amdrel_runtime::{policy_by_name, RegionPlan, Simulation, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_floorplan(c: &mut Criterion) {
+    let platform = Platform::paper(1500, 2);
+    let profiles = standard_mix(&platform).expect("standard mix builds");
+    let usable = platform.fpga.usable_area();
+    let footprints: Vec<Footprint> = profiles
+        .iter()
+        .enumerate()
+        .flat_map(|(app, p)| {
+            p.config
+                .partition_areas
+                .iter()
+                .map(move |&area| Footprint::new(app, area))
+        })
+        .collect();
+
+    println!("\n========== Floorplan (standard mix, usable area {usable}) ==========");
+    for regions in [1usize, 2, 4, 8] {
+        let grid = FabricGrid::uniform(usable, regions);
+        let placement = Floorplanner.place(&grid, &footprints);
+        let s = placement.stats();
+        println!(
+            "{regions} region(s): {:>2} rects placed, {:>2} failures, \
+             internal {:>4}‰  external {:>4}‰  worst region {:>4}‰",
+            placement.rects().len(),
+            s.placement_failures(),
+            s.internal_permille(),
+            s.external_permille(),
+            s.worst_region_permille(),
+        );
+    }
+
+    let spec = WorkloadSpec::uniform(42, 400, &profiles, 130);
+    let jobs = spec.generate(&profiles);
+    let policy = policy_by_name("affinity").expect("built-in policy");
+    let sim = Simulation::new(&platform)
+        .profiles(&profiles)
+        .policy(policy.as_ref());
+    let streamed = sim.run(&jobs);
+    println!(
+        "streamed: {:>5} loads, {:>8} stall cycles",
+        streamed.reconfig_loads, streamed.reconfig_stall_cycles
+    );
+    for regions in [1usize, 4] {
+        let plan = RegionPlan::new(&profiles, &FabricGrid::uniform(usable, regions));
+        let report = sim.regions(&plan).run(&jobs);
+        println!(
+            "region_{regions}: {:>4} loads, {:>8} stall cycles",
+            report.reconfig_loads, report.reconfig_stall_cycles
+        );
+    }
+    println!("====================================================================\n");
+
+    let grid = FabricGrid::uniform(usable, 4);
+    c.bench_function("floorplan/place_standard_mix_4_regions", |b| {
+        b.iter(|| black_box(Floorplanner.place(&grid, &footprints)))
+    });
+    c.bench_function("floorplan/region_plan_standard_mix", |b| {
+        b.iter(|| black_box(RegionPlan::new(&profiles, &grid)))
+    });
+    let plan = RegionPlan::new(&profiles, &grid);
+    let regioned = sim.regions(&plan);
+    c.bench_function("floorplan/simulate_region_400_jobs", |b| {
+        b.iter(|| black_box(regioned.run(&jobs)))
+    });
+    c.bench_function("floorplan/simulate_streamed_400_jobs", |b| {
+        b.iter(|| black_box(sim.run(&jobs)))
+    });
+}
+
+criterion_group!(benches, bench_floorplan);
+criterion_main!(benches);

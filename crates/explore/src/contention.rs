@@ -19,9 +19,10 @@
 //! every `--jobs` setting.
 
 use amdrel_core::Platform;
+use amdrel_floorplan::FabricGrid;
 use amdrel_runtime::{
-    AppProfile, FabricConfig, FaultSpec, RecoveryPolicy, SchedulePolicy, SimConfig, Simulation,
-    WorkloadSpec,
+    AppProfile, FabricConfig, FaultSpec, RecoveryPolicy, RegionPlan, SchedulePolicy, SimConfig,
+    Simulation, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +104,7 @@ pub struct RuntimeEvaluator {
     sim: SimConfig,
     faults: FaultSpec,
     recovery: RecoveryPolicy,
+    regions: Option<usize>,
 }
 
 impl RuntimeEvaluator {
@@ -123,6 +125,7 @@ impl RuntimeEvaluator {
             sim: SimConfig::default(),
             faults: FaultSpec::none(),
             recovery: RecoveryPolicy::default(),
+            regions: None,
         }
     }
 
@@ -204,6 +207,32 @@ impl RuntimeEvaluator {
         self
     }
 
+    /// Score candidates under region-granular partial reconfiguration:
+    /// each simulation jointly floorplans the mix onto `regions`
+    /// horizontal bands of the candidate's usable area
+    /// ([`RegionPlan`]), so reconfiguration is priced per region
+    /// actually reprogrammed instead of streaming the full footprint.
+    /// With one region the plan is degenerate and scoring is
+    /// bit-identical to the default scalar pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0`.
+    pub fn with_region_reconfig(mut self, regions: usize) -> Self {
+        assert!(
+            regions > 0,
+            "region reconfiguration needs at least one region"
+        );
+        self.regions = Some(regions);
+        self
+    }
+
+    /// The region count candidates are scored under, when
+    /// [`Self::with_region_reconfig`] enabled region pricing.
+    pub fn region_reconfig(&self) -> Option<usize> {
+        self.regions
+    }
+
     /// The fault spec the reliability objectives simulate under.
     pub fn faults(&self) -> FaultSpec {
         self.faults
@@ -250,10 +279,19 @@ impl RuntimeEvaluator {
         if let Some(arrival) = self.arrival {
             spec.mean_interarrival = arrival;
         }
-        let base = Simulation::new(platform)
+        let plan = self.regions.map(|n| {
+            RegionPlan::new(
+                &profiles,
+                &FabricGrid::uniform(platform.fpga.usable_area(), n),
+            )
+        });
+        let mut base = Simulation::new(platform)
             .profiles(&profiles)
             .policy(self.policy.as_ref())
             .config(self.sim);
+        if let Some(plan) = plan.as_ref() {
+            base = base.regions(plan);
+        }
         let report = base.run_mix(&spec);
         let (p95_under_faults, degraded_permille) = if self.faults.is_none() {
             // No faulted re-simulation: the reliability objectives
@@ -340,6 +378,39 @@ mod tests {
         assert!(jpm > 0.0);
         // cycles_per_job is the (ceiling) inverse of jobs/Mcycle.
         assert!((1_000_000.0 / jpm - a.cycles_per_job as f64).abs() <= 1.0);
+    }
+
+    #[test]
+    fn one_region_reconfig_scoring_degenerates_to_the_scalar_pool() {
+        let candidate = evaluator().candidate_profile("cand", 5_000, 1_000, 200, vec![300, 200]);
+        let platform = Platform::paper(1500, 2);
+        let scalar = evaluator().score(&candidate, &platform);
+        let full = evaluator().with_region_reconfig(1);
+        assert_eq!(full.region_reconfig(), Some(1));
+        assert_eq!(
+            full.score(&candidate, &platform),
+            scalar,
+            "a full-fabric region plan must not perturb scoring"
+        );
+    }
+
+    #[test]
+    fn region_reconfig_scoring_is_deterministic_and_cuts_stall() {
+        let candidate = evaluator().candidate_profile("cand", 5_000, 1_000, 200, vec![300, 200]);
+        let platform = Platform::paper(1500, 2);
+        let scalar = evaluator().score(&candidate, &platform);
+        let regioned = evaluator().with_region_reconfig(4);
+        let a = regioned.score(&candidate, &platform);
+        let b = regioned.score(&candidate, &platform);
+        assert_eq!(a, b, "same inputs, same metrics");
+        assert!(
+            a.reconfig_stall_cycles < scalar.reconfig_stall_cycles,
+            "partial reconfiguration must stall less than streamed loads \
+             ({} vs {})",
+            a.reconfig_stall_cycles,
+            scalar.reconfig_stall_cycles
+        );
+        assert_eq!(a.completed + a.rejected, 64);
     }
 
     #[test]

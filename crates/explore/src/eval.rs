@@ -24,6 +24,7 @@ use amdrel_core::{
     EnergyModel, GridSpec, MappingCache, PartitionResult, PartitioningEngine, Platform,
 };
 use amdrel_finegrain::CdfgFineGrainMapping;
+use amdrel_floorplan::{FabricGrid, Floorplanner, Footprint, FragmentationStats};
 use amdrel_profiler::AnalysisReport;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -34,6 +35,10 @@ use std::sync::{Arc, Mutex};
 /// the engine to drain the entire kernel queue and hand back the full
 /// move trace.
 const FULL_DRAIN: u64 = 1;
+
+/// Region count the floorplan objectives price against unless
+/// [`Evaluator::with_regions`] overrides it.
+const DEFAULT_REGIONS: usize = 4;
 
 /// One fully evaluated design point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -143,6 +148,7 @@ pub struct Evaluator<'a> {
     model: EnergyModel,
     cache: &'a MappingCache,
     objectives: ObjectiveSet,
+    regions: usize,
     runtime: Option<&'a RuntimeEvaluator>,
     cells: Mutex<HashMap<(usize, usize), Arc<Cell>>>,
     sims: Mutex<HashMap<(usize, usize, usize), ContentionMetrics>>,
@@ -184,6 +190,7 @@ impl<'a> Evaluator<'a> {
             model,
             cache,
             objectives: ObjectiveSet::static_default(),
+            regions: DEFAULT_REGIONS,
             runtime: None,
             cells: Mutex::new(HashMap::new()),
             sims: Mutex::new(HashMap::new()),
@@ -203,6 +210,21 @@ impl<'a> Evaluator<'a> {
     /// Attach the contention scorer consulted for runtime objectives.
     pub fn with_runtime(mut self, runtime: &'a RuntimeEvaluator) -> Self {
         self.runtime = Some(runtime);
+        self
+    }
+
+    /// The region grid the floorplan objectives (`fragmentation`,
+    /// `worst_region_load`) price against: each candidate's usable area
+    /// is split into `regions` horizontal bands
+    /// ([`FabricGrid::uniform`]) and the point's fine-grain partition
+    /// footprints are floorplanned onto them. Defaults to 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0`.
+    pub fn with_regions(mut self, regions: usize) -> Self {
+        assert!(regions > 0, "floorplan objectives need at least one region");
+        self.regions = regions;
         self
     }
 
@@ -252,6 +274,13 @@ impl<'a> Evaluator<'a> {
         } else {
             None
         };
+        let floorplan = if self.objectives.contains(Objective::Fragmentation)
+            || self.objectives.contains(Objective::WorstRegionLoad)
+        {
+            Some(self.floorplan_stats(space, p.area, moved, &cell))
+        } else {
+            None
+        };
         let values = self
             .objectives
             .objectives()
@@ -284,6 +313,12 @@ impl<'a> Evaluator<'a> {
                         .expect("runtime metrics computed")
                         .degraded_permille
                 }
+                Objective::Fragmentation => floorplan
+                    .expect("floorplan stats computed")
+                    .fragmentation_permille(),
+                Objective::WorstRegionLoad => floorplan
+                    .expect("floorplan stats computed")
+                    .worst_region_permille(),
             })
             .collect();
         Ok(PointEval {
@@ -337,6 +372,33 @@ impl<'a> Evaluator<'a> {
         let metrics = runtime.score(&candidate, &platform);
         sims.insert(key, metrics);
         metrics
+    }
+
+    /// Floorplan the point's remaining fine-grain footprints onto the
+    /// evaluator's region grid and return the fragmentation statistics.
+    /// Pure integer work on the memoised cell — cheap enough to run per
+    /// evaluation without its own cache.
+    fn floorplan_stats(
+        &self,
+        space: &DesignSpace,
+        a_idx: usize,
+        moved: usize,
+        cell: &Cell,
+    ) -> FragmentationStats {
+        let mut on_fpga = vec![true; self.cdfg.len()];
+        for &k in &cell.moved[..moved] {
+            on_fpga[k] = false;
+        }
+        let footprints: Vec<Footprint> = cell
+            .fine
+            .partition_footprints(|i| on_fpga[i])
+            .iter()
+            .map(|f| Footprint::new(f.block, f.area))
+            .collect();
+        let mut fpga = self.base.fpga.clone();
+        fpga.total_area = space.areas[a_idx];
+        let grid = FabricGrid::uniform(fpga.usable_area(), self.regions);
+        Floorplanner.place(&grid, &footprints).stats()
     }
 
     /// Compute (or adopt from the grid) every cell of `space` using the

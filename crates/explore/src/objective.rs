@@ -47,11 +47,24 @@ pub enum Objective {
     /// 1000 if nothing completed). Needs a
     /// [`RuntimeEvaluator`](crate::RuntimeEvaluator).
     DegradedShare,
+    /// External fragmentation (permille) of the candidate's fine-grain
+    /// footprint floorplanned onto the evaluator's region grid
+    /// ([`Evaluator::with_regions`](crate::Evaluator::with_regions)) —
+    /// how badly the free fabric is scattered across regions after
+    /// placement, saturated to 1000 when any footprint fails geometric
+    /// placement (an overfull grid is the worst floorplan, not a
+    /// perfectly packed one). Static: no runtime simulation needed.
+    Fragmentation,
+    /// Occupancy (permille) of the fullest region under the same
+    /// floorplan — a load-balance objective penalising candidates that
+    /// pile their whole footprint into one reconfigurable region.
+    /// Static: no runtime simulation needed.
+    WorstRegionLoad,
 }
 
 impl Objective {
     /// Every objective, in the canonical (enum) order.
-    pub const ALL: [Objective; 7] = [
+    pub const ALL: [Objective; 9] = [
         Objective::Cycles,
         Objective::Area,
         Objective::Energy,
@@ -59,6 +72,8 @@ impl Objective {
         Objective::Throughput,
         Objective::P95UnderFaults,
         Objective::DegradedShare,
+        Objective::Fragmentation,
+        Objective::WorstRegionLoad,
     ];
 
     /// The canonical name (CLI `--objectives` value, JSON key).
@@ -71,6 +86,8 @@ impl Objective {
             Objective::Throughput => "throughput",
             Objective::P95UnderFaults => "p95_under_faults",
             Objective::DegradedShare => "degraded_share",
+            Objective::Fragmentation => "fragmentation",
+            Objective::WorstRegionLoad => "worst_region_load",
         }
     }
 
@@ -86,6 +103,8 @@ impl Objective {
             "throughput" | "jobs_per_mcycle" => Some(Objective::Throughput),
             "p95_under_faults" | "p95_faults" => Some(Objective::P95UnderFaults),
             "degraded_share" => Some(Objective::DegradedShare),
+            "fragmentation" => Some(Objective::Fragmentation),
+            "worst_region_load" => Some(Objective::WorstRegionLoad),
             _ => None,
         }
     }
@@ -316,6 +335,26 @@ mod tests {
         assert!(set.contains(Objective::DegradedShare));
         assert!(Objective::P95UnderFaults.needs_runtime());
         assert!(Objective::DegradedShare.needs_runtime());
+    }
+
+    #[test]
+    fn floorplan_objectives_are_static() {
+        let set = ObjectiveSet::parse("worst_region_load,cycles,fragmentation").unwrap();
+        assert_eq!(
+            set.names(),
+            ["cycles", "fragmentation", "worst_region_load"]
+        );
+        assert!(!set.needs_runtime(), "floorplan metrics are static");
+        assert!(set.contains(Objective::Fragmentation));
+        assert!(set.contains(Objective::WorstRegionLoad));
+        assert_eq!(
+            Objective::parse("fragmentation"),
+            Some(Objective::Fragmentation)
+        );
+        assert_eq!(
+            Objective::parse("worst_region_load"),
+            Some(Objective::WorstRegionLoad)
+        );
     }
 
     #[test]

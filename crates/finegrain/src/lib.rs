@@ -43,7 +43,7 @@ pub mod report;
 mod temporal;
 
 pub use device::{AreaLibrary, FpgaConfigKey, FpgaDevice, FpgaLatency, ReconfigPolicy};
-pub use mapping::{map_dfg, CdfgFineGrainMapping, FineGrainMapping};
+pub use mapping::{map_dfg, CdfgFineGrainMapping, FineGrainMapping, PartitionFootprint};
 pub use temporal::{temporal_partition, TemporalPartition, TemporalPartitioning};
 
 use amdrel_cdfg::{GraphError, NodeId};

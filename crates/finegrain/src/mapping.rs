@@ -157,6 +157,45 @@ impl CdfgFineGrainMapping {
             .flat_map(|(_, m)| m.partitioning.partition_areas())
             .collect()
     }
+
+    /// Like [`Self::partition_areas`] but keeping the per-mapping
+    /// grouping the flat vector loses: one record per temporal
+    /// partition, tagged with its block and partition index, in
+    /// block-then-partition order. A floorplanner needs the grouping to
+    /// keep one block's bitstreams co-resident; flattening the areas of
+    /// the result reproduces [`Self::partition_areas`] exactly.
+    pub fn partition_footprints(
+        &self,
+        mut on_fpga: impl FnMut(usize) -> bool,
+    ) -> Vec<PartitionFootprint> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| on_fpga(*i))
+            .flat_map(|(block, m)| {
+                m.partitioning
+                    .partition_areas()
+                    .enumerate()
+                    .map(move |(partition, area)| PartitionFootprint {
+                        block,
+                        partition: partition as u32,
+                        area,
+                    })
+            })
+            .collect()
+    }
+}
+
+/// One temporal partition of one block's mapping: the grouped record
+/// [`CdfgFineGrainMapping::partition_footprints`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartitionFootprint {
+    /// Block id the partition belongs to.
+    pub block: usize,
+    /// Partition index within that block's [`TemporalPartitioning`].
+    pub partition: u32,
+    /// Configuration area of the partition.
+    pub area: u64,
 }
 
 #[cfg(test)]
@@ -323,5 +362,34 @@ mod tests {
         assert_eq!(one.len(), map.blocks[1].partitioning.len());
         assert_eq!(one.iter().sum::<u64>(), 50 * 30);
         assert!(map.partition_areas(|_| false).is_empty());
+    }
+
+    #[test]
+    fn partition_footprints_keep_the_grouping() {
+        let mut cdfg = Cdfg::new("app");
+        for i in 0..3 {
+            let mut d = Dfg::new(format!("b{i}"));
+            for _ in 0..50 {
+                d.add_op(OpKind::Add, 32); // 2 partitions per block
+            }
+            cdfg.add_block(BasicBlock::from_dfg(format!("b{i}"), d));
+        }
+        let map = CdfgFineGrainMapping::map(&cdfg, &device(1500)).unwrap();
+        let grouped = map.partition_footprints(|i| i != 1);
+        // Flattening the grouped records reproduces the flat vector.
+        let flat: Vec<u64> = grouped.iter().map(|f| f.area).collect();
+        assert_eq!(flat, map.partition_areas(|i| i != 1));
+        // The grouping tags survive: blocks 0 and 2, partitions 0..len.
+        assert!(grouped.iter().all(|f| f.block == 0 || f.block == 2));
+        for block in [0usize, 2] {
+            let parts: Vec<u32> = grouped
+                .iter()
+                .filter(|f| f.block == block)
+                .map(|f| f.partition)
+                .collect();
+            let n = map.blocks[block].partitioning.len() as u32;
+            assert_eq!(parts, (0..n).collect::<Vec<_>>());
+        }
+        assert!(map.partition_footprints(|_| false).is_empty());
     }
 }

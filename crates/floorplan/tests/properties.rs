@@ -1,0 +1,111 @@
+//! Property tests for the floorplanner: placement determinism, rect
+//! disjointness, area conservation, and metric ranges — the invariants
+//! the placement-aware reconfiguration cost model leans on.
+
+use amdrel_core::rng::SplitMix64;
+use amdrel_floorplan::{FabricGrid, Floorplanner, Footprint, PlacedRect, Placement};
+use proptest::prelude::*;
+
+/// Expand a seed into a footprint set: 0–24 footprints over 1–6 owners
+/// with areas spanning trivial to deliberately unplaceable.
+fn footprints(seed: u64) -> Vec<Footprint> {
+    let mut rng = SplitMix64::new(seed);
+    let owners = 1 + rng.below(6) as usize;
+    let n = rng.below(25) as usize;
+    (0..n)
+        .map(|_| Footprint::new(rng.below(owners as u64) as usize, rng.below(2_000)))
+        .collect()
+}
+
+/// A grid drawn from the same seed space: area 64..=8063, 1–6 bands or
+/// a 2D split when the rectangle admits one.
+fn grid(seed: u64) -> FabricGrid {
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let area = 64 + rng.below(8_000);
+    match rng.below(3) {
+        0 => FabricGrid::full(area),
+        1 => FabricGrid::uniform(area, 1 + rng.below(6) as usize),
+        _ => FabricGrid::shaped(area, 1 + rng.below(3) as usize, 1 + rng.below(3) as usize),
+    }
+}
+
+fn place(seed: u64) -> (FabricGrid, Vec<Footprint>, Placement) {
+    let grid = grid(seed);
+    let fps = footprints(seed);
+    let placement = Floorplanner.place(&grid, &fps);
+    (grid, fps, placement)
+}
+
+fn disjoint(a: &PlacedRect, b: &PlacedRect) -> bool {
+    a.x + a.width <= b.x || b.x + b.width <= a.x || a.y + a.height <= b.y || b.y + b.height <= a.y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The same grid and footprints give the same placement, always.
+    #[test]
+    fn placement_is_deterministic(seed in 0u64..1_000_000) {
+        let (grid, fps, a) = place(seed);
+        let b = Floorplanner.place(&grid, &fps);
+        prop_assert_eq!(a, b);
+    }
+
+    /// No two placed rectangles share a cell, and every rectangle lies
+    /// inside exactly one region of the grid.
+    #[test]
+    fn placed_rects_are_disjoint_and_in_bounds(seed in 0u64..1_000_000) {
+        let (grid, _, p) = place(seed);
+        for (i, a) in p.rects().iter().enumerate() {
+            prop_assert!(a.x + a.width <= grid.width());
+            prop_assert!(a.y + a.height <= grid.height());
+            let region = grid.region(a.region);
+            prop_assert_eq!(region.overlap_area(a.x, a.y, a.width, a.height), a.cells());
+            for b in &p.rects()[i + 1..] {
+                prop_assert!(disjoint(a, b), "{:?} overlaps {:?}", a, b);
+            }
+        }
+    }
+
+    /// Areas are conserved: every positive-area footprint is either
+    /// placed (with its logical area intact under rectangle padding) or
+    /// reported failed; placed cells never exceed the grid.
+    #[test]
+    fn areas_are_conserved(seed in 0u64..1_000_000) {
+        let (grid, fps, p) = place(seed);
+        let positive = fps.iter().filter(|f| f.area > 0).count();
+        prop_assert_eq!(p.rects().len() + p.failures().len(), positive);
+        for r in p.rects() {
+            prop_assert_eq!(r.area, fps[r.footprint].area);
+            prop_assert!(r.cells() >= r.area);
+        }
+        prop_assert!(p.placed_cells() <= grid.area());
+        let accounted: u64 = p.region_loads().iter().sum();
+        let fallback: u64 = p.failures().iter().map(|&i| fps[i].area).sum();
+        prop_assert_eq!(accounted, p.placed_cells() + fallback);
+    }
+
+    /// Fragmentation metrics stay in [0, 1] and failures match.
+    #[test]
+    fn metrics_stay_in_range(seed in 0u64..1_000_000) {
+        let (_, _, p) = place(seed);
+        let s = p.stats();
+        for v in [s.internal(), s.external(), s.worst_region_occupancy()] {
+            prop_assert!((0.0..=1.0).contains(&v), "{} out of range", v);
+        }
+        prop_assert_eq!(s.placement_failures(), p.failures().len() as u64);
+    }
+
+    /// Every owner with a positive-area footprint gets a non-empty
+    /// residency set, and touched sets are sorted and duplicate-free.
+    #[test]
+    fn residency_covers_every_owner(seed in 0u64..1_000_000) {
+        let (grid, fps, p) = place(seed);
+        for f in fps.iter().filter(|f| f.area > 0) {
+            let touched = p.touched_regions(f.owner);
+            prop_assert!(!touched.is_empty());
+            prop_assert!(touched.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(touched.iter().all(|&r| r < grid.len()));
+        }
+    }
+}

@@ -27,6 +27,12 @@
 //!   and streaming latency aggregation ([`SketchMode`]); the historical
 //!   free functions `run_simulation` / `simulate_mix` remain as
 //!   deprecated shims over it;
+//! * [`RegionPlan`] — a frozen joint floorplan of every tenant's
+//!   configuration footprints (via `amdrel-floorplan`) turning the
+//!   scalar area pool into per-region configuration state: a tenant's
+//!   load reprograms only the regions it touches, priced by *region*
+//!   area, overlapping execution on untouched regions; a single
+//!   full-fabric region degenerates bit-identically to the scalar path;
 //! * [`FaultSpec`] / [`RecoveryPolicy`] — seeded, bit-deterministic
 //!   fault injection (reconfiguration-load failures, transient fabric
 //!   kills, CGC slot outages with timed repair, per-job deadlines) and
@@ -76,6 +82,7 @@ mod calendar;
 mod fault;
 mod policy;
 mod profile;
+mod region;
 mod report;
 mod sim;
 mod sketch;
@@ -87,6 +94,7 @@ pub use policy::{
     policy_by_name, ConfigAffinity, Fcfs, PriorityFirst, SchedulePolicy, ShortestJobFirst,
 };
 pub use profile::{AppProfile, ConfigId, FabricConfig, FALLBACK_FINE_PENALTY};
+pub use region::RegionPlan;
 pub use report::{report_to_json, AppStats, ReliabilityStats, RuntimeReport};
 #[allow(deprecated)]
 pub use sim::{run_simulation, simulate_mix};

@@ -1,0 +1,154 @@
+//! Region residency for partial reconfiguration: the bridge between
+//! the floorplanner and the simulator.
+//!
+//! A [`RegionPlan`] jointly floorplans every tenant's configuration
+//! footprints (its profile's `partition_areas`) onto a
+//! [`FabricGrid`], then freezes the result into the per-application
+//! *residency sets* the engine consults at dispatch time: the regions
+//! an application's load must reprogram, and the region areas that
+//! price those loads. The plan is computed once, before the run — the
+//! floorplanner is pure, so the whole run stays bit-deterministic.
+
+use crate::profile::AppProfile;
+use amdrel_floorplan::{FabricGrid, Floorplanner, Footprint, FragmentationStats};
+
+/// A frozen joint placement of every application's configuration
+/// footprints, consumed by
+/// [`Simulation::regions`](crate::Simulation::regions).
+///
+/// # Examples
+///
+/// ```
+/// use amdrel_floorplan::FabricGrid;
+/// use amdrel_runtime::{AppProfile, RegionPlan};
+///
+/// let profiles = vec![
+///     AppProfile::synthetic("interactive", 2, 5_000, 1_500, vec![60, 40]),
+///     AppProfile::synthetic("batch", 0, 40_000, 9_000, vec![90]),
+/// ];
+/// let plan = RegionPlan::new(&profiles, &FabricGrid::uniform(1050, 4));
+/// assert!(plan.is_partial());
+/// // Each tenant got its own residency set, so one tenant's load
+/// // leaves the other's regions untouched.
+/// assert_ne!(plan.touched(0), plan.touched(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionPlan {
+    region_areas: Vec<u64>,
+    touched: Vec<Vec<usize>>,
+    stats: FragmentationStats,
+}
+
+impl RegionPlan {
+    /// Floorplan `profiles` onto `grid` (owner `i` = profile index `i`)
+    /// and freeze the residency sets.
+    pub fn new(profiles: &[AppProfile], grid: &FabricGrid) -> RegionPlan {
+        let footprints: Vec<Footprint> = profiles
+            .iter()
+            .enumerate()
+            .flat_map(|(app, p)| {
+                p.config
+                    .partition_areas
+                    .iter()
+                    .map(move |&area| Footprint::new(app, area))
+            })
+            .collect();
+        let placement = Floorplanner.place(grid, &footprints);
+        RegionPlan {
+            region_areas: placement.region_areas().to_vec(),
+            touched: (0..profiles.len())
+                .map(|app| placement.touched_regions(app).to_vec())
+                .collect(),
+            stats: placement.stats(),
+        }
+    }
+
+    /// Number of regions on the underlying grid.
+    pub fn regions(&self) -> usize {
+        self.region_areas.len()
+    }
+
+    /// Area of region `r` — what a region-granular load pays to
+    /// reprogram it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn region_area(&self, r: usize) -> u64 {
+        self.region_areas[r]
+    }
+
+    /// The residency set of application `app`: sorted region indices its
+    /// configuration occupies. Empty for unknown apps or apps with no
+    /// configuration footprint.
+    pub fn touched(&self, app: usize) -> &[usize] {
+        self.touched.get(app).map_or(&[], Vec::as_slice)
+    }
+
+    /// `true` when the plan has at least two regions and so admits
+    /// partial reconfiguration. A single full-fabric region is the
+    /// degenerate case: the engine keeps the scalar area-pool path, so
+    /// attaching such a plan is bit-identical to attaching none.
+    pub fn is_partial(&self) -> bool {
+        self.region_areas.len() >= 2
+    }
+
+    /// The floorplanner's placement-quality summary.
+    pub fn stats(&self) -> FragmentationStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> Vec<AppProfile> {
+        vec![
+            AppProfile::synthetic("interactive", 2, 5_000, 1_500, vec![400, 300]),
+            AppProfile::synthetic("batch", 0, 40_000, 9_000, vec![900]),
+            AppProfile::synthetic("stream", 1, 12_000, 4_000, vec![600, 200, 200]),
+        ]
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let p = profiles();
+        let grid = FabricGrid::uniform(1050, 4);
+        assert_eq!(RegionPlan::new(&p, &grid), RegionPlan::new(&p, &grid));
+    }
+
+    #[test]
+    fn tenants_get_disjoint_residency_when_regions_suffice() {
+        let p = profiles();
+        let plan = RegionPlan::new(&p, &FabricGrid::uniform(1050, 4));
+        assert!(plan.is_partial());
+        assert_eq!(plan.regions(), 4);
+        for a in 0..p.len() {
+            assert!(!plan.touched(a).is_empty());
+            for b in (a + 1)..p.len() {
+                assert!(
+                    plan.touched(a).iter().all(|r| !plan.touched(b).contains(r)),
+                    "apps {a} and {b} share a region"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_fabric_plan_is_degenerate() {
+        let p = profiles();
+        let plan = RegionPlan::new(&p, &FabricGrid::full(1050));
+        assert!(!plan.is_partial());
+        assert_eq!(plan.regions(), 1);
+        for a in 0..p.len() {
+            assert_eq!(plan.touched(a), &[0]);
+        }
+    }
+
+    #[test]
+    fn unknown_apps_touch_nothing() {
+        let plan = RegionPlan::new(&profiles(), &FabricGrid::uniform(1050, 4));
+        assert_eq!(plan.touched(99), &[] as &[usize]);
+    }
+}

@@ -9,7 +9,10 @@
 //!   [`ReconfigModel`](amdrel_core::ReconfigModel) per temporal
 //!   partition (the configuration cache makes re-entry of the loaded
 //!   configuration free; prefetch overlaps all but the first partition
-//!   load with execution);
+//!   load with execution). With a [`RegionPlan`] attached, the scalar
+//!   pool becomes per-region configuration state: a dispatch reloads
+//!   only the stale regions of the job's residency set, priced by
+//!   region area, and load faults scrub only those regions;
 //! * the **CGC datapath** — one slot per CGC. A job's coarse phase
 //!   (CGC compute + shared-memory communication) occupies one slot,
 //!   FIFO, overlapping other jobs' FPGA phases.
@@ -47,6 +50,7 @@ use crate::calendar::CalendarQueue;
 use crate::fault::{permille_of, FaultSpec, RecoveryPolicy};
 use crate::policy::{Fcfs, SchedulePolicy};
 use crate::profile::{AppProfile, ConfigId};
+use crate::region::RegionPlan;
 use crate::report::{AppStats, ReliabilityStats, RuntimeReport};
 use crate::sketch::{LatencySketch, LatencySource, SketchMode};
 use crate::workload::{Job, WorkloadSpec};
@@ -267,6 +271,11 @@ struct Engine<'a> {
     fpga_queue: Vec<Job>,
     fpga_busy: bool,
     loaded: Option<ConfigId>,
+    /// Region-granular reconfiguration, when a partial plan is attached
+    /// (a single full-fabric region keeps the scalar path, `None` here).
+    region_plan: Option<&'a RegionPlan>,
+    /// Configuration resident in each region (all `None` without a plan).
+    region_owner: Vec<Option<ConfigId>>,
 
     cgc_queue: VecDeque<CgcTask>,
     free_slots: usize,
@@ -283,6 +292,7 @@ impl<'a> Engine<'a> {
         } else {
             sim.profiles.iter().map(|p| p.service_cycles()).sum::<u64>() / sim.profiles.len() as u64
         };
+        let region_plan = sim.regions.filter(|plan| plan.is_partial());
         Engine {
             profiles: sim.profiles,
             platform: sim.platform,
@@ -295,6 +305,8 @@ impl<'a> Engine<'a> {
             fpga_queue: Vec::new(),
             fpga_busy: false,
             loaded: None,
+            region_plan,
+            region_owner: vec![None; region_plan.map_or(0, RegionPlan::regions)],
             cgc_queue: VecDeque::new(),
             free_slots: sim.platform.datapath.cgcs.len(),
             ledger: Ledger::new(sim.profiles.len(), source),
@@ -309,6 +321,9 @@ impl<'a> Engine<'a> {
     /// Reconfiguration charge for dispatching `job` now: `(bitstream
     /// loads performed, fabric stall cycles)`.
     fn reconfig_charge(&self, job: &Job) -> (u64, u64) {
+        if let Some(plan) = self.region_plan {
+            return self.region_charge(plan, job);
+        }
         let areas = &self.profiles[job.app].config.partition_areas;
         if areas.is_empty() || (self.config.config_cache && self.loaded == Some(job.config)) {
             return (0, 0);
@@ -320,6 +335,29 @@ impl<'a> Engine<'a> {
             areas.iter().map(|&a| model.load_cycles(a)).sum()
         };
         (areas.len() as u64, stall)
+    }
+
+    /// Region-granular charge: only the *stale* regions of the job's
+    /// residency set are reprogrammed, each priced by the area of the
+    /// region actually rewritten — not the logical partition area. A
+    /// region already holding the job's configuration is skipped (when
+    /// the cache is on), so another tenant's regions stay untouched and
+    /// keep executing through the load. Prefetch overlaps all but the
+    /// first stale region's load with execution, as in the scalar model.
+    fn region_charge(&self, plan: &RegionPlan, job: &Job) -> (u64, u64) {
+        let model = &self.platform.reconfig;
+        let mut loads = 0u64;
+        let mut stall = 0u64;
+        for &r in plan.touched(job.app) {
+            if self.config.config_cache && self.region_owner[r] == Some(job.config) {
+                continue;
+            }
+            loads += 1;
+            if !self.config.prefetch || loads == 1 {
+                stall += model.load_cycles(plan.region_area(r));
+            }
+        }
+        (loads, stall)
     }
 
     fn dispatch_fpga(&mut self, now: u64) {
@@ -341,15 +379,27 @@ impl<'a> Engine<'a> {
         if loads > 0 && self.faults.load_fails(job.id, attempt) {
             // The load aborts after its full streaming stall; a partial
             // bitstream is useless, so the resident configuration is
-            // scrubbed and the stall is pure loss.
+            // scrubbed and the stall is pure loss. Under a region plan
+            // the outage is region-scoped: only the regions the load was
+            // rewriting are scrubbed — other tenants stay resident.
             self.ledger.load_failures += 1;
             self.ledger.fault_lost_cycles += stall;
             self.loaded = None;
+            if let Some(plan) = self.region_plan {
+                for &r in plan.touched(job.app) {
+                    self.region_owner[r] = None;
+                }
+            }
             self.schedule(now + stall, Completion::LoadFault { job, attempt });
             return;
         }
         if loads > 0 {
             self.loaded = Some(job.config);
+            if let Some(plan) = self.region_plan {
+                for &r in plan.touched(job.app) {
+                    self.region_owner[r] = Some(job.config);
+                }
+            }
         }
         self.ledger.reconfig_loads += loads;
         self.ledger.reconfig_stall_cycles += stall;
@@ -602,6 +652,7 @@ pub struct Simulation<'a> {
     sketch: SketchMode,
     faults: FaultSpec,
     recovery: RecoveryPolicy,
+    regions: Option<&'a RegionPlan>,
 }
 
 impl std::fmt::Debug for Simulation<'_> {
@@ -613,6 +664,7 @@ impl std::fmt::Debug for Simulation<'_> {
             .field("sketch", &self.sketch)
             .field("faults", &self.faults)
             .field("recovery", &self.recovery)
+            .field("regions", &self.regions.map(RegionPlan::regions))
             .finish()
     }
 }
@@ -629,6 +681,7 @@ impl<'a> Simulation<'a> {
             sketch: SketchMode::Auto,
             faults: FaultSpec::none(),
             recovery: RecoveryPolicy::default(),
+            regions: None,
         }
     }
 
@@ -666,6 +719,19 @@ impl<'a> Simulation<'a> {
     /// everything.
     pub fn queue_bound(mut self, bound: Option<NonZeroUsize>) -> Self {
         self.config.queue_bound = bound;
+        self
+    }
+
+    /// Attach a [`RegionPlan`] and switch reconfiguration pricing to
+    /// region granularity: a dispatch reprograms only the stale regions
+    /// of the job's residency set, each priced by the *region* area
+    /// actually rewritten. Default: none (the scalar area pool).
+    ///
+    /// A plan with a single full-fabric region is degenerate — it
+    /// admits no partial loads, so the engine keeps the scalar path and
+    /// the report is bit-identical to not attaching a plan.
+    pub fn regions(mut self, plan: &'a RegionPlan) -> Self {
+        self.regions = Some(plan);
         self
     }
 
@@ -1499,6 +1565,130 @@ mod tests {
         let generous = sim(&p, &pf).faults(fs).run(&jobs);
         assert_eq!(generous.reliability.deadline_misses, 0);
         assert_eq!(generous.completed(), 3);
+    }
+
+    #[test]
+    fn full_fabric_region_plan_is_bit_identical_to_the_scalar_pool() {
+        use amdrel_floorplan::FabricGrid;
+        let profiles = vec![
+            AppProfile::synthetic("interactive", 2, 5_000, 1_500, vec![400, 300]),
+            AppProfile::synthetic("batch", 0, 40_000, 9_000, vec![900]),
+            AppProfile::synthetic("stream", 1, 12_000, 4_000, vec![600, 200, 200]),
+        ];
+        let pf = platform();
+        let plan = RegionPlan::new(&profiles, &FabricGrid::full(1050));
+        assert!(!plan.is_partial());
+        let spec = WorkloadSpec::uniform(42, 300, &profiles, 120);
+        let jobs = spec.generate(&profiles);
+        let policies: [&dyn SchedulePolicy; 4] =
+            [&Fcfs, &ShortestJobFirst, &PriorityFirst, &ConfigAffinity];
+        let configs = [
+            SimConfig::default(),
+            SimConfig {
+                config_cache: false,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                prefetch: true,
+                ..SimConfig::default()
+            },
+        ];
+        for policy in policies {
+            for config in &configs {
+                let base = Simulation::new(&pf)
+                    .profiles(&profiles)
+                    .policy(policy)
+                    .config(*config);
+                assert_eq!(
+                    base.run(&jobs),
+                    base.regions(&plan).run(&jobs),
+                    "scalar-pool identity broke: policy {}, config {config:?}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_reconfiguration_beats_streamed_loads_on_a_thrashing_mix() {
+        use amdrel_floorplan::FabricGrid;
+        let profiles = vec![
+            AppProfile::synthetic("interactive", 2, 5_000, 1_500, vec![400, 300]),
+            AppProfile::synthetic("batch", 0, 40_000, 9_000, vec![900]),
+            AppProfile::synthetic("stream", 1, 12_000, 4_000, vec![600, 200, 200]),
+        ];
+        let pf = platform();
+        let plan = RegionPlan::new(&profiles, &FabricGrid::uniform(1050, 4));
+        assert!(plan.is_partial());
+        let spec = WorkloadSpec::uniform(42, 300, &profiles, 120);
+        let jobs = spec.generate(&profiles);
+        let policies: [&dyn SchedulePolicy; 4] =
+            [&Fcfs, &ShortestJobFirst, &PriorityFirst, &ConfigAffinity];
+        for policy in policies {
+            let base = Simulation::new(&pf).profiles(&profiles).policy(policy);
+            let streamed = base.run(&jobs);
+            let region = base.regions(&plan).run(&jobs);
+            // Tenants resident in disjoint regions stop scrubbing each
+            // other: after each tenant's first load the fabric switches
+            // apps stall-free, while the scalar pool reloads every swap.
+            assert!(
+                region.reconfig_stall_cycles < streamed.reconfig_stall_cycles,
+                "policy {}: region stall {} !< streamed stall {}",
+                policy.name(),
+                region.reconfig_stall_cycles,
+                streamed.reconfig_stall_cycles
+            );
+            assert!(
+                region.reconfig_loads < streamed.reconfig_loads,
+                "policy {}: region loads {} !< streamed loads {}",
+                policy.name(),
+                region.reconfig_loads,
+                streamed.reconfig_loads
+            );
+            assert_eq!(region.completed(), streamed.completed());
+            // Region runs replay bit-for-bit too.
+            assert_eq!(region, base.regions(&plan).run(&jobs));
+        }
+    }
+
+    #[test]
+    fn region_load_faults_scrub_only_the_touched_regions() {
+        use amdrel_floorplan::FabricGrid;
+        let profiles = vec![
+            AppProfile::synthetic("a", 0, 1_000, 0, vec![100]),
+            AppProfile::synthetic("b", 0, 1_000, 0, vec![120]),
+        ];
+        let pf = platform();
+        let plan = RegionPlan::new(&profiles, &FabricGrid::uniform(1050, 4));
+        // a at 0, b arrives after a's chain: a loads, b's first load
+        // fails once (scrubbing only b's regions), retries and succeeds;
+        // a's second job re-enters warm — its regions were untouched.
+        let jobs = vec![
+            job(0, 0, 0, 1_000, 0, &profiles[0].config),
+            job(1, 1, 2_000, 1_000, 0, &profiles[1].config),
+            job(2, 0, 6_000, 1_000, 0, &profiles[0].config),
+        ];
+        let mut fs = FaultSpec::none();
+        fs.load_fail_permille = 1000; // every load attempt fails
+        let r = sim(&profiles, &pf)
+            .regions(&plan)
+            .faults(fs)
+            .recovery(RecoveryPolicy {
+                max_retries: 0,
+                degrade: false,
+                ..RecoveryPolicy::default()
+            })
+            .run(&jobs);
+        // Job 0 and job 1 both die on their cold loads; job 2 is cold
+        // again only if its region was scrubbed — it was (its own app's
+        // load failed), so three load failures total.
+        assert_eq!(r.reliability.load_failures, 3);
+        assert_eq!(r.completed(), 0);
+
+        // Fault-free, the second "a" job re-enters warm: 2 loads total.
+        let clean = sim(&profiles, &pf).regions(&plan).run(&jobs);
+        assert_eq!(clean.reconfig_loads, 2);
+        assert_eq!(clean.completed(), 3);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! platform points only the contention-aware search surfaces), and one
 //! seeded 3-app runtime simulation per scheduling policy into
 //! `BENCH_runtime.json` (simulated throughput, latency percentiles,
-//! reconfiguration-stall share, wall-clock simulation speed, plus one
-//! fault-injected reliability row for the recovery invariants), so the
+//! reconfiguration-stall share, wall-clock simulation speed, one
+//! fault-injected reliability row for the recovery invariants, and one
+//! floorplan row comparing region-granular partial reconfiguration
+//! against streamed full-fabric loads), so the
 //! perf, search-efficiency and servable-workload trajectories can all
 //! be tracked PR over PR (and checked in CI without the full bench
 //! harness). Each file's schema and regression signatures are
@@ -194,6 +196,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scaling_jobs_per_sec = scaling_report.completed() as f64 * 1e9 / scaling_wall_ns;
     report.push(("runtime/fcfs_1m_jobs_32_tenants".into(), scaling_wall_ns, 1));
 
+    // --- Floorplanner on the standard mix's real configuration
+    //     footprints: the joint 4-band placement every region-mode
+    //     simulation freezes up front, timed for the perf baseline.
+    let mix_footprints: Vec<Footprint> = profiles
+        .iter()
+        .enumerate()
+        .flat_map(|(app, p)| {
+            p.config
+                .partition_areas
+                .iter()
+                .map(move |&area| Footprint::new(app, area))
+        })
+        .collect();
+    let floorplan_grid = FabricGrid::uniform(sim_platform.fpga.usable_area(), 4);
+    let (ns, iters) = measure(|| Floorplanner.place(&floorplan_grid, &mix_footprints));
+    report.push(("floorplan/place_standard_mix_4_regions".into(), ns, iters));
+
     // --- Emit BENCH_engine.json (no serde in the offline vendor set, so
     //     the JSON is assembled by hand).
     let mut json = String::from("{\n  \"schema\": \"amdrel-bench-report/v1\",\n  \"unit\": \"mean ns per op\",\n  \"benches\": [\n");
@@ -336,7 +355,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Emit BENCH_runtime.json: the servable-workload baseline on the
     //     seeded 3-app mix, per policy, plus the million-job scaling row.
-    let mut json = String::from("{\n  \"schema\": \"amdrel-runtime-report/v3\",\n");
+    let mut json = String::from("{\n  \"schema\": \"amdrel-runtime-report/v4\",\n");
     let _ = writeln!(
         json,
         "  \"workload\": {{ \"seed\": {}, \"jobs\": {}, \"mean_interarrival\": {}, \"apps\": [{}] }},",
@@ -418,6 +437,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         faulted.availability(),
         faulted.goodput_jobs_per_mcycle(),
         faulted.throughput_jobs_per_mcycle(),
+    );
+    // The floorplan row: the same seeded 400-job mix under affinity,
+    // once with streamed full-fabric loads and once under the 4-region
+    // partial-reconfiguration plan, so CI can gate the placement win
+    // (region stall share strictly below streamed) and pin the
+    // deterministic fragmentation statistics.
+    let affinity = policy_by_name("affinity").expect("built-in policy");
+    let affinity_sim = sim.policy(affinity.as_ref());
+    let streamed_report = affinity_sim.run(&sim_jobs);
+    let region_plan = RegionPlan::new(&profiles, &floorplan_grid);
+    let region_report = affinity_sim.regions(&region_plan).run(&sim_jobs);
+    let frag = region_plan.stats();
+    let _ = writeln!(
+        json,
+        "  \"floorplan\": {{ \"regions\": {}, \"policy\": \"{}\", \
+         \"streamed_loads\": {}, \"streamed_stall_cycles\": {}, \"streamed_stall_share\": {:.4}, \
+         \"region_loads\": {}, \"region_stall_cycles\": {}, \"region_stall_share\": {:.4}, \
+         \"placement_failures\": {}, \"internal_fragmentation_permille\": {}, \
+         \"external_fragmentation_permille\": {}, \"worst_region_permille\": {} }},",
+        region_plan.regions(),
+        streamed_report.policy,
+        streamed_report.reconfig_loads,
+        streamed_report.reconfig_stall_cycles,
+        streamed_report.stall_share(),
+        region_report.reconfig_loads,
+        region_report.reconfig_stall_cycles,
+        region_report.stall_share(),
+        frag.placement_failures(),
+        frag.internal_permille(),
+        frag.external_permille(),
+        frag.worst_region_permille(),
     );
     // The scaling row: throughput_ratio normalises the wall-clock rate to
     // the 400-job FCFS row above; scale_up is the jobs/sec-normalised

@@ -9,15 +9,20 @@
 //! amdrel explore   <src.c> [--strategy exhaustive|random|sa] [--seed S]
 //!                  [--budget N] [--jobs N] [--json] [--constraint N]
 //!                  [--areas A,A,..] [--cgc-list K,K,..] [--max-kernels K]
-//!                  [--objectives cycles,area,energy,p95,throughput,
+//!                  [--objectives cycles,area,energy,fragmentation,
+//!                                worst_region_load,p95,throughput,
 //!                                p95_under_faults,degraded_share]
 //!                  [--policy fcfs|sjf|priority|affinity] [--njobs N] [--load PCT]
+//!                  [--reconfig streamed|region|free]
+//!                  [--regions N | --region-shape RxC]
 //!                  [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES]
 //!                  [--max-retries N] [--degrade] [--input name=v,v,..]...
 //! amdrel simulate  [--app ofdm|jpeg|sobel]... [--policy fcfs|sjf|priority|affinity]
 //!                  [--seed S] [--njobs N] [--load PCT | --arrival CYCLES]
 //!                  [--queue-bound N] [--no-config-cache] [--prefetch]
 //!                  [--sketch auto|exact|sketched] [--area A] [--cgcs K]
+//!                  [--reconfig streamed|region|free]
+//!                  [--regions N | --region-shape RxC]
 //!                  [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES]
 //!                  [--max-retries N] [--degrade] [--json]
 //! amdrel dot       <src.c> [--block N] [--input name=v,v,..]...
@@ -37,6 +42,25 @@
 //! fine-grain load (default 130). The arrival rate is pinned from the
 //! background mix on the base platform, so every candidate platform
 //! sees identical offered traffic.
+//!
+//! `--reconfig` selects the reconfiguration cost model shared by
+//! `simulate` and `explore`: `streamed` (the default) prices every load
+//! by the full logical footprint on one monolithic fabric; `region`
+//! floorplans all tenants jointly onto a region grid — `--regions N`
+//! horizontal bands or `--region-shape RxC` rectangles (default 4
+//! bands) — and a dispatch reloads only the stale regions its
+//! configuration touches, priced by *region* area; `free` is the
+//! zero-cost ablation. `--regions` and `--region-shape` are mutually
+//! exclusive with each other and with an explicit `--reconfig
+//! streamed|free` (either flag implies `--reconfig region`).
+//! `--no-config-cache` composes with `streamed` and `region` (every
+//! dispatch reloads; in region mode every touched region is treated as
+//! stale) but is a no-op under `--reconfig free`, where loads cost
+//! nothing whether cached or not — the same holds for `--prefetch`.
+//! With one region, `--reconfig region` output is byte-identical to
+//! `streamed`. `explore` prices the static `fragmentation` /
+//! `worst_region_load` objectives on the same grid (a shape contributes
+//! `R×C` uniform regions).
 //!
 //! The fault flags drive the deterministic fault-injection layer:
 //! `--fault-rate` is a per-mille probability (0..=1000) applied to
@@ -81,18 +105,25 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
         "amdrel explore <src.c> [--strategy exhaustive|random|sa] [--seed S] [--budget N] \
          [--jobs N] [--json] [--constraint N] [--areas A,A,..] [--cgc-list K,K,..] \
          [--max-kernels K] \
-         [--objectives cycles,area,energy,p95,throughput,p95_under_faults,degraded_share] \
+         [--objectives cycles,area,energy,fragmentation,worst_region_load,p95,throughput,\
+p95_under_faults,degraded_share] \
          [--policy fcfs|sjf|priority|affinity] [--njobs N] [--load PCT] \
+         [--reconfig streamed|region|free] [--regions N | --region-shape RxC] \
          [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES] [--max-retries N] \
-         [--degrade] [--input name=v,v,..]...",
+         [--degrade] [--input name=v,v,..]... \
+         (--regions/--region-shape are mutually exclusive and imply --reconfig region)",
     ),
     (
         "simulate",
         "amdrel simulate [--app ofdm|jpeg|sobel]... [--policy fcfs|sjf|priority|affinity] \
          [--seed S] [--njobs N] [--load PCT | --arrival CYCLES] [--queue-bound N] \
          [--no-config-cache] [--prefetch] [--sketch auto|exact|sketched] [--area A] \
-         [--cgcs K] [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES] \
-         [--max-retries N] [--degrade] [--json]",
+         [--cgcs K] [--reconfig streamed|region|free] [--regions N | --region-shape RxC] \
+         [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES] \
+         [--max-retries N] [--degrade] [--json] \
+         (--load/--arrival and --regions/--region-shape are mutually exclusive pairs; \
+         region flags imply --reconfig region; --no-config-cache composes with \
+         --reconfig region but both it and --prefetch are no-ops under --reconfig free)",
     ),
     (
         "dot",
@@ -151,6 +182,9 @@ struct Options {
     deadline: Option<u64>,
     max_retries: u32,
     degrade: bool,
+    reconfig: Option<String>,
+    regions: Option<usize>,
+    region_shape: Option<(usize, usize)>,
 }
 
 /// Whether a subcommand takes a mini-C source file as its positional
@@ -192,6 +226,9 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
         deadline: None,
         max_retries: 3,
         degrade: false,
+        reconfig: None,
+        regions: None,
+        region_shape: None,
     };
     let mut it = args.iter().peekable();
     let mut positional = Vec::new();
@@ -355,6 +392,34 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
                     .map_err(|e| format!("--max-retries: {e}"))?;
             }
             "--degrade" => opts.degrade = true,
+            "--reconfig" => opts.reconfig = Some(value_of("--reconfig")?),
+            "--regions" => {
+                let n: usize = value_of("--regions")?
+                    .parse()
+                    .map_err(|e| format!("--regions: {e}"))?;
+                if n == 0 {
+                    return Err("--regions must be a positive region count".to_owned());
+                }
+                opts.regions = Some(n);
+            }
+            "--region-shape" => {
+                let v = value_of("--region-shape")?;
+                let (r, c) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("--region-shape wants RxC, e.g. 2x2 (got '{v}')"))?;
+                let rows: usize = r
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("--region-shape rows: {e}"))?;
+                let cols: usize = c
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("--region-shape cols: {e}"))?;
+                if rows == 0 || cols == 0 {
+                    return Err("--region-shape needs positive dimensions".to_owned());
+                }
+                opts.region_shape = Some((rows, cols));
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -370,6 +435,42 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
         (false, 0) => Ok(opts),
         _ => Err(format!("unexpected arguments: {positional:?}")),
     }
+}
+
+/// Resolve the `--reconfig`/`--regions`/`--region-shape` selection:
+/// `Ok(None)` for the classic full-fabric models (`streamed`, `free`),
+/// `Ok(Some((rows, cols)))` for region mode. Either region flag implies
+/// `--reconfig region`; a bare `--reconfig region` defaults to 4
+/// horizontal bands.
+fn region_grid(opts: &Options) -> Result<Option<(usize, usize)>, String> {
+    let mode = opts.reconfig.as_deref();
+    if let Some(m) = mode {
+        if !matches!(m, "streamed" | "region" | "free") {
+            return Err(format!(
+                "unknown reconfig model '{m}' (expected streamed, region or free)"
+            ));
+        }
+    }
+    if opts.regions.is_some() && opts.region_shape.is_some() {
+        return Err("--regions and --region-shape are mutually exclusive".to_owned());
+    }
+    let flagged = opts.regions.is_some() || opts.region_shape.is_some();
+    if flagged {
+        if let Some(m @ ("streamed" | "free")) = mode {
+            return Err(format!(
+                "--regions/--region-shape are mutually exclusive with --reconfig {m} \
+                 (they imply --reconfig region)"
+            ));
+        }
+    }
+    if !flagged && mode != Some("region") {
+        return Ok(None);
+    }
+    Ok(Some(match (opts.regions, opts.region_shape) {
+        (Some(n), _) => (n, 1),
+        (_, Some(shape)) => shape,
+        _ => (4, 1),
+    }))
 }
 
 /// Build the fault-injection spec and recovery policy selected on the
@@ -531,6 +632,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         "explore" => {
             let objectives = ObjectiveSet::parse(&opts.objectives)?;
+            let region = region_grid(&opts)?;
             let (program, analysis) = analyzed(&opts)?;
             let strategy: Box<dyn SearchStrategy> = match opts.strategy.as_str() {
                 "exhaustive" => Box::new(Exhaustive),
@@ -542,7 +644,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     ))
                 }
             };
-            let base = Platform::paper(opts.areas[0], opts.cgc_list[0]);
+            let mut base = Platform::paper(opts.areas[0], opts.cgc_list[0]);
+            if opts.reconfig.as_deref() == Some("free") {
+                base = base.with_reconfig(ReconfigModel::free());
+            }
             let cache = MappingCache::new();
             // Contention-aware objectives score each candidate platform
             // by simulating the explored source alongside the built-in
@@ -563,15 +668,17 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 let load = opts.load.unwrap_or(130);
                 let arrival = WorkloadSpec::mean_interarrival_for(&background, load);
                 let (faults, recovery) = fault_config(&opts);
-                Some(
-                    RuntimeEvaluator::new(background, policy)
-                        .with_seed(opts.seed)
-                        .with_njobs(opts.njobs)
-                        .with_load(load)
-                        .with_arrival(arrival)
-                        .with_faults(faults)
-                        .with_recovery(recovery),
-                )
+                let mut rt = RuntimeEvaluator::new(background, policy)
+                    .with_seed(opts.seed)
+                    .with_njobs(opts.njobs)
+                    .with_load(load)
+                    .with_arrival(arrival)
+                    .with_faults(faults)
+                    .with_recovery(recovery);
+                if let Some((rows, cols)) = region {
+                    rt = rt.with_region_reconfig(rows * cols);
+                }
+                Some(rt)
             } else {
                 None
             };
@@ -609,6 +716,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 &cache,
             )
             .with_objectives(objectives);
+            if let Some((rows, cols)) = region {
+                evaluator = evaluator.with_regions(rows * cols);
+            }
             if let Some(rt) = &contention {
                 evaluator = evaluator.with_runtime(rt);
             }
@@ -627,7 +737,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "simulate" => {
-            let platform = Platform::paper(opts.area, opts.cgcs);
+            let region = region_grid(&opts)?;
+            let mut platform = Platform::paper(opts.area, opts.cgcs);
+            if opts.reconfig.as_deref() == Some("free") {
+                platform = platform.with_reconfig(ReconfigModel::free());
+            }
             let selected: Vec<String> = if opts.apps.is_empty() {
                 vec!["ofdm".to_owned(), "jpeg".to_owned(), "sobel".to_owned()]
             } else {
@@ -668,8 +782,16 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 )
             })?;
             let (faults, recovery) = fault_config(&opts);
+            // The joint floorplan is frozen before the simulation starts,
+            // so region mode stays a pure function of the flag values.
+            let plan = region.map(|(rows, cols)| {
+                RegionPlan::new(
+                    &profiles,
+                    &FabricGrid::shaped(platform.fpga.usable_area(), rows, cols),
+                )
+            });
             // `--queue-bound 0` keeps its historical meaning: unbounded.
-            let report = Simulation::new(&platform)
+            let mut sim = Simulation::new(&platform)
                 .profiles(&profiles)
                 .policy(policy.as_ref())
                 .config_cache(!opts.no_config_cache)
@@ -677,8 +799,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 .queue_bound(std::num::NonZeroUsize::new(opts.queue_bound))
                 .sketch_mode(sketch)
                 .faults(faults)
-                .recovery(recovery)
-                .run_mix(&spec);
+                .recovery(recovery);
+            if let Some(plan) = &plan {
+                sim = sim.regions(plan);
+            }
+            let report = sim.run_mix(&spec);
             if opts.json {
                 print!("{}", amdrel::runtime::report_to_json(&report));
             } else {
@@ -690,6 +815,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     opts.seed,
                     spec.mean_interarrival,
                 );
+                if let Some((rows, cols)) = region {
+                    println!(
+                        "reconfig: region mode, {rows}x{cols} grid ({} regions)",
+                        rows * cols
+                    );
+                }
                 print!("{}", report.format_table());
             }
             Ok(())

@@ -23,6 +23,7 @@
 //! | [`finegrain`] | FPGA model + Figure 3 temporal partitioning |
 //! | [`coarsegrain`] | CGC datapath + list scheduling + binding |
 //! | [`core`] | the Figure 2 partitioning engine and experiment grids |
+//! | [`floorplan`] | 2D region model + deterministic floorplanner for partial reconfiguration |
 //! | [`explore`] | multi-objective design-space exploration (Pareto archive + search strategies) |
 //! | [`runtime`] | reconfiguration-aware multi-tenant runtime simulator |
 //! | [`apps`] | OFDM transmitter & JPEG encoder case studies |
@@ -60,6 +61,7 @@ pub use amdrel_coarsegrain as coarsegrain;
 pub use amdrel_core as core;
 pub use amdrel_explore as explore;
 pub use amdrel_finegrain as finegrain;
+pub use amdrel_floorplan as floorplan;
 pub use amdrel_minic as minic;
 pub use amdrel_profiler as profiler;
 pub use amdrel_runtime as runtime;
@@ -82,11 +84,15 @@ pub mod prelude {
         RandomSampling, RuntimeEvaluator, SearchStrategy, SimulatedAnnealing,
     };
     pub use amdrel_finegrain::{FpgaDevice, ReconfigPolicy};
+    pub use amdrel_floorplan::{
+        FabricGrid, Floorplanner, Footprint, FragmentationStats, PlacedRect, Placement, Region,
+        RegionConfigKey,
+    };
     pub use amdrel_minic::compile;
     pub use amdrel_profiler::{AnalysisReport, Interpreter, WeightTable};
     pub use amdrel_runtime::{
         policy_by_name, AppProfile, AppShare, BackoffSchedule, ConfigAffinity, FaultSpec, Fcfs,
-        LatencySketch, LatencySource, PriorityFirst, RecoveryPolicy, ReliabilityStats,
+        LatencySketch, LatencySource, PriorityFirst, RecoveryPolicy, RegionPlan, ReliabilityStats,
         RuntimeReport, SchedulePolicy, ShortestJobFirst, SimConfig, Simulation, SketchMode,
         WorkloadSpec,
     };

@@ -422,6 +422,151 @@ fn simulate_fault_flags_are_documented_and_validated() {
 }
 
 #[test]
+fn region_flags_are_documented_with_their_interactions() {
+    // `--help` documents the region flags on both region-aware
+    // subcommands, including which flags are mutually exclusive.
+    for cmd in ["simulate", "explore"] {
+        let (ok, stdout, stderr) = amdrel(&[cmd, "--help"]);
+        assert!(ok, "{cmd} --help (stderr: {stderr})");
+        for flag in [
+            "--reconfig streamed|region|free",
+            "--regions N | --region-shape RxC",
+        ] {
+            assert!(
+                stdout.contains(flag),
+                "{cmd} --help must list {flag}: {stdout}"
+            );
+        }
+        assert!(
+            stdout.contains("imply --reconfig region"),
+            "{cmd} --help must document the implied mode: {stdout}"
+        );
+    }
+    // simulate additionally spells out the `--no-config-cache` and
+    // `--prefetch` interactions.
+    let (_, stdout, _) = amdrel(&["simulate", "--help"]);
+    assert!(
+        stdout
+            .contains("--load/--arrival and --regions/--region-shape are mutually exclusive pairs"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("--no-config-cache composes with --reconfig region"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("both it and --prefetch are no-ops under --reconfig free"),
+        "{stdout}"
+    );
+    // explore lists the floorplan objectives.
+    let (_, stdout, _) = amdrel(&["explore", "--help"]);
+    assert!(stdout.contains("fragmentation"), "{stdout}");
+    assert!(stdout.contains("worst_region_load"), "{stdout}");
+}
+
+#[test]
+fn region_flag_conflicts_exit_nonzero() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["simulate", "--regions", "2", "--region-shape", "2x2"],
+            "--regions and --region-shape are mutually exclusive",
+        ),
+        (
+            &["simulate", "--regions", "4", "--reconfig", "streamed"],
+            "imply --reconfig region",
+        ),
+        (
+            &["simulate", "--region-shape", "2x2", "--reconfig", "free"],
+            "imply --reconfig region",
+        ),
+        (
+            &["simulate", "--reconfig", "bogus"],
+            "unknown reconfig model",
+        ),
+        (&["simulate", "--regions", "0"], "positive region count"),
+        (&["simulate", "--region-shape", "4"], "wants RxC"),
+        (
+            &["simulate", "--region-shape", "0x2"],
+            "positive dimensions",
+        ),
+    ];
+    for (args, needle) in cases {
+        let (ok, _, stderr) = amdrel(args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn simulate_region_mode_is_deterministic_and_cuts_reconfig_stall() {
+    let streamed = ["simulate", "--seed", "42", "--njobs", "40", "--json"];
+    let region = [
+        "simulate",
+        "--seed",
+        "42",
+        "--njobs",
+        "40",
+        "--regions",
+        "4",
+        "--json",
+    ];
+    let (ok, s, stderr) = amdrel(&streamed);
+    assert!(ok, "stderr: {stderr}");
+    let (ok1, r1, _) = amdrel(&region);
+    let (ok2, r2, _) = amdrel(&region);
+    assert!(ok1 && ok2);
+    assert_eq!(r1, r2, "region mode must replay bit-for-bit");
+    assert_ne!(s, r1, "region pricing must actually change the outcome");
+    let stall = |json: &str| {
+        let key = "\"reconfig_stall_cycles\": ";
+        let at = json.find(key).expect("reconfig_stall_cycles in the report");
+        json[at + key.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse::<u64>()
+            .expect("numeric stall cycles")
+    };
+    assert!(
+        stall(&r1) < stall(&s),
+        "partial reconfiguration must stall less: region {} vs streamed {}",
+        stall(&r1),
+        stall(&s)
+    );
+
+    // A single full-fabric region is the degenerate plan: byte-identical
+    // to the default streamed pool.
+    let (ok3, one, _) = amdrel(&[
+        "simulate",
+        "--seed",
+        "42",
+        "--njobs",
+        "40",
+        "--regions",
+        "1",
+        "--json",
+    ]);
+    assert!(ok3);
+    assert_eq!(one, s, "--regions 1 must degenerate to the scalar pool");
+
+    // The human-readable header names the grid.
+    let (ok4, table, _) = amdrel(&[
+        "simulate",
+        "--seed",
+        "42",
+        "--njobs",
+        "8",
+        "--region-shape",
+        "2x2",
+    ]);
+    assert!(ok4);
+    assert!(
+        table.contains("reconfig: region mode, 2x2 grid (4 regions)"),
+        "{table}"
+    );
+}
+
+#[test]
 fn simulate_zero_fault_rate_is_byte_identical_to_default() {
     let base = [
         "simulate", "--app", "ofdm", "--seed", "42", "--njobs", "24", "--json",
