@@ -1,0 +1,75 @@
+//! Observer-effect guard and tracing overhead: the seeded 3-app
+//! standard mix played under `affinity` with no sink, with a live
+//! [`TraceBuffer`](amdrel_trace::TraceBuffer), and with faults injected
+//! while traced. The run-once preamble is the hard check — the traced
+//! report (and its JSON rendering) must equal the untraced one
+//! byte-for-byte, and the trace itself must replay bit-identically —
+//! then Criterion prices the sink on the hot loop. Emitting events is
+//! a few pushes into a `Vec` per job, so traced throughput staying
+//! within 2× of untraced is the budget CI holds this to.
+
+use amdrel_apps::runtime::standard_mix;
+use amdrel_core::Platform;
+use amdrel_runtime::{policy_by_name, report_to_json, FaultSpec, Simulation, WorkloadSpec};
+use amdrel_trace::{chrome_trace, TraceBuffer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let platform = Platform::paper(1500, 2);
+    let profiles = standard_mix(&platform).expect("standard mix builds");
+    let spec = WorkloadSpec::uniform(42, 400, &profiles, 130);
+    let jobs = spec.generate(&profiles);
+    let policy = policy_by_name("affinity").expect("built-in policy");
+    let sim = Simulation::new(&platform)
+        .profiles(&profiles)
+        .policy(policy.as_ref());
+
+    // Observer-effect guard: the sink must not change a single byte of
+    // the deterministic report, and the trace must replay bit-for-bit.
+    let untraced = sim.run(&jobs);
+    let buffer = TraceBuffer::new();
+    let traced = sim.trace(&buffer).run(&jobs);
+    assert_eq!(untraced, traced, "attaching a sink changed the outcome");
+    assert_eq!(report_to_json(&untraced), report_to_json(&traced));
+    let replay = TraceBuffer::new();
+    let _ = sim.trace(&replay).run(&jobs);
+    assert_eq!(buffer.events(), replay.events(), "trace replay diverged");
+
+    let events = buffer.events();
+    println!(
+        "\n========== Trace overhead (affinity, {} jobs) ==========",
+        jobs.len()
+    );
+    println!(
+        "{} events recorded, {} bytes of Chrome JSON, report unchanged",
+        events.len(),
+        chrome_trace(&events).len()
+    );
+    println!("========================================================\n");
+
+    c.bench_function("trace/untraced_400_jobs", |b| {
+        b.iter(|| black_box(sim.run(&jobs)))
+    });
+    c.bench_function("trace/traced_400_jobs", |b| {
+        b.iter(|| {
+            let sink = TraceBuffer::new();
+            let report = sim.trace(&sink).run(&jobs);
+            black_box((report, sink.events().len()))
+        })
+    });
+    let faulted = sim.faults(FaultSpec::uniform(7, 30));
+    c.bench_function("trace/traced_faulted_400_jobs", |b| {
+        b.iter(|| {
+            let sink = TraceBuffer::new();
+            let report = faulted.trace(&sink).run(&jobs);
+            black_box((report, sink.events().len()))
+        })
+    });
+    c.bench_function("trace/chrome_export", |b| {
+        b.iter(|| black_box(chrome_trace(black_box(&events)).len()))
+    });
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -42,6 +42,10 @@ pub struct CacheStats {
     /// Coarse-grain mappings computed (one per distinct datapath/scheduler
     /// config × CDFG).
     pub coarse_misses: u64,
+    /// Mappings currently resident (fine + coarse map entries). Grows
+    /// monotonically — the cache never evicts — so this equals the
+    /// distinct configurations mapped so far.
+    pub entries: u64,
 }
 
 impl CacheStats {
@@ -192,13 +196,20 @@ impl MappingCache {
         }
     }
 
-    /// A snapshot of the hit/miss counters.
+    /// A snapshot of the hit/miss counters and resident entry count.
     pub fn stats(&self) -> CacheStats {
+        let fine_entries = self.fine.lock().expect("mapping cache lock poisoned").len();
+        let coarse_entries = self
+            .coarse
+            .lock()
+            .expect("mapping cache lock poisoned")
+            .len();
         CacheStats {
             fine_hits: self.fine_hits.load(Ordering::Relaxed),
             fine_misses: self.fine_misses.load(Ordering::Relaxed),
             coarse_hits: self.coarse_hits.load(Ordering::Relaxed),
             coarse_misses: self.coarse_misses.load(Ordering::Relaxed),
+            entries: (fine_entries + coarse_entries) as u64,
         }
     }
 }
@@ -332,6 +343,7 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses(), 4);
         assert_eq!(stats.hits(), 0);
+        assert_eq!(stats.entries, 4, "every miss leaves a resident mapping");
     }
 
     #[test]

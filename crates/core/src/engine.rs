@@ -97,6 +97,10 @@ pub struct PartitionResult {
     pub met_without_partitioning: bool,
     /// The kernel moves performed, in order.
     pub moves: Vec<MoveRecord>,
+    /// Candidate moves undone because they would have *increased*
+    /// `t_total` — nonzero only under
+    /// [`EngineConfig::skip_unprofitable`].
+    pub moves_reverted: u64,
     /// Final block→hardware assignment.
     pub assignment: Vec<Assignment>,
     /// Final timing decomposition.
@@ -279,6 +283,7 @@ impl<'a> PartitioningEngine<'a> {
                 initial_cycles,
                 met_without_partitioning: true,
                 moves: Vec::new(),
+                moves_reverted: 0,
                 assignment,
                 breakdown: Breakdown {
                     t_fpga: initial_cycles,
@@ -313,6 +318,7 @@ impl<'a> PartitioningEngine<'a> {
 
         // Steps 3+4: drain the ordered kernel queue.
         let mut moves = Vec::new();
+        let mut moves_reverted = 0u64;
         let mut breakdown = sums.breakdown(self.platform);
         for &kernel in self.analysis.kernels() {
             if breakdown.t_total() <= constraint {
@@ -323,6 +329,7 @@ impl<'a> PartitioningEngine<'a> {
             let candidate = sums.breakdown(self.platform);
             if self.config.skip_unprofitable && candidate.t_total() >= prev_total {
                 sums.revert(kernel.index());
+                moves_reverted += 1;
                 continue;
             }
             assignment[kernel.index()] = Assignment::CoarseGrain;
@@ -340,6 +347,7 @@ impl<'a> PartitioningEngine<'a> {
             initial_cycles,
             met_without_partitioning: false,
             moves,
+            moves_reverted,
             assignment,
             breakdown,
             met,
@@ -364,6 +372,7 @@ impl<'a> PartitioningEngine<'a> {
                 initial_cycles,
                 met_without_partitioning: true,
                 moves: Vec::new(),
+                moves_reverted: 0,
                 assignment,
                 breakdown: Breakdown {
                     t_fpga: initial_cycles,
@@ -377,6 +386,7 @@ impl<'a> PartitioningEngine<'a> {
 
         let coarse = self.coarse_mapping(fp)?;
         let mut moves = Vec::new();
+        let mut moves_reverted = 0u64;
         let mut breakdown = self.breakdown_for(&assignment, &exec_freq, &fine, &coarse);
         for &kernel in self.analysis.kernels() {
             if breakdown.t_total() <= constraint {
@@ -387,6 +397,7 @@ impl<'a> PartitioningEngine<'a> {
             let candidate = self.breakdown_for(&assignment, &exec_freq, &fine, &coarse);
             if self.config.skip_unprofitable && candidate.t_total() >= prev_total {
                 assignment[kernel.index()] = Assignment::FineGrain; // revert
+                moves_reverted += 1;
                 continue;
             }
             breakdown = candidate;
@@ -403,6 +414,7 @@ impl<'a> PartitioningEngine<'a> {
             initial_cycles,
             met_without_partitioning: false,
             moves,
+            moves_reverted,
             assignment,
             breakdown,
             met,

@@ -10,6 +10,7 @@
 
 use crate::cache::CacheStats;
 use crate::experiment::ExperimentGrid;
+use crate::metrics::MetricsRegistry;
 use std::fmt::Write as _;
 
 /// Escape `s` for use inside a JSON string literal.
@@ -61,16 +62,27 @@ pub fn u64_array(items: &[u64]) -> String {
 /// Render mapping-cache counters as a JSON object.
 pub fn cache_to_json(stats: &CacheStats) -> String {
     format!(
-        "{{\"fine_misses\":{},\"fine_hits\":{},\"coarse_misses\":{},\"coarse_hits\":{}}}",
-        stats.fine_misses, stats.fine_hits, stats.coarse_misses, stats.coarse_hits
+        "{{\"fine_misses\":{},\"fine_hits\":{},\"coarse_misses\":{},\"coarse_hits\":{},\
+         \"entries\":{}}}",
+        stats.fine_misses, stats.fine_hits, stats.coarse_misses, stats.coarse_hits, stats.entries
     )
+}
+
+/// Publish mapping-cache counters into `metrics` under the `cache.`
+/// prefix (the shared shape of every `--json` report's cache metrics).
+pub fn publish_cache_metrics(metrics: &mut MetricsRegistry, stats: &CacheStats) {
+    metrics.set("cache.fine_hits", stats.fine_hits);
+    metrics.set("cache.fine_misses", stats.fine_misses);
+    metrics.set("cache.coarse_hits", stats.coarse_hits);
+    metrics.set("cache.coarse_misses", stats.coarse_misses);
+    metrics.set("cache.entries", stats.entries);
 }
 
 /// Render an [`ExperimentGrid`] (the `sweep` subcommand's result) plus
 /// its cache counters as JSON.
 pub fn grid_to_json(grid: &ExperimentGrid, cache: &CacheStats) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"amdrel-sweep/v1\",\n");
+    out.push_str("{\n  \"schema\": \"amdrel-sweep/v2\",\n");
     let _ = writeln!(out, "  \"app\": \"{}\",", escape(&grid.app));
     let _ = writeln!(out, "  \"constraint\": {},", grid.constraint);
     out.push_str("  \"cells\": [\n");
@@ -101,7 +113,18 @@ pub fn grid_to_json(grid: &ExperimentGrid, cache: &CacheStats) -> String {
         });
     }
     out.push_str("  ],\n");
-    let _ = writeln!(out, "  \"cache\": {}", cache_to_json(cache));
+    let _ = writeln!(out, "  \"cache\": {},", cache_to_json(cache));
+    let mut metrics = MetricsRegistry::new();
+    publish_cache_metrics(&mut metrics, cache);
+    let (mut moves, mut reverts) = (0u64, 0u64);
+    for cell in &grid.cells {
+        moves += cell.result.moves.len() as u64;
+        reverts += cell.result.moves_reverted;
+    }
+    metrics.set("engine.moves", moves);
+    metrics.set("engine.reverts", reverts);
+    metrics.set("engine.cells", grid.cells.len() as u64);
+    let _ = writeln!(out, "  \"metrics\": {}", metrics.to_json());
     out.push_str("}\n");
     out
 }

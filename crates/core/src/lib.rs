@@ -31,7 +31,9 @@
 //!   temporal partition, for the multi-tenant runtime simulator
 //!   (`amdrel-runtime`);
 //! * [`json`] — the shared hand-rolled JSON writer behind every `--json`
-//!   output (`sweep`, `explore`, `simulate`).
+//!   output (`sweep`, `explore`, `simulate`);
+//! * [`metrics`] — the dependency-free counter registry every `--json`
+//!   report surfaces as its `metrics` object.
 //!
 //! # Examples
 //!
@@ -70,6 +72,7 @@ mod engine;
 mod experiment;
 mod flow;
 pub mod json;
+pub mod metrics;
 mod pipeline;
 mod platform;
 pub mod rng;
@@ -87,6 +90,7 @@ pub use experiment::{
     run_grid_parallel_jobs, ExperimentGrid, GridCell, GridSpec,
 };
 pub use flow::{run_flow, run_flow_cached, run_flow_with, FlowOutcome};
+pub use metrics::MetricsRegistry;
 pub use pipeline::{pipeline_report, PipelineReport, Stage};
 pub use platform::{CommModel, Platform, ReconfigModel};
 

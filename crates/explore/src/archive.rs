@@ -73,6 +73,13 @@ pub enum Insert {
 pub struct ParetoArchive {
     /// Sorted by `(objectives, point)`.
     entries: Vec<PointEval>,
+    /// Candidates accepted ([`Insert::Added`]) over the archive's life.
+    /// Rejected candidates leave the archive — counters included —
+    /// untouched, so the frontier-is-a-set invariant is unaffected.
+    inserts: u64,
+    /// Members removed by [`ParetoArchive::prune_to`] (dominated members
+    /// displaced during insertion are not counted here).
+    pruned: u64,
 }
 
 impl ParetoArchive {
@@ -100,6 +107,16 @@ impl ParetoArchive {
     /// Consume the archive into its sorted frontier.
     pub fn into_frontier(self) -> Vec<PointEval> {
         self.entries
+    }
+
+    /// Lifetime count of accepted insertions (see [`Insert::Added`]).
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Lifetime count of members removed by [`ParetoArchive::prune_to`].
+    pub fn pruned(&self) -> u64 {
+        self.pruned
     }
 
     /// Insert a candidate, keeping the frontier invariant.
@@ -140,6 +157,7 @@ impl ParetoArchive {
             .entries
             .partition_point(|e| (e.objectives.values(), e.point) < key);
         self.entries.insert(pos, candidate);
+        self.inserts += 1;
         Insert::Added
     }
 
@@ -192,8 +210,10 @@ impl ParetoArchive {
             // others.len() >= need.
             keep[others[j * others.len() / need]] = true;
         }
+        let before = self.entries.len();
         let mut it = keep.iter();
         self.entries
             .retain(|_| *it.next().expect("keep mask covers all entries"));
+        self.pruned += (before - self.entries.len()) as u64;
     }
 }

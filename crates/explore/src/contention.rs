@@ -24,6 +24,7 @@ use amdrel_runtime::{
     AppProfile, FabricConfig, FaultSpec, RecoveryPolicy, RegionPlan, SchedulePolicy, SimConfig,
     Simulation, WorkloadSpec,
 };
+use amdrel_trace::TraceSink;
 use serde::{Deserialize, Serialize};
 
 /// The contention outcome of simulating the workload mix on one
@@ -324,6 +325,48 @@ impl RuntimeEvaluator {
             p95_under_faults,
             degraded_permille,
         }
+    }
+
+    /// Re-run the scoring simulation for `candidate` on `platform` with
+    /// a [`TraceSink`] attached, so one design point's contention run
+    /// can be inspected event by event.
+    ///
+    /// The simulation replayed is the one whose metrics
+    /// [`Self::score`] reports: the fault-free mix when the fault spec
+    /// is inert, the faulted re-simulation otherwise (so fault and
+    /// recovery events appear in the trace). Tracing is a pure
+    /// observer — this never perturbs memoised scores.
+    pub fn trace_candidate(
+        &self,
+        candidate: &AppProfile,
+        platform: &Platform,
+        sink: &dyn TraceSink,
+    ) {
+        let mut profiles = Vec::with_capacity(1 + self.background.len());
+        profiles.push(candidate.clone());
+        profiles.extend(self.background.iter().cloned());
+        let mut spec = WorkloadSpec::uniform(self.seed, self.njobs, &profiles, self.load_percent);
+        if let Some(arrival) = self.arrival {
+            spec.mean_interarrival = arrival;
+        }
+        let plan = self.regions.map(|n| {
+            RegionPlan::new(
+                &profiles,
+                &FabricGrid::uniform(platform.fpga.usable_area(), n),
+            )
+        });
+        let mut sim = Simulation::new(platform)
+            .profiles(&profiles)
+            .policy(self.policy.as_ref())
+            .config(self.sim)
+            .trace(sink);
+        if let Some(plan) = plan.as_ref() {
+            sim = sim.regions(plan);
+        }
+        if !self.faults.is_none() {
+            sim = sim.faults(self.faults).recovery(self.recovery);
+        }
+        sim.run_mix(&spec);
     }
 
     /// Build the candidate [`AppProfile`] of one design point from its

@@ -26,6 +26,7 @@ use amdrel_core::{
 use amdrel_finegrain::CdfgFineGrainMapping;
 use amdrel_floorplan::{FabricGrid, Floorplanner, Footprint, FragmentationStats};
 use amdrel_profiler::AnalysisReport;
+use amdrel_trace::TraceSink;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -372,6 +373,52 @@ impl<'a> Evaluator<'a> {
         let metrics = runtime.score(&candidate, &platform);
         sims.insert(key, metrics);
         metrics
+    }
+
+    /// Re-run one design point's contention simulation with a
+    /// [`TraceSink`] attached, emitting the full per-job event stream
+    /// (see [`RuntimeEvaluator::trace_candidate`]). The candidate
+    /// profile is rebuilt from the point's memoised cell, so the traced
+    /// run is exactly the one whose metrics the search scored. A pure
+    /// observer: memoised scores and counters are not perturbed
+    /// (`sim_runs` does not count the replay).
+    ///
+    /// # Errors
+    ///
+    /// Mapping failures from the underlying fabrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`RuntimeEvaluator`] was attached
+    /// ([`Self::with_runtime`]).
+    pub fn trace_point(
+        &self,
+        space: &DesignSpace,
+        p: PointIdx,
+        sink: &dyn TraceSink,
+    ) -> Result<(), CoreError> {
+        let runtime = self.runtime.expect(
+            "tracing a contention run needs a RuntimeEvaluator \
+             (Evaluator::with_runtime)",
+        );
+        let cell = self.cell(space, p.area, p.datapath)?;
+        let moved = p.budget.min(cell.budgets.len() - 1);
+        let breakdown = &cell.breakdowns[moved];
+        let mut on_fpga = vec![true; self.cdfg.len()];
+        for &k in &cell.moved[..moved] {
+            on_fpga[k] = false;
+        }
+        let areas = cell.fine.partition_areas(|i| on_fpga[i]);
+        let candidate = runtime.candidate_profile(
+            self.app,
+            breakdown.t_fpga,
+            breakdown.t_coarse,
+            breakdown.t_comm,
+            areas,
+        );
+        let platform = self.platform_for(space, p.area, p.datapath);
+        runtime.trace_candidate(&candidate, &platform, sink);
+        Ok(())
     }
 
     /// Floorplan the point's remaining fine-grain footprints onto the

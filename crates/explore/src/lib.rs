@@ -32,8 +32,10 @@
 //!   seeded from [`amdrel_core::rng::SplitMix64`] so frontiers are
 //!   bit-reproducible and `--jobs`-independent;
 //! * [`explore`] / [`ExploreReport`] — one-call driver with effort
-//!   counters, a paper-style table, and [`json`] rendering (schema
-//!   `amdrel-explore/v2`).
+//!   counters (evaluator, mapping cache and archive churn, flattened
+//!   into an [`amdrel_core::MetricsRegistry`] by
+//!   [`json::explore_metrics`]), a paper-style table, and [`json`]
+//!   rendering (schema `amdrel-explore/v3`).
 //!
 //! # Examples
 //!
@@ -422,9 +424,12 @@ mod tests {
         )
         .unwrap();
         let json = json::report_to_json(&report);
-        assert!(json.contains("\"schema\": \"amdrel-explore/v2\""));
+        assert!(json.contains("\"schema\": \"amdrel-explore/v3\""));
         assert!(json.contains("\"objectives\": [\"cycles\", \"area\", \"energy\"]"));
         assert!(json.contains("\"frontier\""));
+        assert!(json.contains("\"metrics\""));
+        assert!(json.contains("\"archive.inserts\""));
+        assert!(json.contains("\"eval.sim_runs\": 0"));
         assert_eq!(
             json.matches("{\"area\":").count(),
             report.frontier.len(),

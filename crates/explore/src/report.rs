@@ -37,6 +37,10 @@ pub struct ExploreReport {
     pub stats: EvalStats,
     /// Mapping work this exploration added on the shared cache.
     pub cache: CacheStats,
+    /// Candidates the archive accepted during the search.
+    pub archive_inserts: u64,
+    /// Frontier members removed by pruning during the search.
+    pub archive_pruned: u64,
     /// The Pareto frontier, sorted ascending by `(objectives, point)`.
     pub frontier: Vec<PointEval>,
 }
@@ -204,7 +208,12 @@ pub fn explore(
             fine_misses: cache_after.fine_misses - cache_before.fine_misses,
             coarse_hits: cache_after.coarse_hits - cache_before.coarse_hits,
             coarse_misses: cache_after.coarse_misses - cache_before.coarse_misses,
+            // The cache never evicts, so the entry gauge only grows; the
+            // delta is the mappings this run added.
+            entries: cache_after.entries - cache_before.entries,
         },
+        archive_inserts: archive.inserts(),
+        archive_pruned: archive.pruned(),
         frontier: archive.into_frontier(),
     })
 }

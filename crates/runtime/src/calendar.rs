@@ -16,12 +16,32 @@
 //! never influence the processing order — the property the differential
 //! tests in `sim.rs` pin down.
 
+use serde::{Deserialize, Serialize};
+
 /// One scheduled event: `(time, seq)` key plus payload.
 #[derive(Debug, Clone, Copy)]
 struct Entry<T> {
     time: u64,
     seq: u64,
     item: T,
+}
+
+/// Observable internals of the calendar queue — the event-structure
+/// half of a [`RuntimeReport`](crate::RuntimeReport)'s `metrics`.
+///
+/// All fields derive purely from the deterministic event stream, so
+/// two runs of one scenario snapshot identical stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CalendarStats {
+    /// Events scheduled over the queue's lifetime (grow-time rehashing
+    /// does not recount them).
+    pub events: u64,
+    /// Ring-doubling rehashes performed.
+    pub rehashes: u64,
+    /// Peak simultaneous occupancy.
+    pub peak_occupancy: u64,
+    /// Day width in cycles (a power of two derived from the width hint).
+    pub day_width: u64,
 }
 
 /// A calendar queue over payloads `T`, totally ordered by `(time, seq)`.
@@ -44,6 +64,12 @@ pub(crate) struct CalendarQueue<T> {
     /// ring walk starts here.
     current_day: u64,
     len: usize,
+    /// Lifetime push count (external pushes only; see [`CalendarStats`]).
+    events: u64,
+    /// Ring-doubling count.
+    rehashes: u64,
+    /// Peak `len` observed.
+    peak: usize,
 }
 
 impl<T: Copy> CalendarQueue<T> {
@@ -61,12 +87,25 @@ impl<T: Copy> CalendarQueue<T> {
             mask: (nbuckets - 1) as u64,
             current_day: 0,
             len: 0,
+            events: 0,
+            rehashes: 0,
+            peak: 0,
         }
     }
 
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.len
+    }
+
+    /// Snapshot the lifetime counters.
+    pub(crate) fn stats(&self) -> CalendarStats {
+        CalendarStats {
+            events: self.events,
+            rehashes: self.rehashes,
+            peak_occupancy: self.peak as u64,
+            day_width: 1u64 << self.width_shift,
+        }
     }
 
     fn day_of(&self, time: u64) -> u64 {
@@ -86,6 +125,8 @@ impl<T: Copy> CalendarQueue<T> {
         self.buckets[b].push(Entry { time, seq, item });
         self.occupied[b / 64] |= 1 << (b % 64);
         self.len += 1;
+        self.events += 1;
+        self.peak = self.peak.max(self.len);
     }
 
     /// Double the ring and rehash every event (amortised O(1) per push).
@@ -98,12 +139,20 @@ impl<T: Copy> CalendarQueue<T> {
             mask: (nbuckets - 1) as u64,
             current_day: self.current_day,
             len: 0,
+            events: 0,
+            rehashes: 0,
+            peak: 0,
         };
         for bucket in &self.buckets {
             for e in bucket {
                 grown.push(e.time, e.seq, e.item);
             }
         }
+        // Rehashing moves events; it does not re-schedule them. Carry the
+        // lifetime counters over instead of the re-push tallies.
+        grown.events = self.events;
+        grown.rehashes = self.rehashes + 1;
+        grown.peak = self.peak;
         *self = grown;
     }
 
@@ -284,7 +333,13 @@ mod tests {
             keys.push((t, s));
         }
         assert_eq!(q.len(), 2_000);
+        let stats = q.stats();
+        assert_eq!(stats.events, 2_000, "rehashing must not recount events");
+        assert_eq!(stats.rehashes, 3, "grow at 256, 512 and 1024 pending");
+        assert_eq!(stats.peak_occupancy, 2_000);
+        assert_eq!(stats.day_width, 1);
         drain_sorted(&mut q, keys);
+        assert_eq!(q.stats().peak_occupancy, 2_000, "peak survives the drain");
     }
 
     #[test]

@@ -46,10 +46,18 @@
 //!   [`EXACT_THRESHOLD`] jobs;
 //! * [`RuntimeReport`] — per-app latency percentiles, CGC/FPGA
 //!   utilization, reconfiguration loads and stall cycles, rejection
-//!   counts, percentile provenance ([`LatencySource`]) and reliability
+//!   counts, percentile provenance ([`LatencySource`]), reliability
 //!   metrics ([`ReliabilityStats`]: injected/retried/degraded/aborted
 //!   counts, availability, goodput vs raw throughput, fault-conditioned
-//!   p95s); renders as a table or JSON (schema `amdrel-simulate/v3`).
+//!   p95s) and calendar-queue internals ([`CalendarStats`]); renders as
+//!   a table or JSON (schema `amdrel-simulate/v4`, with a flat `metrics`
+//!   registry via [`RuntimeReport::metrics`]);
+//! * **tracing** — [`Simulation::trace`] attaches an
+//!   [`amdrel_trace::TraceSink`] the engine emits per-job lifecycle
+//!   events into (arrival, queueing, per-region reconfiguration, fine
+//!   and coarse phases, faults, retries, recovery), timestamped in
+//!   simulated cycles and deterministically ordered; a pure observer
+//!   that never perturbs the run.
 //!
 //! # Examples
 //!
@@ -89,6 +97,7 @@ mod sketch;
 mod workload;
 
 pub use backoff::BackoffSchedule;
+pub use calendar::CalendarStats;
 pub use fault::{FaultSpec, RecoveryPolicy};
 pub use policy::{
     policy_by_name, ConfigAffinity, Fcfs, PriorityFirst, SchedulePolicy, ShortestJobFirst,

@@ -3,10 +3,12 @@
 //! JSON rendering through the workspace's shared
 //! [`amdrel_core::json`] writer.
 
+use crate::calendar::CalendarStats;
 use crate::fault::{FaultSpec, RecoveryPolicy};
 use crate::sim::SimConfig;
 use crate::sketch::{LatencySketch, LatencySource};
 use amdrel_core::json::escape;
+use amdrel_core::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -158,6 +160,9 @@ pub struct RuntimeReport {
     /// The recovery policy the run used (behaviour-neutral metadata
     /// while `faults` is inert).
     pub recovery: RecoveryPolicy,
+    /// Calendar-queue internals for the run (all-zero from sources with
+    /// no calendar, e.g. hand-built reports).
+    pub queue: CalendarStats,
     /// What the fault layer injected and the recovery layer salvaged.
     pub reliability: ReliabilityStats,
     /// Per-application breakdown, in profile order.
@@ -257,6 +262,36 @@ impl RuntimeReport {
         disposed as f64 * 1_000_000.0 / self.makespan as f64
     }
 
+    /// Flatten the run's counters into a [`MetricsRegistry`] under
+    /// dotted-path names (`queue.events`, `faults.injected`,
+    /// `recovery.retries`, `sim.reconfig_loads`, …). This is the
+    /// `metrics` object of the `--json` report; values are copies of
+    /// report fields, so the registry is as deterministic as the report.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.set("sim.makespan", self.makespan);
+        m.set("sim.arrived", self.arrived());
+        m.set("sim.completed", self.completed());
+        m.set("sim.rejected", self.rejected());
+        m.set("sim.fpga_busy_cycles", self.fpga_busy_cycles);
+        m.set("sim.reconfig_stall_cycles", self.reconfig_stall_cycles);
+        m.set("sim.reconfig_loads", self.reconfig_loads);
+        m.set("sim.cgc_busy_cycles", self.cgc_busy_cycles);
+        m.set("queue.events", self.queue.events);
+        m.set("queue.rehashes", self.queue.rehashes);
+        m.set("queue.peak_occupancy", self.queue.peak_occupancy);
+        m.set("queue.day_width", self.queue.day_width);
+        m.set("faults.injected", self.reliability.injected);
+        m.set("faults.load_failures", self.reliability.load_failures);
+        m.set("faults.fabric_kills", self.reliability.fabric_kills);
+        m.set("faults.slot_outages", self.reliability.slot_outages);
+        m.set("recovery.retries", self.reliability.retries);
+        m.set("recovery.degraded", self.reliability.degraded);
+        m.set("recovery.aborted", self.reliability.aborted);
+        m.set("recovery.deadline_misses", self.reliability.deadline_misses);
+        m
+    }
+
     /// Human-readable summary table.
     pub fn format_table(&self) -> String {
         let mut out = String::new();
@@ -346,19 +381,18 @@ impl RuntimeReport {
 }
 
 /// Render a [`RuntimeReport`] as deterministic JSON
-/// (schema `amdrel-simulate/v3`).
+/// (schema `amdrel-simulate/v4`).
 ///
-/// v3 additions over v2: `faults` (the injection spec), `recovery` (the
-/// policy) and `reliability` (injection/recovery counters plus
-/// availability, goodput vs raw throughput, and fault-conditioned p95s)
-/// objects. Every v2 key is retained unchanged, and a fault-free run
-/// renders the zero-rate spec with an all-zero `reliability` block.
-/// Earlier history: v2 added the `latency_source` provenance field in
-/// `totals`; `queue_bound` keeps the v1 convention of `0` meaning
-/// unbounded.
+/// v4 additions over v3: the `queue` object (calendar-queue internals:
+/// events scheduled, rehashes, peak occupancy, day width) and the
+/// `metrics` object (the [`RuntimeReport::metrics`] registry, flat
+/// dotted-path counters). Every v3 key is retained unchanged. Earlier
+/// history: v3 added `faults`, `recovery` and `reliability`; v2 added
+/// the `latency_source` provenance field in `totals`; `queue_bound`
+/// keeps the v1 convention of `0` meaning unbounded.
 pub fn report_to_json(report: &RuntimeReport) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"amdrel-simulate/v3\",\n");
+    out.push_str("{\n  \"schema\": \"amdrel-simulate/v4\",\n");
     let _ = writeln!(out, "  \"policy\": \"{}\",", escape(&report.policy));
     let _ = writeln!(
         out,
@@ -418,6 +452,15 @@ pub fn report_to_json(report: &RuntimeReport) -> String {
         report.recovery.backoff.cap_cycles,
         report.recovery.degrade
     );
+    let _ = writeln!(
+        out,
+        "  \"queue\": {{\"events\": {}, \"rehashes\": {}, \"peak_occupancy\": {}, \
+         \"day_width\": {}}},",
+        report.queue.events,
+        report.queue.rehashes,
+        report.queue.peak_occupancy,
+        report.queue.day_width
+    );
     let r = &report.reliability;
     let _ = writeln!(
         out,
@@ -445,6 +488,7 @@ pub fn report_to_json(report: &RuntimeReport) -> String {
         report.goodput_jobs_per_mcycle(),
         report.throughput_jobs_per_mcycle()
     );
+    let _ = writeln!(out, "  \"metrics\": {},", report.metrics().to_json());
     out.push_str("  \"apps\": [\n");
     for (i, a) in report.apps.iter().enumerate() {
         let _ = write!(
@@ -506,6 +550,7 @@ mod tests {
             latency_source: LatencySource::Exact,
             faults: FaultSpec::none(),
             recovery: RecoveryPolicy::default(),
+            queue: CalendarStats::default(),
             reliability: ReliabilityStats::default(),
             apps: vec![AppStats::from_latencies("a", 10, 8, 2, vec![5; 8])],
         }
@@ -559,8 +604,12 @@ mod tests {
     fn json_and_table_shapes() {
         let r = toy_report();
         let json = report_to_json(&r);
-        assert!(json.contains("\"schema\": \"amdrel-simulate/v3\""));
+        assert!(json.contains("\"schema\": \"amdrel-simulate/v4\""));
         assert!(json.contains("\"apps\""));
+        assert!(json.contains("\"queue\""));
+        assert!(json.contains("\"metrics\""));
+        assert!(json.contains("\"queue.events\": 0"));
+        assert!(json.contains("\"sim.makespan\": 1000"));
         assert!(json.contains("\"p95_latency\":5"));
         assert!(json.contains("\"latency_source\": \"exact\""));
         assert!(json.contains("\"queue_bound\": 0"), "None renders as 0");

@@ -46,7 +46,7 @@
 //! and the benches. The historical free functions [`run_simulation`] and
 //! [`simulate_mix`] remain as thin deprecated shims over it.
 
-use crate::calendar::CalendarQueue;
+use crate::calendar::{CalendarQueue, CalendarStats};
 use crate::fault::{permille_of, FaultSpec, RecoveryPolicy};
 use crate::policy::{Fcfs, SchedulePolicy};
 use crate::profile::{AppProfile, ConfigId};
@@ -55,6 +55,7 @@ use crate::report::{AppStats, ReliabilityStats, RuntimeReport};
 use crate::sketch::{LatencySketch, LatencySource, SketchMode};
 use crate::workload::{Job, WorkloadSpec};
 use amdrel_core::Platform;
+use amdrel_trace::{TraceEvent, TraceSink, TrackId};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
@@ -113,8 +114,8 @@ enum Completion {
     /// The fabric finishes `Job`'s fine-grain phase (attempt > 0 means
     /// it recovered from at least one fault first).
     Fpga { job: Job, attempt: u32 },
-    /// A CGC slot finishes a coarse-phase task.
-    Cgc(CgcTask),
+    /// CGC slot `slot` finishes a coarse-phase task.
+    Cgc { task: CgcTask, slot: u32 },
     /// A bitstream load for `job`'s attempt fails after stalling the
     /// fabric for its full streaming time.
     LoadFault { job: Job, attempt: u32 },
@@ -122,11 +123,11 @@ enum Completion {
     FabricFault { job: Job, attempt: u32 },
     /// Backoff elapsed: the fabric (still held by `job`) retries.
     FabricRetry { job: Job, attempt: u32 },
-    /// A CGC slot outage kills the task's in-flight coarse phase; the
-    /// slot stays down until its repair event.
-    SlotFault(CgcTask),
-    /// A failed CGC slot returns to the pool.
-    SlotRepair,
+    /// An outage of CGC slot `slot` kills the task's in-flight coarse
+    /// phase; the slot stays down until its repair event.
+    SlotFault { task: CgcTask, slot: u32 },
+    /// Failed CGC slot `slot` returns to the pool.
+    SlotRepair { slot: u32 },
     /// `job_id`'s deadline: reap it if it still waits for the fabric.
     Deadline { job_id: u64 },
 }
@@ -236,6 +237,7 @@ impl Ledger {
             latency_source: self.total.source(),
             faults,
             recovery,
+            queue: CalendarStats::default(),
             reliability: ReliabilityStats {
                 injected: self.load_failures + self.fabric_kills + self.slot_outages,
                 load_failures: self.load_failures,
@@ -278,9 +280,15 @@ struct Engine<'a> {
     region_owner: Vec<Option<ConfigId>>,
 
     cgc_queue: VecDeque<CgcTask>,
-    free_slots: usize,
+    /// Free CGC slot ids, kept sorted descending so `pop()` hands out
+    /// the smallest id. Slots are fungible for timing — this ordering
+    /// only pins *which* slot a task runs on, so per-slot trace tracks
+    /// are deterministic while every report stays identical to the old
+    /// count-based pool.
+    free_slots: Vec<u32>,
 
     ledger: Ledger,
+    trace: Option<&'a dyn TraceSink>,
 }
 
 impl<'a> Engine<'a> {
@@ -308,14 +316,31 @@ impl<'a> Engine<'a> {
             region_plan,
             region_owner: vec![None; region_plan.map_or(0, RegionPlan::regions)],
             cgc_queue: VecDeque::new(),
-            free_slots: sim.platform.datapath.cgcs.len(),
+            free_slots: (0..sim.platform.datapath.cgcs.len() as u32).rev().collect(),
             ledger: Ledger::new(sim.profiles.len(), source),
+            trace: sim.trace,
         }
     }
 
     fn schedule(&mut self, time: u64, completion: Completion) {
         self.events.push(time, self.next_seq, completion);
         self.next_seq += 1;
+    }
+
+    /// Emit a trace event when a sink is attached. Everything observable
+    /// flows through here, so a run with no sink does exactly the work
+    /// it did before tracing existed.
+    fn emit(&self, event: TraceEvent) {
+        if let Some(trace) = self.trace {
+            trace.record(event);
+        }
+    }
+
+    /// Return `slot` to the free pool, keeping the descending order that
+    /// makes `pop()` yield the smallest free id.
+    fn release_slot(&mut self, slot: u32) {
+        self.free_slots.push(slot);
+        self.free_slots.sort_unstable_by(|a, b| b.cmp(a));
     }
 
     /// Reconfiguration charge for dispatching `job` now: `(bitstream
@@ -376,6 +401,32 @@ impl<'a> Engine<'a> {
     /// and the charge/schedule sequence is exactly the fault-free one.
     fn start_fabric_attempt(&mut self, job: Job, attempt: u32, now: u64) {
         let (loads, stall) = self.reconfig_charge(&job);
+        if loads > 0 {
+            // The load span covers the fabric-blocking stall (with
+            // prefetch that is only the first partition); `arg` carries
+            // the bitstream count.
+            self.emit(
+                TraceEvent::span(TrackId::Fabric, now, stall, "load")
+                    .with_job(job.id)
+                    .with_arg(loads),
+            );
+            // Region reprogram instants, emitted against the pre-load
+            // residency so they mark exactly the stale regions the
+            // charge priced (same predicate as `region_charge`).
+            if self.trace.is_some() {
+                if let Some(plan) = self.region_plan {
+                    for &r in plan.touched(job.app) {
+                        if self.config.config_cache && self.region_owner[r] == Some(job.config) {
+                            continue;
+                        }
+                        self.emit(
+                            TraceEvent::instant(TrackId::Region(r as u32), now, "reprogram")
+                                .with_job(job.id),
+                        );
+                    }
+                }
+            }
+        }
         if loads > 0 && self.faults.load_fails(job.id, attempt) {
             // The load aborts after its full streaming stall; a partial
             // bitstream is useless, so the resident configuration is
@@ -388,8 +439,17 @@ impl<'a> Engine<'a> {
             if let Some(plan) = self.region_plan {
                 for &r in plan.touched(job.app) {
                     self.region_owner[r] = None;
+                    self.emit(
+                        TraceEvent::instant(TrackId::Region(r as u32), now + stall, "scrub")
+                            .with_job(job.id),
+                    );
                 }
             }
+            self.emit(
+                TraceEvent::instant(TrackId::Fabric, now + stall, "fault_load")
+                    .with_job(job.id)
+                    .with_arg(attempt as u64),
+            );
             self.schedule(now + stall, Completion::LoadFault { job, attempt });
             return;
         }
@@ -409,6 +469,16 @@ impl<'a> Engine<'a> {
             let wasted = permille_of(job.fine_cycles, frac);
             self.ledger.fabric_kills += 1;
             self.ledger.fault_lost_cycles += wasted;
+            self.emit(
+                TraceEvent::span(TrackId::Fabric, now + stall, wasted, "fine")
+                    .with_job(job.id)
+                    .with_arg(attempt as u64),
+            );
+            self.emit(
+                TraceEvent::instant(TrackId::Fabric, now + stall + wasted, "fault_fabric")
+                    .with_job(job.id)
+                    .with_arg(attempt as u64),
+            );
             self.schedule(
                 now + stall + wasted,
                 Completion::FabricFault { job, attempt },
@@ -416,6 +486,11 @@ impl<'a> Engine<'a> {
             return;
         }
         self.ledger.fpga_busy_cycles += job.fine_cycles;
+        self.emit(
+            TraceEvent::span(TrackId::Fabric, now + stall, job.fine_cycles, "fine")
+                .with_job(job.id)
+                .with_arg(attempt as u64),
+        );
         self.schedule(
             now + stall + job.fine_cycles,
             Completion::Fpga { job, attempt },
@@ -430,6 +505,16 @@ impl<'a> Engine<'a> {
         if attempt < self.recovery.max_retries {
             self.ledger.retries += 1;
             let delay = self.recovery.backoff.delay(attempt);
+            self.emit(
+                TraceEvent::instant(TrackId::Scheduler, now, "retry")
+                    .with_job(job.id)
+                    .with_arg((attempt + 1) as u64),
+            );
+            self.emit(
+                TraceEvent::span(TrackId::Fabric, now, delay, "backoff")
+                    .with_job(job.id)
+                    .with_arg(attempt as u64),
+            );
             self.schedule(
                 now + delay,
                 Completion::FabricRetry {
@@ -441,6 +526,7 @@ impl<'a> Engine<'a> {
         }
         self.fpga_busy = false;
         if self.recovery.degrade && !self.platform.datapath.cgcs.is_empty() {
+            self.emit(TraceEvent::instant(TrackId::Scheduler, now, "degrade").with_job(job.id));
             self.cgc_queue.push_back(CgcTask {
                 job,
                 cycles: self.profiles[job.app].fallback_cycles(),
@@ -451,16 +537,18 @@ impl<'a> Engine<'a> {
             self.dispatch_cgc(now);
         } else {
             self.ledger.aborted += 1;
+            self.emit(TraceEvent::instant(TrackId::Scheduler, now, "abort").with_job(job.id));
+            self.emit(TraceEvent::job_end(now, job.id));
         }
         self.dispatch_fpga(now);
     }
 
     fn dispatch_cgc(&mut self, now: u64) {
-        while self.free_slots > 0 {
+        while let Some(&slot) = self.free_slots.last() {
             let Some(task) = self.cgc_queue.pop_front() else {
                 return;
             };
-            self.free_slots -= 1;
+            self.free_slots.pop();
             if !task.degraded {
                 if let Some(frac) = self.faults.slot_outage(task.job.id, task.attempt) {
                     // Outage: the drawn fraction of the coarse phase runs
@@ -469,24 +557,52 @@ impl<'a> Engine<'a> {
                     let wasted = permille_of(task.cycles, frac);
                     self.ledger.slot_outages += 1;
                     self.ledger.fault_lost_cycles += wasted;
-                    self.schedule(now + wasted, Completion::SlotFault(task));
+                    self.emit(
+                        TraceEvent::span(TrackId::CgcSlot(slot), now, wasted, "coarse")
+                            .with_job(task.job.id)
+                            .with_arg(task.attempt as u64),
+                    );
+                    self.emit(
+                        TraceEvent::instant(TrackId::CgcSlot(slot), now + wasted, "fault_slot")
+                            .with_job(task.job.id),
+                    );
+                    self.schedule(now + wasted, Completion::SlotFault { task, slot });
                     continue;
                 }
             }
             self.ledger.cgc_busy_cycles += task.cycles;
-            self.schedule(now + task.cycles, Completion::Cgc(task));
+            self.emit(
+                TraceEvent::span(
+                    TrackId::CgcSlot(slot),
+                    now,
+                    task.cycles,
+                    if task.degraded { "fallback" } else { "coarse" },
+                )
+                .with_job(task.job.id)
+                .with_arg(task.attempt as u64),
+            );
+            self.schedule(now + task.cycles, Completion::Cgc { task, slot });
         }
     }
 
     fn arrive(&mut self, job: Job) {
         self.ledger.arrived[job.app] += 1;
+        self.emit(
+            TraceEvent::instant(TrackId::Scheduler, job.arrival, "arrive")
+                .with_job(job.id)
+                .with_arg(job.app as u64),
+        );
         if self
             .config
             .queue_bound
             .is_some_and(|bound| self.fpga_queue.len() >= bound.get())
         {
             self.ledger.rejected[job.app] += 1;
+            self.emit(
+                TraceEvent::instant(TrackId::Scheduler, job.arrival, "reject").with_job(job.id),
+            );
         } else {
+            self.emit(TraceEvent::job_begin(job.arrival, job.id));
             if let Some(reap) = self.faults.job_deadline(job.arrival) {
                 self.schedule(reap, Completion::Deadline { job_id: job.id });
             }
@@ -539,16 +655,26 @@ impl<'a> Engine<'a> {
                             self.dispatch_cgc(now);
                         } else {
                             self.ledger.complete(&job, now, faulted);
+                            self.emit(
+                                TraceEvent::instant(TrackId::Scheduler, now, "complete")
+                                    .with_job(job.id),
+                            );
+                            self.emit(TraceEvent::job_end(now, job.id));
                         }
                         self.dispatch_fpga(now);
                     }
-                    Completion::Cgc(task) => {
-                        self.free_slots += 1;
+                    Completion::Cgc { task, slot } => {
+                        self.release_slot(slot);
                         if task.degraded {
                             self.ledger.degraded += 1;
                         }
                         self.ledger
                             .complete(&task.job, now, task.faulted || task.attempt > 0);
+                        self.emit(
+                            TraceEvent::instant(TrackId::Scheduler, now, "complete")
+                                .with_job(task.job.id),
+                        );
+                        self.emit(TraceEvent::job_end(now, task.job.id));
                         self.dispatch_cgc(now);
                     }
                     Completion::LoadFault { job, attempt }
@@ -558,12 +684,26 @@ impl<'a> Engine<'a> {
                     Completion::FabricRetry { job, attempt } => {
                         self.start_fabric_attempt(job, attempt, now);
                     }
-                    Completion::SlotFault(task) => {
+                    Completion::SlotFault { task, slot } => {
                         // The slot stays out of the pool until repair.
                         self.ledger.slot_downtime_cycles += self.faults.repair_cycles;
-                        self.schedule(now + self.faults.repair_cycles, Completion::SlotRepair);
+                        self.emit(TraceEvent::span(
+                            TrackId::CgcSlot(slot),
+                            now,
+                            self.faults.repair_cycles,
+                            "down",
+                        ));
+                        self.schedule(
+                            now + self.faults.repair_cycles,
+                            Completion::SlotRepair { slot },
+                        );
                         if task.attempt < self.recovery.max_retries {
                             self.ledger.retries += 1;
+                            self.emit(
+                                TraceEvent::instant(TrackId::Scheduler, now, "retry")
+                                    .with_job(task.job.id)
+                                    .with_arg((task.attempt + 1) as u64),
+                            );
                             self.cgc_queue.push_back(CgcTask {
                                 attempt: task.attempt + 1,
                                 faulted: true,
@@ -573,6 +713,10 @@ impl<'a> Engine<'a> {
                         } else if self.recovery.degrade {
                             // Same pricing, but on the fault-immune
                             // fallback path: the reliable slow lane.
+                            self.emit(
+                                TraceEvent::instant(TrackId::Scheduler, now, "degrade")
+                                    .with_job(task.job.id),
+                            );
                             self.cgc_queue.push_back(CgcTask {
                                 degraded: true,
                                 faulted: true,
@@ -581,10 +725,16 @@ impl<'a> Engine<'a> {
                             self.dispatch_cgc(now);
                         } else {
                             self.ledger.aborted += 1;
+                            self.emit(
+                                TraceEvent::instant(TrackId::Scheduler, now, "abort")
+                                    .with_job(task.job.id),
+                            );
+                            self.emit(TraceEvent::job_end(now, task.job.id));
                         }
                     }
-                    Completion::SlotRepair => {
-                        self.free_slots += 1;
+                    Completion::SlotRepair { slot } => {
+                        self.release_slot(slot);
+                        self.emit(TraceEvent::instant(TrackId::CgcSlot(slot), now, "repair"));
                         self.dispatch_cgc(now);
                     }
                     Completion::Deadline { job_id } => {
@@ -593,19 +743,27 @@ impl<'a> Engine<'a> {
                         if let Some(pos) = self.fpga_queue.iter().position(|j| j.id == job_id) {
                             self.fpga_queue.swap_remove(pos);
                             self.ledger.deadline_misses += 1;
+                            self.emit(
+                                TraceEvent::instant(TrackId::Scheduler, now, "deadline")
+                                    .with_job(job_id),
+                            );
+                            self.emit(TraceEvent::job_end(now, job_id));
                         }
                     }
                 }
             }
         }
-        self.ledger.into_report(
+        let queue = self.events.stats();
+        let mut report = self.ledger.into_report(
             self.profiles,
             self.policy.name(),
             self.config,
             self.platform.datapath.cgcs.len(),
             self.faults,
             self.recovery,
-        )
+        );
+        report.queue = queue;
+        report
     }
 }
 
@@ -653,6 +811,7 @@ pub struct Simulation<'a> {
     faults: FaultSpec,
     recovery: RecoveryPolicy,
     regions: Option<&'a RegionPlan>,
+    trace: Option<&'a dyn TraceSink>,
 }
 
 impl std::fmt::Debug for Simulation<'_> {
@@ -665,6 +824,7 @@ impl std::fmt::Debug for Simulation<'_> {
             .field("faults", &self.faults)
             .field("recovery", &self.recovery)
             .field("regions", &self.regions.map(RegionPlan::regions))
+            .field("trace", &self.trace.is_some())
             .finish()
     }
 }
@@ -682,6 +842,7 @@ impl<'a> Simulation<'a> {
             faults: FaultSpec::none(),
             recovery: RecoveryPolicy::default(),
             regions: None,
+            trace: None,
         }
     }
 
@@ -749,6 +910,17 @@ impl<'a> Simulation<'a> {
     /// inert.
     pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Attach a [`TraceSink`] the engine emits per-job lifecycle events
+    /// into (default: none). Tracing is a pure observer: enabling it
+    /// never changes scheduling, timing, or any report field. Events
+    /// carry simulated-cycle timestamps and arrive in the engine's
+    /// deterministic `(time, seq)` order, so identical runs fill the
+    /// sink identically.
+    pub fn trace(mut self, sink: &'a dyn TraceSink) -> Self {
+        self.trace = Some(sink);
         self
     }
 
@@ -1269,7 +1441,7 @@ mod tests {
             job(3, 1, 700, 80, 20, &p[1].config),
         ];
         let streamed = sim(&p, &pf).run(&jobs);
-        let expect = oracle::run_heap(
+        let mut expect = oracle::run_heap(
             &p,
             &jobs,
             &pf,
@@ -1277,11 +1449,14 @@ mod tests {
             SimConfig::default(),
             SketchMode::Auto,
         );
+        // The heap oracle has no calendar queue, so its `queue` block is
+        // zeroed; adopt the engine's before the bit-for-bit compare.
+        expect.queue = streamed.queue;
         assert_eq!(streamed, expect);
         // Equal-arrival ties keep slice order even after the swap.
         jobs.swap(1, 2);
         let swapped = sim(&p, &pf).run(&jobs);
-        let expect = oracle::run_heap(
+        let mut expect = oracle::run_heap(
             &p,
             &jobs,
             &pf,
@@ -1289,6 +1464,7 @@ mod tests {
             SimConfig::default(),
             SketchMode::Auto,
         );
+        expect.queue = swapped.queue;
         assert_eq!(swapped, expect);
     }
 
@@ -1355,7 +1531,10 @@ mod tests {
                             .config(*config)
                             .sketch_mode(mode)
                             .run(&jobs);
-                        let heap = oracle::run_heap(&profiles, &jobs, &pf, policy, *config, mode);
+                        let mut heap =
+                            oracle::run_heap(&profiles, &jobs, &pf, policy, *config, mode);
+                        // The oracle has no calendar queue to report on.
+                        heap.queue = calendar.queue;
                         assert_eq!(
                             calendar,
                             heap,

@@ -224,6 +224,76 @@ proptest! {
         }
     }
 
+    /// Tracing is a pure observer: attaching a sink changes neither the
+    /// report nor its JSON rendering — even under live faults — and the
+    /// recorded trace itself replays bit-for-bit.
+    #[test]
+    fn tracing_is_a_pure_observer_and_bit_deterministic(
+        seed in any::<u64>(),
+        jobs in 1usize..60,
+        rate in 0u16..301,
+    ) {
+        let profiles = tenants(seed);
+        let platform = Platform::paper(1500, 2);
+        let stream = spec_for(seed, &profiles, jobs).generate(&profiles);
+        let faults = FaultSpec::uniform(seed ^ 0x5A5A, rate);
+        for name in POLICIES {
+            let policy = policy_by_name(name).unwrap();
+            let sim = Simulation::new(&platform)
+                .profiles(&profiles)
+                .policy(policy.as_ref())
+                .faults(faults);
+            let plain = sim.run(&stream);
+            let buf_a = amdrel_trace::TraceBuffer::new();
+            let traced = sim.trace(&buf_a).run(&stream);
+            prop_assert_eq!(&plain, &traced, "policy {}: the sink perturbed the outcome", name);
+            prop_assert_eq!(report_to_json(&plain), report_to_json(&traced));
+            let buf_b = amdrel_trace::TraceBuffer::new();
+            let _ = sim.trace(&buf_b).run(&stream);
+            prop_assert_eq!(buf_a.events(), buf_b.events(), "policy {}: trace replay diverged", name);
+            // Every admitted job opens exactly one lifecycle marker and
+            // closes it exactly once (complete / abort / deadline reap).
+            let events = buf_a.events();
+            let begins = events.iter().filter(|e| e.name == "job" && e.dur == 0
+                && matches!(e.kind, amdrel_trace::EventKind::JobBegin)).count() as u64;
+            let ends = events.iter()
+                .filter(|e| matches!(e.kind, amdrel_trace::EventKind::JobEnd)).count() as u64;
+            prop_assert_eq!(begins, plain.arrived() - plain.rejected());
+            prop_assert_eq!(begins, ends, "policy {}: unbalanced job lifecycle markers", name);
+        }
+    }
+
+    /// Traces are prefix-stable in the job count: growing the workload
+    /// appends arrivals but never rewrites history, so every event that
+    /// precedes the first extra arrival is identical — time, seq, track
+    /// and payload — between the short and the long run.
+    #[test]
+    fn traces_are_prefix_stable_in_the_job_count(
+        seed in any::<u64>(),
+        jobs in 1usize..40,
+        extra in 1usize..20,
+    ) {
+        let profiles = tenants(seed);
+        let platform = Platform::paper(1500, 2);
+        let short_stream = spec_for(seed, &profiles, jobs).generate(&profiles);
+        let long_stream = spec_for(seed, &profiles, jobs + extra).generate(&profiles);
+        let cutoff = long_stream[jobs].arrival;
+        let sim = Simulation::new(&platform).profiles(&profiles).policy(&Fcfs);
+        let short_buf = amdrel_trace::TraceBuffer::new();
+        let _ = sim.trace(&short_buf).run(&short_stream);
+        let long_buf = amdrel_trace::TraceBuffer::new();
+        let _ = sim.trace(&long_buf).run(&long_stream);
+        let prefix = |buf: &amdrel_trace::TraceBuffer| -> Vec<amdrel_trace::TraceEvent> {
+            buf.events().into_iter().filter(|e| e.time < cutoff).collect()
+        };
+        prop_assert_eq!(
+            prefix(&short_buf),
+            prefix(&long_buf),
+            "events before the first extra arrival (cycle {}) must match",
+            cutoff
+        );
+    }
+
     /// Monotonicity: cutting the reconfiguration latency to zero never
     /// increases the makespan. Asserted under FCFS with an unbounded
     /// queue, where the dispatch order is identical in both runs, so

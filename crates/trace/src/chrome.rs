@@ -1,0 +1,189 @@
+//! Chrome trace-event / Perfetto JSON export (`amdrel-trace/v1`).
+//!
+//! The output is the JSON-object form of the trace-event format: a
+//! `traceEvents` array plus top-level metadata, loadable directly in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. One simulated FPGA
+//! cycle is rendered as one microsecond (the format's `ts` unit), so
+//! cycle arithmetic survives the viewer unchanged.
+//!
+//! Rendering choices that keep the export trivially well-formed:
+//!
+//! * [`EventKind::Span`] becomes a *complete* event (`ph: "X"` with
+//!   `dur`) — the simulator knows every span's length when it schedules
+//!   the work, so there are no begin/end pairs to unbalance;
+//! * [`EventKind::Instant`] becomes `ph: "i"` with thread scope;
+//! * job lifecycles ([`EventKind::JobBegin`]/[`EventKind::JobEnd`])
+//!   become async `ph: "b"`/`"e"` pairs keyed by the job id — every
+//!   admitted job is eventually disposed (completed, aborted or reaped),
+//!   so the pairs always balance;
+//! * events are written in canonical `(time, seq)` order, so `ts` is
+//!   monotone within every track.
+
+use crate::{canonical_order, EventKind, TraceEvent, TrackId};
+use std::fmt::Write as _;
+
+/// Render `events` as Chrome trace-event JSON (`amdrel-trace/v1`).
+///
+/// Tracks are mapped to thread ids in [`TrackId`] order (scheduler,
+/// fabric, CGC slots, regions) and named via `thread_name` metadata
+/// records, so the same scenario always yields the same bytes.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let sorted = canonical_order(events);
+    let mut tracks: Vec<TrackId> = sorted.iter().map(|e| e.track).collect();
+    tracks.sort();
+    tracks.dedup();
+    let tid = |track: TrackId| -> usize {
+        tracks
+            .binary_search(&track)
+            .expect("every event's track is registered")
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"amdrel-trace/v1\",\n");
+    out.push_str("  \"displayTimeUnit\": \"ms\",\n");
+    out.push_str("  \"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("    ");
+        out.push_str(&line);
+    };
+    push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"amdrel-sim\"}}"
+            .to_owned(),
+        &mut out,
+    );
+    for (i, track) in tracks.iter().enumerate() {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{i},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track.label()
+            ),
+            &mut out,
+        );
+        push(
+            format!(
+                "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{i},\
+                 \"args\":{{\"sort_index\":{i}}}}}"
+            ),
+            &mut out,
+        );
+    }
+    for e in &sorted {
+        push(render_event(e, tid(e.track)), &mut out);
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn render_event(e: &TraceEvent, tid: usize) -> String {
+    let mut args = format!("\"seq\":{}", e.seq);
+    if let Some(job) = e.job {
+        let _ = write!(args, ",\"job\":{job}");
+    }
+    if let Some(arg) = e.arg {
+        let _ = write!(args, ",\"detail\":{arg}");
+    }
+    match e.kind {
+        EventKind::Span => format!(
+            "{{\"name\":\"{}\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
+             \"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+            e.name, e.time, e.dur
+        ),
+        EventKind::Instant => format!(
+            "{{\"name\":\"{}\",\"cat\":\"sim\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+             \"tid\":{tid},\"ts\":{},\"args\":{{{args}}}}}",
+            e.name, e.time
+        ),
+        EventKind::JobBegin | EventKind::JobEnd => {
+            let ph = if e.kind == EventKind::JobBegin {
+                "b"
+            } else {
+                "e"
+            };
+            format!(
+                "{{\"name\":\"job\",\"cat\":\"job\",\"ph\":\"{ph}\",\
+                 \"id\":{},\"pid\":1,\"tid\":{tid},\"ts\":{},\"args\":{{{args}}}}}",
+                e.job.expect("job markers carry the job id"),
+                e.time
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceBuffer, TraceSink};
+
+    fn sample() -> Vec<TraceEvent> {
+        let buffer = TraceBuffer::new();
+        buffer.record(TraceEvent::job_begin(0, 7));
+        buffer.record(TraceEvent::span(TrackId::Fabric, 0, 40, "load").with_job(7));
+        buffer.record(
+            TraceEvent::span(TrackId::Fabric, 40, 100, "fine")
+                .with_job(7)
+                .with_arg(0),
+        );
+        buffer.record(TraceEvent::instant(TrackId::Region(1), 0, "reprogram").with_job(7));
+        buffer.record(TraceEvent::span(TrackId::CgcSlot(0), 140, 60, "coarse").with_job(7));
+        buffer.record(TraceEvent::job_end(200, 7));
+        buffer.events()
+    }
+
+    #[test]
+    fn export_is_deterministic_and_tagged() {
+        let events = sample();
+        let a = chrome_trace(&events);
+        let b = chrome_trace(&events);
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"amdrel-trace/v1\""));
+        assert!(a.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn tracks_are_named_in_order() {
+        let json = chrome_trace(&sample());
+        let fabric = json.find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"fabric\"}}");
+        let cgc = json.find("\"args\":{\"name\":\"cgc0\"}");
+        let region = json.find("\"args\":{\"name\":\"region1\"}");
+        assert!(fabric.is_some() && cgc.is_some() && region.is_some());
+        // scheduler < fabric < cgc < region in the metadata order.
+        assert!(fabric < cgc && cgc < region);
+    }
+
+    #[test]
+    fn ts_is_monotone_per_track_in_file_order() {
+        let json = chrome_trace(&sample());
+        let mut last_ts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for line in json.lines().filter(|l| l.contains("\"ts\":")) {
+            let field = |key: &str| -> Option<u64> {
+                let at = line.find(key)?;
+                let rest = &line[at + key.len()..];
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                digits.parse().ok()
+            };
+            let (tid, ts) = (field("\"tid\":").unwrap(), field("\"ts\":").unwrap());
+            if let Some(&prev) = last_ts.get(&tid) {
+                assert!(ts >= prev, "ts regressed on tid {tid}");
+            }
+            last_ts.insert(tid, ts);
+        }
+        assert!(!last_ts.is_empty());
+    }
+
+    #[test]
+    fn async_job_pairs_balance() {
+        let json = chrome_trace(&sample());
+        let begins = json.matches("\"ph\":\"b\"").count();
+        let ends = json.matches("\"ph\":\"e\"").count();
+        assert_eq!(begins, 1);
+        assert_eq!(begins, ends);
+    }
+}

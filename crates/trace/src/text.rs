@@ -1,0 +1,75 @@
+//! Compact line-oriented timeline export.
+//!
+//! One event per line in canonical `(time, seq)` order — the grep-able
+//! counterpart of the Chrome export, sharing its determinism contract.
+
+use crate::{canonical_order, EventKind, TraceEvent};
+use std::fmt::Write as _;
+
+/// Render `events` as a text timeline, one line per event:
+///
+/// ```text
+/// cycle        track      event
+///         1260 fabric     span    fine         +5000 job=3 arg=1
+/// ```
+///
+/// `+N` is the span length; `arg` is the event's detail value (see
+/// `docs/OBSERVABILITY.md` for the per-event meaning).
+pub fn text_timeline(events: &[TraceEvent]) -> String {
+    let mut out = String::from("cycle        track      event\n");
+    for e in canonical_order(events) {
+        let kind = match e.kind {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+            EventKind::JobBegin => "begin",
+            EventKind::JobEnd => "end",
+        };
+        let _ = write!(
+            out,
+            "{:>12} {:<10} {:<7} {:<12}",
+            e.time,
+            e.track.label(),
+            kind,
+            e.name
+        );
+        if e.dur > 0 {
+            let _ = write!(out, " +{}", e.dur);
+        }
+        if let Some(job) = e.job {
+            let _ = write!(out, " job={job}");
+        }
+        if let Some(arg) = e.arg {
+            let _ = write!(out, " arg={arg}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrackId;
+
+    #[test]
+    fn lines_are_time_ordered_and_annotated() {
+        let events = vec![
+            TraceEvent {
+                seq: 1,
+                ..TraceEvent::span(TrackId::Fabric, 500, 40, "fine").with_job(2)
+            },
+            TraceEvent {
+                seq: 0,
+                ..TraceEvent::instant(TrackId::Scheduler, 700, "retry").with_arg(1)
+            },
+        ];
+        let text = text_timeline(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[1].contains("fine") && lines[1].contains("+40") && lines[1].contains("job=2")
+        );
+        assert!(lines[2].contains("retry") && lines[2].contains("arg=1"));
+        assert_eq!(text_timeline(&events), text, "export is deterministic");
+    }
+}

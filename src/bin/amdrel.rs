@@ -25,6 +25,8 @@
 //!                  [--regions N | --region-shape RxC]
 //!                  [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES]
 //!                  [--max-retries N] [--degrade] [--json]
+//!                  [--trace FILE] [--trace-format chrome|text] [--profile]
+//! amdrel trace     [simulate flags] [--trace FILE] [--trace-format chrome|text]
 //! amdrel dot       <src.c> [--block N] [--input name=v,v,..]...
 //! ```
 //!
@@ -72,6 +74,22 @@
 //! instead of aborting them. `--fault-rate 0` (the default) is exactly
 //! the fault-free simulator: output is byte-identical.
 //!
+//! Observability: `--trace FILE` writes the run's deterministic event
+//! trace — per-job lifecycle spans on per-resource tracks (scheduler,
+//! fabric, CGC slots, regions), timestamped in simulated cycles — in
+//! the format `--trace-format` selects: `chrome` (default; the
+//! `amdrel-trace/v1` Chrome trace-event JSON, loadable in Perfetto /
+//! `chrome://tracing`) or `text` (a plain timeline plus a gantt-style
+//! per-resource view). On `explore`, `--trace` requires a runtime
+//! objective and traces the contention run of the best frontier point
+//! after the search. `amdrel trace` is `simulate` that prints the trace
+//! itself to stdout (or `--trace FILE`) instead of the report. Tracing
+//! is a pure observer: reports are byte-identical with or without it,
+//! and repeated runs produce byte-identical traces. `--profile` prints
+//! an `amdrel-profile/v1` wall-clock phase breakdown to **stderr**
+//! (never stdout — wall time is nondeterministic and stays out of every
+//! deterministic artefact).
+//!
 //! Exit status: `amdrel <cmd> --help` prints that subcommand's usage on
 //! stdout and exits 0; an unknown subcommand or malformed flags print
 //! the usage on stderr and exit 1.
@@ -80,7 +98,7 @@ use amdrel::prelude::*;
 use amdrel_coarsegrain::CgcDatapath;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: amdrel <analyze|partition|sweep|explore|simulate|dot> [<src.c>] \
+const USAGE: &str = "usage: amdrel <analyze|partition|sweep|explore|simulate|trace|dot> [<src.c>] \
                      [flags] — run 'amdrel --help' for the full flag list";
 
 /// Per-subcommand usage lines (printed by `amdrel <cmd> --help` and on
@@ -102,28 +120,56 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     ),
     (
         "explore",
-        "amdrel explore <src.c> [--strategy exhaustive|random|sa] [--seed S] [--budget N] \
-         [--jobs N] [--json] [--constraint N] [--areas A,A,..] [--cgc-list K,K,..] \
-         [--max-kernels K] \
-         [--objectives cycles,area,energy,fragmentation,worst_region_load,p95,throughput,\
-p95_under_faults,degraded_share] \
-         [--policy fcfs|sjf|priority|affinity] [--njobs N] [--load PCT] \
-         [--reconfig streamed|region|free] [--regions N | --region-shape RxC] \
-         [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES] [--max-retries N] \
-         [--degrade] [--input name=v,v,..]... \
-         (--regions/--region-shape are mutually exclusive and imply --reconfig region)",
+        concat!(
+            "amdrel explore <src.c> [flags]\n",
+            "  search:\n",
+            "    --strategy exhaustive|random|sa   --seed S   --budget N   --jobs N\n",
+            "    --constraint N   --areas A,A,..   --cgc-list K,K,..   --max-kernels K\n",
+            "    --objectives cycles,area,energy,fragmentation,worst_region_load,p95,",
+            "throughput,p95_under_faults,degraded_share\n",
+            "    --input name=v,v,.. (repeatable)\n",
+            "  workload:\n",
+            "    --policy fcfs|sjf|priority|affinity   --njobs N   --load PCT\n",
+            "  faults:\n",
+            "    --fault-rate PERMILLE   --fault-seed S   --deadline CYCLES\n",
+            "    --max-retries N   --degrade\n",
+            "  regions:\n",
+            "    --reconfig streamed|region|free   --regions N | --region-shape RxC\n",
+            "    (--regions/--region-shape are mutually exclusive and imply ",
+            "--reconfig region)\n",
+            "  observability:\n",
+            "    --json   --trace FILE   --trace-format chrome|text   --profile\n",
+            "    (--trace needs a runtime objective; it traces the best frontier ",
+            "point's contention run)",
+        ),
     ),
     (
         "simulate",
-        "amdrel simulate [--app ofdm|jpeg|sobel]... [--policy fcfs|sjf|priority|affinity] \
-         [--seed S] [--njobs N] [--load PCT | --arrival CYCLES] [--queue-bound N] \
-         [--no-config-cache] [--prefetch] [--sketch auto|exact|sketched] [--area A] \
-         [--cgcs K] [--reconfig streamed|region|free] [--regions N | --region-shape RxC] \
-         [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES] \
-         [--max-retries N] [--degrade] [--json] \
-         (--load/--arrival and --regions/--region-shape are mutually exclusive pairs; \
-         region flags imply --reconfig region; --no-config-cache composes with \
-         --reconfig region but both it and --prefetch are no-ops under --reconfig free)",
+        concat!(
+            "amdrel simulate [flags]\n",
+            "  workload:\n",
+            "    --app ofdm|jpeg|sobel (repeatable)   --policy fcfs|sjf|priority|affinity\n",
+            "    --seed S   --njobs N   --load PCT | --arrival CYCLES   --queue-bound N\n",
+            "    --no-config-cache   --prefetch   --sketch auto|exact|sketched\n",
+            "    --area A   --cgcs K\n",
+            "  faults:\n",
+            "    --fault-rate PERMILLE   --fault-seed S   --deadline CYCLES\n",
+            "    --max-retries N   --degrade\n",
+            "  regions:\n",
+            "    --reconfig streamed|region|free   --regions N | --region-shape RxC\n",
+            "    (region flags imply --reconfig region; --no-config-cache composes ",
+            "with --reconfig region but both it and --prefetch are no-ops under ",
+            "--reconfig free)\n",
+            "  observability:\n",
+            "    --json   --trace FILE   --trace-format chrome|text   --profile\n",
+            "  (--load/--arrival and --regions/--region-shape are mutually exclusive pairs)",
+        ),
+    ),
+    (
+        "trace",
+        "amdrel trace [simulate flags] [--trace FILE] [--trace-format chrome|text] \
+         — run the simulate workload and emit its deterministic event trace to \
+         stdout (or FILE) instead of the report",
     ),
     (
         "dot",
@@ -185,12 +231,16 @@ struct Options {
     reconfig: Option<String>,
     regions: Option<usize>,
     region_shape: Option<(usize, usize)>,
+    trace: Option<String>,
+    trace_format: String,
+    profile: bool,
 }
 
 /// Whether a subcommand takes a mini-C source file as its positional
-/// argument (`simulate` runs the built-in case studies instead).
+/// argument (`simulate` and `trace` run the built-in case studies
+/// instead).
 fn needs_source(command: &str) -> bool {
-    command != "simulate"
+    !matches!(command, "simulate" | "trace")
 }
 
 fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> {
@@ -229,6 +279,9 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
         reconfig: None,
         regions: None,
         region_shape: None,
+        trace: None,
+        trace_format: "chrome".to_owned(),
+        profile: false,
     };
     let mut it = args.iter().peekable();
     let mut positional = Vec::new();
@@ -392,6 +445,17 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
                     .map_err(|e| format!("--max-retries: {e}"))?;
             }
             "--degrade" => opts.degrade = true,
+            "--trace" => opts.trace = Some(value_of("--trace")?),
+            "--trace-format" => {
+                let v = value_of("--trace-format")?;
+                if !matches!(v.as_str(), "chrome" | "text") {
+                    return Err(format!(
+                        "unknown trace format '{v}' (expected chrome or text)"
+                    ));
+                }
+                opts.trace_format = v;
+            }
+            "--profile" => opts.profile = true,
             "--reconfig" => opts.reconfig = Some(value_of("--reconfig")?),
             "--regions" => {
                 let n: usize = value_of("--regions")?
@@ -508,10 +572,27 @@ fn analyzed(opts: &Options) -> Result<(amdrel_minic::CompiledProgram, AnalysisRe
     Ok((program, analysis))
 }
 
+/// Render a recorded event trace in the CLI's `--trace-format`.
+///
+/// `chrome` produces the `amdrel-trace/v1` Chrome trace-event JSON
+/// (loadable in Perfetto or `chrome://tracing`); `text` produces the
+/// plain timeline followed by the gantt-style per-resource view. The
+/// format string was validated at parse time.
+fn render_trace(events: &[TraceEvent], format: &str) -> String {
+    match format {
+        "text" => {
+            let mut out = text_timeline(events);
+            out.push_str(&resource_gantt(events, 72));
+            out
+        }
+        _ => chrome_trace(events),
+    }
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(
-            "usage: amdrel <analyze|partition|sweep|explore|simulate|dot> [<src.c>] [flags] \
+            "usage: amdrel <analyze|partition|sweep|explore|simulate|trace|dot> [<src.c>] [flags] \
              (see --help)"
                 .to_owned(),
         );
@@ -632,6 +713,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         "explore" => {
             let objectives = ObjectiveSet::parse(&opts.objectives)?;
+            if opts.trace.is_some() && !objectives.needs_runtime() {
+                return Err(
+                    "--trace on explore needs a runtime objective (p95, throughput, \
+                     p95_under_faults or degraded_share): the trace replays the best \
+                     frontier point's contention run"
+                        .to_owned(),
+                );
+            }
             let region = region_grid(&opts)?;
             let (program, analysis) = analyzed(&opts)?;
             let strategy: Box<dyn SearchStrategy> = match opts.strategy.as_str() {
@@ -727,16 +816,45 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 eval_budget: opts.budget,
                 jobs: opts.jobs,
             };
-            let report = explore(&evaluator, &space, strategy.as_ref(), &config)
+            let profiler = Profiler::new();
+            let report = profiler
+                .time("explore.search", || {
+                    explore(&evaluator, &space, strategy.as_ref(), &config)
+                })
                 .map_err(|e| e.to_string())?;
+            if let Some(path) = &opts.trace {
+                // Replay the contention run of the best frontier point
+                // (p95 when scored, overall cycles otherwise) through a
+                // trace sink. The replay is a pure observer: it reuses
+                // the memoised engine cell and does not count as an
+                // extra simulation in the report's statistics.
+                let best = report
+                    .best_p95()
+                    .or_else(|| report.best_cycles())
+                    .ok_or("nothing to trace: the explored frontier is empty")?;
+                let buffer = TraceBuffer::new();
+                profiler
+                    .time("explore.trace", || {
+                        evaluator.trace_point(&space, best.point, &buffer)
+                    })
+                    .map_err(|e| e.to_string())?;
+                let rendered = render_trace(&buffer.events(), &opts.trace_format);
+                std::fs::write(path, rendered)
+                    .map_err(|e| format!("writing trace to {path}: {e}"))?;
+            }
             if opts.json {
                 print!("{}", amdrel::explore::json::report_to_json(&report));
             } else {
                 print!("{}", report.format_table());
             }
+            if opts.profile {
+                eprintln!("{}", profiler.to_json());
+            }
             Ok(())
         }
-        "simulate" => {
+        // `trace` is `simulate` with tracing forced on and the rendered
+        // trace (rather than the report) as the stdout artefact.
+        "simulate" | "trace" => {
             let region = region_grid(&opts)?;
             let mut platform = Platform::paper(opts.area, opts.cgcs);
             if opts.reconfig.as_deref() == Some("free") {
@@ -803,25 +921,53 @@ fn run(args: Vec<String>) -> Result<(), String> {
             if let Some(plan) = &plan {
                 sim = sim.regions(plan);
             }
-            let report = sim.run_mix(&spec);
-            if opts.json {
-                print!("{}", amdrel::runtime::report_to_json(&report));
-            } else {
-                println!(
-                    "platform: A_FPGA={} with {} — {} jobs, seed {}, mean interarrival {}",
-                    opts.area,
-                    platform.datapath.describe(),
-                    opts.njobs,
-                    opts.seed,
-                    spec.mean_interarrival,
-                );
-                if let Some((rows, cols)) = region {
-                    println!(
-                        "reconfig: region mode, {rows}x{cols} grid ({} regions)",
-                        rows * cols
-                    );
+            let tracing = command == "trace" || opts.trace.is_some();
+            let buffer = TraceBuffer::new();
+            if tracing {
+                sim = sim.trace(&buffer);
+            }
+            let profiler = Profiler::new();
+            let report = profiler.time("sim.run", || sim.run_mix(&spec));
+            if tracing {
+                let events = buffer.events();
+                let rendered =
+                    profiler.time("trace.render", || render_trace(&events, &opts.trace_format));
+                match &opts.trace {
+                    Some(path) => {
+                        std::fs::write(path, rendered)
+                            .map_err(|e| format!("writing trace to {path}: {e}"))?;
+                        if command == "trace" {
+                            println!("trace: {} events written to {path}", events.len());
+                        }
+                    }
+                    // Only reachable for the `trace` subcommand: plain
+                    // `simulate` traces iff `--trace FILE` was given.
+                    None => print!("{rendered}"),
                 }
-                print!("{}", report.format_table());
+            }
+            if command == "simulate" {
+                if opts.json {
+                    print!("{}", amdrel::runtime::report_to_json(&report));
+                } else {
+                    println!(
+                        "platform: A_FPGA={} with {} — {} jobs, seed {}, mean interarrival {}",
+                        opts.area,
+                        platform.datapath.describe(),
+                        opts.njobs,
+                        opts.seed,
+                        spec.mean_interarrival,
+                    );
+                    if let Some((rows, cols)) = region {
+                        println!(
+                            "reconfig: region mode, {rows}x{cols} grid ({} regions)",
+                            rows * cols
+                        );
+                    }
+                    print!("{}", report.format_table());
+                }
+            }
+            if opts.profile {
+                eprintln!("{}", profiler.to_json());
             }
             Ok(())
         }

@@ -26,6 +26,7 @@
 //! | [`floorplan`] | 2D region model + deterministic floorplanner for partial reconfiguration |
 //! | [`explore`] | multi-objective design-space exploration (Pareto archive + search strategies) |
 //! | [`runtime`] | reconfiguration-aware multi-tenant runtime simulator |
+//! | [`trace`] | deterministic event tracing, Chrome-trace export, self-profiling |
 //! | [`apps`] | OFDM transmitter & JPEG encoder case studies |
 //!
 //! # Examples
@@ -65,6 +66,7 @@ pub use amdrel_floorplan as floorplan;
 pub use amdrel_minic as minic;
 pub use amdrel_profiler as profiler;
 pub use amdrel_runtime as runtime;
+pub use amdrel_trace as trace;
 
 /// Commonly used items, importable in one line.
 pub mod prelude {
@@ -91,11 +93,15 @@ pub mod prelude {
     pub use amdrel_minic::compile;
     pub use amdrel_profiler::{AnalysisReport, Interpreter, WeightTable};
     pub use amdrel_runtime::{
-        policy_by_name, AppProfile, AppShare, BackoffSchedule, ConfigAffinity, FaultSpec, Fcfs,
-        LatencySketch, LatencySource, PriorityFirst, RecoveryPolicy, RegionPlan, ReliabilityStats,
-        RuntimeReport, SchedulePolicy, ShortestJobFirst, SimConfig, Simulation, SketchMode,
-        WorkloadSpec,
+        policy_by_name, AppProfile, AppShare, BackoffSchedule, CalendarStats, ConfigAffinity,
+        FaultSpec, Fcfs, LatencySketch, LatencySource, PriorityFirst, RecoveryPolicy, RegionPlan,
+        ReliabilityStats, RuntimeReport, SchedulePolicy, ShortestJobFirst, SimConfig, Simulation,
+        SketchMode, WorkloadSpec,
     };
     #[allow(deprecated)]
     pub use amdrel_runtime::{run_simulation, simulate_mix};
+    pub use amdrel_trace::{
+        chrome_trace, resource_gantt, text_timeline, Profiler, TraceBuffer, TraceEvent, TraceSink,
+        TrackId,
+    };
 }

@@ -112,11 +112,13 @@ fn sweep_json_is_machine_readable() {
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(
-        stdout.contains("\"schema\": \"amdrel-sweep/v1\""),
+        stdout.contains("\"schema\": \"amdrel-sweep/v2\""),
         "{stdout}"
     );
     assert!(stdout.contains("\"cells\""));
     assert!(stdout.contains("\"cache\""));
+    assert!(stdout.contains("\"entries\""), "{stdout}");
+    assert!(stdout.contains("\"metrics\""), "{stdout}");
     assert_eq!(stdout.matches("\"area\":").count(), 4, "4 grid cells");
     assert!(!stdout.contains("Initial cycles"), "no table in JSON mode");
 }
@@ -152,7 +154,9 @@ fn explore_prints_frontier_table_and_json() {
         "--json",
     ]);
     assert!(ok, "stderr: {stderr}");
-    assert!(json.contains("\"schema\": \"amdrel-explore/v2\""), "{json}");
+    assert!(json.contains("\"schema\": \"amdrel-explore/v3\""), "{json}");
+    assert!(json.contains("\"metrics\""), "{json}");
+    assert!(json.contains("\"archive.inserts\""), "{json}");
     assert!(
         json.contains("\"objectives\": [\"cycles\", \"area\", \"energy\"]"),
         "{json}"
@@ -252,10 +256,13 @@ fn simulate_json_is_bit_deterministic() {
     let (ok1, out1, stderr) = amdrel(&args);
     assert!(ok1, "stderr: {stderr}");
     assert!(
-        out1.contains("\"schema\": \"amdrel-simulate/v3\""),
+        out1.contains("\"schema\": \"amdrel-simulate/v4\""),
         "{out1}"
     );
     assert!(out1.contains("\"apps\""), "{out1}");
+    assert!(out1.contains("\"queue\""), "{out1}");
+    assert!(out1.contains("\"metrics\""), "{out1}");
+    assert!(out1.contains("\"sim.makespan\""), "{out1}");
     assert!(out1.contains("\"latency_source\": \"exact\""), "{out1}");
     assert!(!out1.contains("p95 latency "), "no table in JSON mode");
     let (ok2, out2, _) = amdrel(&args);
@@ -660,6 +667,7 @@ fn per_subcommand_help_exits_zero_with_usage() {
         "sweep",
         "explore",
         "simulate",
+        "trace",
         "dot",
     ] {
         let (ok, stdout, stderr) = amdrel(&[cmd, "--help"]);
@@ -682,6 +690,7 @@ fn unknown_subcommand_lists_the_real_ones() {
         "sweep",
         "explore",
         "simulate",
+        "trace",
         "dot",
     ] {
         assert!(stderr.contains(cmd), "{stderr}");
@@ -730,10 +739,180 @@ fn help_lists_subcommands() {
         "sweep",
         "explore",
         "simulate",
+        "trace",
         "dot",
     ] {
         assert!(stdout.contains(cmd));
     }
+}
+
+#[test]
+fn help_groups_flags_into_sections() {
+    // The fault-aware subcommands organise their long flag lists into
+    // named sections so `--help` stays scannable.
+    for cmd in ["simulate", "explore"] {
+        let (ok, stdout, stderr) = amdrel(&[cmd, "--help"]);
+        assert!(ok, "{cmd} --help (stderr: {stderr})");
+        for section in ["workload:", "faults:", "regions:", "observability:"] {
+            assert!(
+                stdout.contains(section),
+                "{cmd} --help must have a {section} section: {stdout}"
+            );
+        }
+    }
+    let (_, stdout, _) = amdrel(&["explore", "--help"]);
+    assert!(stdout.contains("search:"), "{stdout}");
+}
+
+#[test]
+fn trace_subcommand_emits_deterministic_chrome_json() {
+    let args = ["trace", "--app", "ofdm", "--seed", "42", "--njobs", "24"];
+    let (ok1, out1, stderr) = amdrel(&args);
+    assert!(ok1, "stderr: {stderr}");
+    assert!(out1.contains("\"amdrel-trace/v1\""), "{out1}");
+    assert!(out1.contains("\"traceEvents\""), "{out1}");
+    assert!(out1.contains("\"ph\":\"X\""), "complete spans: {out1}");
+    assert!(out1.contains("\"arrive\""), "{out1}");
+    let (ok2, out2, _) = amdrel(&args);
+    assert!(ok2);
+    assert_eq!(out1, out2, "traces must replay bit-for-bit");
+}
+
+#[test]
+fn trace_text_format_prints_timeline_and_gantt() {
+    let (ok, stdout, stderr) = amdrel(&[
+        "trace",
+        "--app",
+        "ofdm",
+        "--njobs",
+        "8",
+        "--trace-format",
+        "text",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("cycle"), "timeline header: {stdout}");
+    assert!(stdout.contains("arrive"), "{stdout}");
+    assert!(stdout.contains("resource gantt:"), "{stdout}");
+    assert!(stdout.contains("fabric"), "{stdout}");
+
+    let (ok, _, stderr) = amdrel(&["trace", "--trace-format", "xml"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown trace format 'xml'"), "{stderr}");
+}
+
+#[test]
+fn simulate_trace_flag_is_a_pure_observer() {
+    let dir = std::env::temp_dir().join("amdrel-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("sim_observer.trace.json");
+    let trace_path = trace_path.to_str().unwrap();
+    let base = [
+        "simulate", "--app", "ofdm", "--seed", "42", "--njobs", "24", "--json",
+    ];
+    let (ok1, plain, stderr) = amdrel(&base);
+    assert!(ok1, "stderr: {stderr}");
+    let (ok2, traced, stderr) = amdrel(&[
+        "simulate", "--app", "ofdm", "--seed", "42", "--njobs", "24", "--json", "--trace",
+        trace_path,
+    ]);
+    assert!(ok2, "stderr: {stderr}");
+    assert_eq!(
+        plain, traced,
+        "attaching a trace sink must not change the report"
+    );
+    let trace = std::fs::read_to_string(trace_path).expect("trace file written");
+    assert!(trace.contains("\"amdrel-trace/v1\""), "{trace}");
+}
+
+#[test]
+fn traced_faulted_run_records_fault_and_retry_events() {
+    let dir = std::env::temp_dir().join("amdrel-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("sim_faulted.trace.txt");
+    let trace_path = trace_path.to_str().unwrap();
+    let (ok, _, stderr) = amdrel(&[
+        "simulate",
+        "--seed",
+        "42",
+        "--njobs",
+        "40",
+        "--fault-rate",
+        "80",
+        "--degrade",
+        "--trace",
+        trace_path,
+        "--trace-format",
+        "text",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let trace = std::fs::read_to_string(trace_path).expect("trace file written");
+    assert!(
+        trace.contains("fault") || trace.contains("retry"),
+        "a faulted run must surface recovery events in the trace: {trace}"
+    );
+}
+
+#[test]
+fn explore_trace_needs_a_runtime_objective() {
+    let src = write_source("fir_trace_explore.c", FIR);
+    let (ok, _, stderr) = amdrel(&[
+        "explore",
+        src.to_str().unwrap(),
+        "--trace",
+        "/tmp/unused.trace.json",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("runtime objective"), "{stderr}");
+
+    // With a runtime objective the trace of the best frontier point is
+    // written alongside the normal report.
+    let dir = std::env::temp_dir().join("amdrel-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("explore_best.trace.json");
+    let trace_path = trace_path.to_str().unwrap();
+    let (ok, stdout, stderr) = amdrel(&[
+        "explore",
+        src.to_str().unwrap(),
+        "--objectives",
+        "cycles,p95",
+        "--strategy",
+        "random",
+        "--budget",
+        "6",
+        "--njobs",
+        "8",
+        "--trace",
+        trace_path,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Pareto frontier"), "{stdout}");
+    let trace = std::fs::read_to_string(trace_path).expect("trace file written");
+    assert!(trace.contains("\"amdrel-trace/v1\""), "{trace}");
+    assert!(trace.contains("\"arrive\""), "{trace}");
+}
+
+#[test]
+fn profile_prints_phase_json_to_stderr_only() {
+    let (ok, stdout, stderr) = amdrel(&[
+        "simulate",
+        "--app",
+        "ofdm",
+        "--njobs",
+        "8",
+        "--json",
+        "--profile",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("\"amdrel-profile/v1\""), "{stderr}");
+    assert!(stderr.contains("sim.run"), "{stderr}");
+    assert!(
+        !stdout.contains("amdrel-profile"),
+        "wall-clock profile output must never contaminate stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"schema\": \"amdrel-simulate/v4\""),
+        "{stdout}"
+    );
 }
 
 #[test]
