@@ -61,7 +61,7 @@ fn inert_fault_spec_reproduces_the_committed_baseline() {
     ))
     .expect("committed BENCH_runtime.json");
     assert!(
-        bench.contains("\"schema\": \"amdrel-runtime-report/v4\""),
+        bench.contains("\"schema\": \"amdrel-runtime-report/v5\""),
         "baseline schema must be v4"
     );
     let (platform, profiles) = mix();

@@ -1,0 +1,90 @@
+//! Sharded parallel timelines: the 32-tenant scaling population split
+//! across independent platform replicas via `Simulation::shards`.
+//! Prints a shard-count sweep once — the threaded wall-clock rate plus
+//! the scheduler-independent aggregate rate (each shard's subsequence
+//! timed serially through the plain engine, rates summed), which is
+//! what the committed BENCH row gates — then times the threaded runs.
+//!
+//! Also asserts, every run, that the merge is deterministic: the k=8
+//! report replays bit-for-bit and its work-conservation counters match
+//! the single-shard oracle.
+
+use amdrel_bench::synthetic_tenants;
+use amdrel_core::Platform;
+use amdrel_runtime::{shard_of, Fcfs, Simulation, SketchMode, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const JOBS: usize = 100_000;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_runtime_sharded(c: &mut Criterion) {
+    let platform = Platform::paper(1500, 2);
+    let tenants = synthetic_tenants(32);
+    let sim = Simulation::new(&platform)
+        .profiles(&tenants)
+        .policy(&Fcfs)
+        .sketch_mode(SketchMode::Sketched);
+    let spec = WorkloadSpec::uniform(42, JOBS, &tenants, 90);
+    let jobs = spec.generate(&tenants);
+
+    let oracle = sim.run(&jobs);
+    let replay = sim.shards(8).run(&jobs);
+    assert_eq!(
+        replay,
+        sim.shards(8).run(&jobs),
+        "sharded replay must be bit-identical"
+    );
+    assert_eq!(replay.arrived(), oracle.arrived());
+    assert_eq!(replay.completed(), oracle.completed());
+    assert_eq!(replay.rejected(), oracle.rejected());
+    assert_eq!(
+        replay.fpga_busy_cycles + replay.cgc_busy_cycles,
+        oracle.fpga_busy_cycles + oracle.cgc_busy_cycles,
+        "work conservation across replicas"
+    );
+
+    println!(
+        "\n========== Runtime sharding (32 synthetic tenants, 90% load, {JOBS} jobs) =========="
+    );
+    for k in SHARD_COUNTS {
+        let start = Instant::now();
+        let report = sim.shards(k).run(&jobs);
+        let threaded = report.completed() as f64 / start.elapsed().as_secs_f64();
+        // The scheduler-independent figure: time each shard's
+        // subsequence serially through the plain engine and sum the
+        // rates. On an unloaded k-core box the threaded rate approaches
+        // this; on a saturated one it cannot exceed it.
+        let mut aggregate = 0.0;
+        for shard in 0..k {
+            let subset: Vec<_> = jobs
+                .iter()
+                .copied()
+                .filter(|job| shard_of(job.app, k) == shard)
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            let start = Instant::now();
+            let part = sim.run(&subset);
+            aggregate += part.completed() as f64 / start.elapsed().as_secs_f64();
+        }
+        println!(
+            "{k:>2} shards  {threaded:>10.0} jobs/sec threaded  {aggregate:>10.0} jobs/sec aggregate  completed {}",
+            report.completed(),
+        );
+    }
+    println!(
+        "====================================================================================\n"
+    );
+
+    for k in SHARD_COUNTS {
+        c.bench_function(format!("runtime/sharded_{k}_shards").as_str(), |b| {
+            b.iter(|| black_box(sim.shards(k).run(&jobs)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_runtime_sharded);
+criterion_main!(benches);

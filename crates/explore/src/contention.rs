@@ -106,6 +106,7 @@ pub struct RuntimeEvaluator {
     faults: FaultSpec,
     recovery: RecoveryPolicy,
     regions: Option<usize>,
+    shards: usize,
 }
 
 impl RuntimeEvaluator {
@@ -127,6 +128,7 @@ impl RuntimeEvaluator {
             faults: FaultSpec::none(),
             recovery: RecoveryPolicy::default(),
             regions: None,
+            shards: 1,
         }
     }
 
@@ -234,6 +236,30 @@ impl RuntimeEvaluator {
         self.regions
     }
 
+    /// Score candidates with the mix sharded across `shards` parallel
+    /// timelines ([`Simulation::shards`]): tenant `i` runs on platform
+    /// replica `i % shards`, replicas simulate concurrently on scoped
+    /// threads, and the reports merge deterministically. Scoring stays
+    /// bit-deterministic at every shard count, but the count is part of
+    /// the scored scenario — tenants on different shards no longer
+    /// contend for one fabric — so compare frontiers only across runs
+    /// that agree on it. The default (1) is the classic fully-contended
+    /// single timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "a simulation needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count scoring simulations run with (default 1).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// The fault spec the reliability objectives simulate under.
     pub fn faults(&self) -> FaultSpec {
         self.faults
@@ -289,7 +315,8 @@ impl RuntimeEvaluator {
         let mut base = Simulation::new(platform)
             .profiles(&profiles)
             .policy(self.policy.as_ref())
-            .config(self.sim);
+            .config(self.sim)
+            .shards(self.shards);
         if let Some(plan) = plan.as_ref() {
             base = base.regions(plan);
         }
@@ -359,6 +386,7 @@ impl RuntimeEvaluator {
             .profiles(&profiles)
             .policy(self.policy.as_ref())
             .config(self.sim)
+            .shards(self.shards)
             .trace(sink);
         if let Some(plan) = plan.as_ref() {
             sim = sim.regions(plan);
@@ -489,6 +517,28 @@ mod tests {
             faulted,
             faulted_rt.score(&candidate, &platform),
             "faulted scoring is deterministic"
+        );
+    }
+
+    #[test]
+    fn sharded_scoring_is_deterministic_and_work_conserving() {
+        let candidate = evaluator().candidate_profile("cand", 5_000, 1_000, 200, vec![300, 200]);
+        let platform = Platform::paper(1500, 2);
+        let unsharded = evaluator().score(&candidate, &platform);
+        let sharded_rt = evaluator().with_shards(2);
+        assert_eq!(sharded_rt.shards(), 2);
+        let a = sharded_rt.score(&candidate, &platform);
+        let b = sharded_rt.score(&candidate, &platform);
+        assert_eq!(a, b, "sharded scoring replays bit-for-bit");
+        assert_eq!(
+            a.completed + a.rejected,
+            unsharded.completed + unsharded.rejected,
+            "every job is disposed of under any shard count"
+        );
+        // One shard is the classic single timeline, bit for bit.
+        assert_eq!(
+            evaluator().with_shards(1).score(&candidate, &platform),
+            unsharded
         );
     }
 

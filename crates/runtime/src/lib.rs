@@ -26,7 +26,12 @@
 //!   optional bitstream prefetch, an admission bound ([`SimConfig`])
 //!   and streaming latency aggregation ([`SketchMode`]); the historical
 //!   free functions `run_simulation` / `simulate_mix` remain as
-//!   deprecated shims over it;
+//!   deprecated shims over it; [`Simulation::shards`] partitions the
+//!   tenants across `k` independent platform replicas ([`shard_of`]:
+//!   application `i` → shard `i % k`) run on scoped threads and folded
+//!   back with a deterministic shard-order merge, so the merged report
+//!   is independent of thread scheduling and degenerates bit-identically
+//!   to the single-threaded engine at `k == 1`;
 //! * [`RegionPlan`] — a frozen joint floorplan of every tenant's
 //!   configuration footprints (via `amdrel-floorplan`) turning the
 //!   scalar area pool into per-region configuration state: a tenant's
@@ -92,6 +97,7 @@ mod policy;
 mod profile;
 mod region;
 mod report;
+mod shard;
 mod sim;
 mod sketch;
 mod workload;
@@ -105,6 +111,7 @@ pub use policy::{
 pub use profile::{AppProfile, ConfigId, FabricConfig, FALLBACK_FINE_PENALTY};
 pub use region::RegionPlan;
 pub use report::{report_to_json, AppStats, ReliabilityStats, RuntimeReport};
+pub use shard::shard_of;
 #[allow(deprecated)]
 pub use sim::{run_simulation, simulate_mix};
 pub use sim::{SimConfig, Simulation};

@@ -134,9 +134,10 @@ enum Completion {
 
 /// Streaming run accounting: counters plus one [`LatencySketch`] per
 /// application and one aggregate — O(1) memory in the job count when
-/// sketched. Shared by the calendar engine and the `#[cfg(test)]` heap
-/// oracle so differential tests isolate the event-core difference.
-struct Ledger {
+/// sketched. Shared by the calendar engine, the sharded runner (which
+/// folds one ledger per shard) and the `#[cfg(test)]` heap oracle so
+/// differential tests isolate the event-core difference.
+pub(crate) struct Ledger {
     arrived: Vec<u64>,
     rejected: Vec<u64>,
     completed: Vec<u64>,
@@ -162,7 +163,7 @@ struct Ledger {
 }
 
 impl Ledger {
-    fn new(napps: usize, source: LatencySource) -> Self {
+    pub(crate) fn new(napps: usize, source: LatencySource) -> Self {
         Ledger {
             arrived: vec![0; napps],
             rejected: vec![0; napps],
@@ -201,7 +202,48 @@ impl Ledger {
         self.makespan = self.makespan.max(now);
     }
 
-    fn into_report(
+    /// Fold another shard's ledger into this one. Counters add, the
+    /// makespan is the max, and latency sketches merge via
+    /// [`LatencySketch::merge_from`] — exact for both representations,
+    /// so the folded percentiles are a pure function of the union
+    /// multiset and independent of shard count and fold order.
+    pub(crate) fn merge(&mut self, other: Ledger) {
+        for (mine, theirs) in self.arrived.iter_mut().zip(&other.arrived) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.rejected.iter_mut().zip(&other.rejected) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.completed.iter_mut().zip(&other.completed) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.per_app.iter_mut().zip(&other.per_app) {
+            mine.merge_from(theirs);
+        }
+        self.total.merge_from(&other.total);
+        self.clean.merge_from(&other.clean);
+        self.faulted.merge_from(&other.faulted);
+        self.fpga_busy_cycles += other.fpga_busy_cycles;
+        self.reconfig_stall_cycles += other.reconfig_stall_cycles;
+        self.reconfig_loads += other.reconfig_loads;
+        self.cgc_busy_cycles += other.cgc_busy_cycles;
+        self.makespan = self.makespan.max(other.makespan);
+        self.load_failures += other.load_failures;
+        self.fabric_kills += other.fabric_kills;
+        self.slot_outages += other.slot_outages;
+        self.retries += other.retries;
+        self.degraded += other.degraded;
+        self.aborted += other.aborted;
+        self.deadline_misses += other.deadline_misses;
+        self.fault_lost_cycles = self
+            .fault_lost_cycles
+            .saturating_add(other.fault_lost_cycles);
+        self.slot_downtime_cycles = self
+            .slot_downtime_cycles
+            .saturating_add(other.slot_downtime_cycles);
+    }
+
+    pub(crate) fn into_report(
         self,
         profiles: &[AppProfile],
         policy: &str,
@@ -259,7 +301,7 @@ impl Ledger {
     }
 }
 
-struct Engine<'a> {
+pub(crate) struct Engine<'a> {
     profiles: &'a [AppProfile],
     platform: &'a Platform,
     policy: &'a dyn SchedulePolicy,
@@ -292,7 +334,7 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(sim: &Simulation<'a>, source: LatencySource) -> Self {
+    pub(crate) fn new(sim: &Simulation<'a>, source: LatencySource) -> Self {
         // Day width sized from the mean per-job service demand: events
         // land one service time apart on average, so buckets stay short.
         let width_hint = if sim.profiles.is_empty() {
@@ -563,10 +605,20 @@ impl<'a> Engine<'a> {
                             .with_arg(task.attempt as u64),
                     );
                     self.emit(
-                        TraceEvent::instant(TrackId::CgcSlot(slot), now + wasted, "fault_slot")
-                            .with_job(task.job.id),
+                        TraceEvent::instant(
+                            TrackId::CgcSlot(slot),
+                            now.saturating_add(wasted),
+                            "fault_slot",
+                        )
+                        .with_job(task.job.id),
                     );
-                    self.schedule(now + wasted, Completion::SlotFault { task, slot });
+                    // Saturating: dispatches after a near-`u64::MAX`
+                    // slot repair pin to the end of the clock instead
+                    // of overflowing it.
+                    self.schedule(
+                        now.saturating_add(wasted),
+                        Completion::SlotFault { task, slot },
+                    );
                     continue;
                 }
             }
@@ -581,7 +633,10 @@ impl<'a> Engine<'a> {
                 .with_job(task.job.id)
                 .with_arg(task.attempt as u64),
             );
-            self.schedule(now + task.cycles, Completion::Cgc { task, slot });
+            self.schedule(
+                now.saturating_add(task.cycles),
+                Completion::Cgc { task, slot },
+            );
         }
     }
 
@@ -611,12 +666,33 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Drain `jobs` (non-decreasing arrival times) against the platform.
+    /// Drain `jobs` and build the final report ([`Engine::run_core`]
+    /// plus the ledger → report fold).
+    fn run<I: Iterator<Item = Job>>(self, jobs: I) -> RuntimeReport {
+        let profiles = self.profiles;
+        let policy = self.policy.name();
+        let config = self.config;
+        let cgc_slots = self.platform.datapath.cgcs.len();
+        let faults = self.faults;
+        let recovery = self.recovery;
+        let (ledger, queue) = self.run_core(jobs);
+        let mut report = ledger.into_report(profiles, policy, config, cgc_slots, faults, recovery);
+        report.queue = queue;
+        report
+    }
+
+    /// Drain `jobs` (non-decreasing arrival times) against the platform,
+    /// returning the raw accounting instead of a finished report — the
+    /// sharded runner folds one `(Ledger, CalendarStats)` pair per shard
+    /// before building the merged report.
     ///
     /// The lazy merge gives arrivals priority on time ties, reproducing
     /// the historical heap order in which every arrival carried a
     /// smaller sequence number than any completion.
-    fn run<I: Iterator<Item = Job>>(mut self, mut jobs: I) -> RuntimeReport {
+    pub(crate) fn run_core<I: Iterator<Item = Job>>(
+        mut self,
+        mut jobs: I,
+    ) -> (Ledger, CalendarStats) {
         let mut pending = jobs.next();
         let mut last_arrival = 0u64;
         loop {
@@ -686,7 +762,14 @@ impl<'a> Engine<'a> {
                     }
                     Completion::SlotFault { task, slot } => {
                         // The slot stays out of the pool until repair.
-                        self.ledger.slot_downtime_cycles += self.faults.repair_cycles;
+                        // Saturating: a repair window near `u64::MAX`
+                        // pins the slot down for the rest of the run
+                        // instead of overflowing the clock or the
+                        // downtime counter.
+                        self.ledger.slot_downtime_cycles = self
+                            .ledger
+                            .slot_downtime_cycles
+                            .saturating_add(self.faults.repair_cycles);
                         self.emit(TraceEvent::span(
                             TrackId::CgcSlot(slot),
                             now,
@@ -694,7 +777,7 @@ impl<'a> Engine<'a> {
                             "down",
                         ));
                         self.schedule(
-                            now + self.faults.repair_cycles,
+                            now.saturating_add(self.faults.repair_cycles),
                             Completion::SlotRepair { slot },
                         );
                         if task.attempt < self.recovery.max_retries {
@@ -754,16 +837,7 @@ impl<'a> Engine<'a> {
             }
         }
         let queue = self.events.stats();
-        let mut report = self.ledger.into_report(
-            self.profiles,
-            self.policy.name(),
-            self.config,
-            self.platform.datapath.cgcs.len(),
-            self.faults,
-            self.recovery,
-        );
-        report.queue = queue;
-        report
+        (self.ledger, queue)
     }
 }
 
@@ -803,15 +877,16 @@ impl<'a> Engine<'a> {
 /// ```
 #[derive(Clone, Copy)]
 pub struct Simulation<'a> {
-    platform: &'a Platform,
-    profiles: &'a [AppProfile],
-    policy: &'a dyn SchedulePolicy,
-    config: SimConfig,
-    sketch: SketchMode,
-    faults: FaultSpec,
-    recovery: RecoveryPolicy,
-    regions: Option<&'a RegionPlan>,
-    trace: Option<&'a dyn TraceSink>,
+    pub(crate) platform: &'a Platform,
+    pub(crate) profiles: &'a [AppProfile],
+    pub(crate) policy: &'a dyn SchedulePolicy,
+    pub(crate) config: SimConfig,
+    pub(crate) sketch: SketchMode,
+    pub(crate) faults: FaultSpec,
+    pub(crate) recovery: RecoveryPolicy,
+    pub(crate) regions: Option<&'a RegionPlan>,
+    pub(crate) trace: Option<&'a dyn TraceSink>,
+    pub(crate) shards: usize,
 }
 
 impl std::fmt::Debug for Simulation<'_> {
@@ -825,6 +900,7 @@ impl std::fmt::Debug for Simulation<'_> {
             .field("recovery", &self.recovery)
             .field("regions", &self.regions.map(RegionPlan::regions))
             .field("trace", &self.trace.is_some())
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -843,6 +919,7 @@ impl<'a> Simulation<'a> {
             recovery: RecoveryPolicy::default(),
             regions: None,
             trace: None,
+            shards: 1,
         }
     }
 
@@ -933,6 +1010,29 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Partition the tenants across `k` independent shards (application
+    /// `i` lands on shard `i % k`), run one full platform replica per
+    /// shard on scoped threads, and fold the per-shard ledgers, event
+    /// logs and calendar statistics back together in shard order.
+    ///
+    /// The merged report is a pure function of the inputs: every
+    /// deterministic field (counters, makespan, latency percentiles,
+    /// per-app stats, JSON, metrics) is independent of `k`'s thread
+    /// scheduling, and identical to folding the shards serially. With
+    /// `k == 1` — the default — the run routes through the
+    /// single-threaded engine untouched, bit for bit. A workload whose
+    /// jobs all target one application is byte-identical to the
+    /// unsharded run at *every* `k` (the other shards simulate nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn shards(mut self, k: usize) -> Self {
+        assert!(k > 0, "a simulation needs at least one shard");
+        self.shards = k;
+        self
+    }
+
     /// Play an explicit job slice (any order; ties and out-of-order
     /// arrivals replay exactly as the historical heap processed them:
     /// by `(arrival, slice index)`).
@@ -957,15 +1057,27 @@ impl<'a> Simulation<'a> {
             );
         }
         let source = self.sketch.resolve(jobs.len());
-        let engine = Engine::new(self, source);
         if jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival) {
-            engine.run(jobs.iter().copied())
+            self.dispatch(jobs.iter().copied(), source)
         } else {
             // The historical heap ordered arrivals by (time, index); a
             // stable sort on arrival reproduces that exactly.
             let mut order: Vec<usize> = (0..jobs.len()).collect();
             order.sort_by_key(|&i| jobs[i].arrival);
-            engine.run(order.into_iter().map(|i| jobs[i]))
+            self.dispatch(order.into_iter().map(|i| jobs[i]), source)
+        }
+    }
+
+    /// Route a time-sorted job stream to the single-threaded engine or
+    /// the sharded runner. The [`LatencySource`] is resolved from the
+    /// *global* job count before partitioning, so every shard records
+    /// into the same representation and `latency_source` is independent
+    /// of the shard count.
+    fn dispatch<I: Iterator<Item = Job>>(&self, jobs: I, source: LatencySource) -> RuntimeReport {
+        if self.shards > 1 {
+            crate::shard::run_sharded(self, jobs, source)
+        } else {
+            Engine::new(self, source).run(jobs)
         }
     }
 
@@ -984,20 +1096,22 @@ impl<'a> Simulation<'a> {
         let source = self.sketch.resolve(jobs.len());
         let platform_has_cgc = !self.platform.datapath.cgcs.is_empty();
         let nprofiles = self.profiles.len();
-        let engine = Engine::new(self, source);
-        engine.run(jobs.inspect(move |job| {
-            assert!(
-                job.app < nprofiles,
-                "job {} references app {} but only {} profiles given",
-                job.id,
-                job.app,
-                nprofiles
-            );
-            assert!(
-                job.coarse_cycles == 0 || platform_has_cgc,
-                "coarse-grain work needs at least one CGC"
-            );
-        }))
+        self.dispatch(
+            jobs.inspect(move |job| {
+                assert!(
+                    job.app < nprofiles,
+                    "job {} references app {} but only {} profiles given",
+                    job.id,
+                    job.app,
+                    nprofiles
+                );
+                assert!(
+                    job.coarse_cycles == 0 || platform_has_cgc,
+                    "coarse-grain work needs at least one CGC"
+                );
+            }),
+            source,
+        )
     }
 
     /// Generate `spec`'s seeded job stream against the profiles and play

@@ -202,6 +202,27 @@ impl LatencySketch {
         }
     }
 
+    /// Consume `other` and fold it in, returning the merged sketch —
+    /// the combinator form of [`LatencySketch::merge_from`] the sharded
+    /// runner folds per-shard aggregates with.
+    ///
+    /// The merge is **exact-associative**: both representations combine
+    /// as pure functions of the recorded multiset (exact samples
+    /// concatenate counts and values; histogram buckets add), so
+    /// `a.merge(&b).merge(&c)` equals `a.merge(&b.clone().merge(&c))`
+    /// in every queryable field, and any percentile of the result is
+    /// independent of how many shards the sample was split across.
+    ///
+    /// # Panics
+    ///
+    /// As [`LatencySketch::merge_from`]: panics if the representations
+    /// differ.
+    #[must_use]
+    pub fn merge(mut self, other: &LatencySketch) -> LatencySketch {
+        self.merge_from(other);
+        self
+    }
+
     /// Nearest-rank percentile (`q` in percent; 0 for an empty sketch).
     ///
     /// Exact representation: identical to sorting the sample and taking
@@ -345,6 +366,30 @@ mod tests {
         ba.merge_from(&build(&a));
         assert_eq!(ab, ba);
         assert_eq!(ab.percentile(95), ba.percentile(95));
+    }
+
+    #[test]
+    fn merge_combinator_is_exact_associative() {
+        for source in [LatencySource::Exact, LatencySource::Sketched] {
+            let build = |lo: u64, hi: u64| {
+                let mut s = LatencySketch::new(source);
+                (lo..hi).for_each(|v| s.record(v * 37 % 50_021));
+                s
+            };
+            let (a, b, c) = (build(0, 400), build(400, 900), build(900, 1_700));
+            let left = a.clone().merge(&b).merge(&c);
+            let right = a.clone().merge(&b.clone().merge(&c));
+            assert_eq!(left, right, "{source:?}: associativity");
+            // Shard-count invariance: one sketch over the union equals
+            // any split-and-merge of the same multiset.
+            let whole = build(0, 1_700);
+            assert_eq!(left, whole, "{source:?}: split vs whole");
+            for q in [1, 50, 95, 100] {
+                assert_eq!(left.percentile(q), whole.percentile(q));
+            }
+            assert_eq!(left.count(), 1_700);
+            assert_eq!(left.max(), whole.max());
+        }
     }
 
     #[test]

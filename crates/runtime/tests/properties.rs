@@ -294,6 +294,77 @@ proptest! {
         );
     }
 
+    /// A rate-1000 per-mille channel is a certainty, not a coin: every
+    /// decision fires, on every channel, for every `(job, attempt)`
+    /// pair — and the drawn waste fraction stays inside the permille
+    /// range.
+    #[test]
+    fn saturated_fault_channels_always_fire(
+        seed in any::<u64>(),
+        job in any::<u64>(),
+        attempt in 0u32..64,
+    ) {
+        let spec = FaultSpec::uniform(seed, 1000);
+        prop_assert!(spec.load_fails(job, attempt), "rate-1000 load draw did not fire");
+        let kill = spec.fabric_kill(job, attempt);
+        prop_assert!(kill.is_some(), "rate-1000 fabric draw did not fire");
+        prop_assert!(kill.unwrap() < 1000, "waste fraction {:?} out of permille range", kill);
+        let outage = spec.slot_outage(job, attempt);
+        prop_assert!(outage.is_some(), "rate-1000 outage draw did not fire");
+        prop_assert!(outage.unwrap() < 1000, "waste fraction {:?} out of permille range", outage);
+    }
+
+    /// A repair window near `u64::MAX` pins slots down for the rest of
+    /// the run: the clock, the downtime counter and every schedule
+    /// saturate instead of overflowing, conservation still holds, and
+    /// two or more outages drive the recorded downtime to exactly the
+    /// saturation ceiling.
+    #[test]
+    fn huge_repair_windows_saturate_instead_of_overflowing(
+        seed in any::<u64>(),
+        jobs in 1usize..40,
+        slack in 0u64..1u64 << 16,
+        degrade in any::<bool>(),
+    ) {
+        let profiles = tenants(seed);
+        let platform = Platform::paper(1500, 2);
+        let stream = spec_for(seed, &profiles, jobs).generate(&profiles);
+        let mut faults = FaultSpec::none();
+        faults.seed = seed ^ 0x5A5A;
+        faults.outage_permille = 1000;
+        faults.repair_cycles = u64::MAX - slack;
+        let recovery = RecoveryPolicy { degrade, ..RecoveryPolicy::default() };
+        for name in POLICIES {
+            let policy = policy_by_name(name).unwrap();
+            let r = Simulation::new(&platform)
+                .profiles(&profiles)
+                .policy(policy.as_ref())
+                .faults(faults)
+                .recovery(recovery)
+                .run(&stream);
+            prop_assert_eq!(r.arrived(), jobs as u64, "policy {}", name);
+            prop_assert_eq!(
+                r.arrived(),
+                r.completed() + r.rejected() + r.reliability.aborted
+                    + r.reliability.deadline_misses
+            );
+            let outages = r.reliability.slot_outages;
+            let downtime = r.reliability.slot_downtime_cycles;
+            match outages {
+                0 => prop_assert_eq!(downtime, 0),
+                1 => prop_assert_eq!(downtime, faults.repair_cycles),
+                _ => prop_assert_eq!(
+                    downtime,
+                    u64::MAX,
+                    "policy {}: {} huge repairs must saturate the counter", name, outages
+                ),
+            }
+            if degrade {
+                prop_assert_eq!(r.reliability.aborted, 0, "degradation never drops a job");
+            }
+        }
+    }
+
     /// Monotonicity: cutting the reconfiguration latency to zero never
     /// increases the makespan. Asserted under FCFS with an unbounded
     /// queue, where the dispatch order is identical in both runs, so

@@ -24,7 +24,7 @@
 //!                  [--reconfig streamed|region|free]
 //!                  [--regions N | --region-shape RxC]
 //!                  [--fault-rate PERMILLE] [--fault-seed S] [--deadline CYCLES]
-//!                  [--max-retries N] [--degrade] [--json]
+//!                  [--max-retries N] [--degrade] [--shards K] [--json]
 //!                  [--trace FILE] [--trace-format chrome|text] [--profile]
 //! amdrel trace     [simulate flags] [--trace FILE] [--trace-format chrome|text]
 //! amdrel dot       <src.c> [--block N] [--input name=v,v,..]...
@@ -90,6 +90,14 @@
 //! (never stdout — wall time is nondeterministic and stays out of every
 //! deterministic artefact).
 //!
+//! `--shards K` (default 1) partitions the tenants of `simulate` /
+//! `trace` across `K` independent platform replicas (application `i`
+//! lives on shard `i % K`) run on scoped threads and folded back with a
+//! deterministic shard-order merge. `--shards 1` is byte-identical to
+//! the classic single-threaded run; at `K >= 2` the tenants on
+//! different shards no longer contend, so the shard count is part of
+//! the simulated scenario, not a pure observer.
+//!
 //! Exit status: `amdrel <cmd> --help` prints that subcommand's usage on
 //! stdout and exits 0; an unknown subcommand or malformed flags print
 //! the usage on stderr and exit 1.
@@ -151,7 +159,7 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
             "    --app ofdm|jpeg|sobel (repeatable)   --policy fcfs|sjf|priority|affinity\n",
             "    --seed S   --njobs N   --load PCT | --arrival CYCLES   --queue-bound N\n",
             "    --no-config-cache   --prefetch   --sketch auto|exact|sketched\n",
-            "    --area A   --cgcs K\n",
+            "    --area A   --cgcs K   --shards K\n",
             "  faults:\n",
             "    --fault-rate PERMILLE   --fault-seed S   --deadline CYCLES\n",
             "    --max-retries N   --degrade\n",
@@ -231,6 +239,7 @@ struct Options {
     reconfig: Option<String>,
     regions: Option<usize>,
     region_shape: Option<(usize, usize)>,
+    shards: usize,
     trace: Option<String>,
     trace_format: String,
     profile: bool,
@@ -279,6 +288,7 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
         reconfig: None,
         regions: None,
         region_shape: None,
+        shards: 1,
         trace: None,
         trace_format: "chrome".to_owned(),
         profile: false,
@@ -445,6 +455,15 @@ fn parse_options(args: &[String], with_source: bool) -> Result<Options, String> 
                     .map_err(|e| format!("--max-retries: {e}"))?;
             }
             "--degrade" => opts.degrade = true,
+            "--shards" => {
+                let shards: usize = value_of("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards must be a positive shard count".to_owned());
+                }
+                opts.shards = shards;
+            }
             "--trace" => opts.trace = Some(value_of("--trace")?),
             "--trace-format" => {
                 let v = value_of("--trace-format")?;
@@ -916,6 +935,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 .prefetch(opts.prefetch)
                 .queue_bound(std::num::NonZeroUsize::new(opts.queue_bound))
                 .sketch_mode(sketch)
+                .shards(opts.shards)
                 .faults(faults)
                 .recovery(recovery);
             if let Some(plan) = &plan {

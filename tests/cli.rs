@@ -916,6 +916,68 @@ fn profile_prints_phase_json_to_stderr_only() {
 }
 
 #[test]
+fn shards_flag_is_documented_in_the_workload_section() {
+    let (ok, stdout, stderr) = amdrel(&["simulate", "--help"]);
+    assert!(ok, "stderr: {stderr}");
+    let workload = stdout
+        .find("workload:")
+        .expect("simulate --help has a workload section");
+    let next_section = stdout.find("faults:").expect("faults section follows");
+    assert!(
+        stdout[workload..next_section].contains("--shards K"),
+        "--shards belongs to the workload section: {stdout}"
+    );
+}
+
+#[test]
+fn bad_shard_counts_exit_nonzero_with_usage() {
+    for bad in [
+        &["simulate", "--app", "ofdm", "--shards", "0"][..],
+        &["simulate", "--app", "ofdm", "--shards", "many"],
+        &["trace", "--app", "ofdm", "--shards", "0"],
+        &["trace", "--app", "ofdm", "--shards", "-3"],
+    ] {
+        let (ok, _, stderr) = amdrel(bad);
+        assert!(!ok, "{bad:?} must fail");
+        assert!(stderr.contains("error:"), "{bad:?}: {stderr}");
+        assert!(stderr.contains("--shards"), "{bad:?}: {stderr}");
+        assert!(stderr.contains("usage: amdrel"), "{bad:?}: {stderr}");
+    }
+}
+
+#[test]
+fn sharded_single_app_trace_is_byte_identical_to_unsharded() {
+    // With one app every job lands on shard 0, so any shard count must
+    // reproduce the unsharded chrome trace byte-for-byte — the empty
+    // shards contribute nothing and the merge restamps nothing.
+    let base = ["trace", "--app", "ofdm", "--seed", "42", "--njobs", "24"];
+    let (ok, unsharded, stderr) = amdrel(&base);
+    assert!(ok, "stderr: {stderr}");
+    for shards in ["1", "2", "8"] {
+        let (ok, sharded, stderr) = amdrel(&[
+            "trace", "--app", "ofdm", "--seed", "42", "--njobs", "24", "--shards", shards,
+        ]);
+        assert!(ok, "--shards {shards} (stderr: {stderr})");
+        assert_eq!(
+            unsharded, sharded,
+            "--shards {shards} must not perturb a single-app trace"
+        );
+    }
+}
+
+#[test]
+fn sharded_simulate_report_is_bit_deterministic() {
+    let args = [
+        "simulate", "--seed", "42", "--njobs", "40", "--shards", "3", "--json",
+    ];
+    let (ok1, out1, stderr) = amdrel(&args);
+    assert!(ok1, "stderr: {stderr}");
+    let (ok2, out2, _) = amdrel(&args);
+    assert!(ok2);
+    assert_eq!(out1, out2, "sharded runs must replay bit-for-bit");
+}
+
+#[test]
 fn bad_source_is_reported_with_position() {
     let src = write_source("broken.c", "int main() { return q; }");
     let (ok, _, stderr) = amdrel(&["analyze", src.to_str().unwrap()]);

@@ -12,7 +12,10 @@
 //!   (seeded from the test's module path and the case index), so CI
 //!   failures reproduce locally.
 //! * **No shrinking** — a failing case panics with the offending inputs
-//!   rendered via `Debug` instead of a minimised counter-example.
+//!   rendered via `Debug` instead of a minimised counter-example. The
+//!   panic message carries the case's RNG seed, so the exact inputs can
+//!   be rebuilt with [`TestRng::from_seed`] in a scratch test without
+//!   replaying the whole case sweep.
 
 use std::rc::Rc;
 
@@ -474,9 +477,9 @@ macro_rules! __proptest_tests {
                 let test_seed =
                     $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
                 for case in 0..config.cases {
-                    let mut rng = $crate::TestRng::from_seed(
-                        test_seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    );
+                    let case_seed =
+                        test_seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut rng = $crate::TestRng::from_seed(case_seed);
                     $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
                     let inputs = format!(concat!($("  ", stringify!($arg), " = {:#?}\n"),+), $(&$arg),+);
                     let outcome: ::std::result::Result<(), $crate::TestCaseError> =
@@ -487,10 +490,12 @@ macro_rules! __proptest_tests {
                         })();
                     if let ::std::result::Result::Err(e) = outcome {
                         panic!(
-                            "proptest case {}/{} of `{}` failed: {}\ninputs:\n{}",
+                            "proptest case {}/{} of `{}` failed \
+                             (rng seed {:#018x} — replay via TestRng::from_seed): {}\ninputs:\n{}",
                             case + 1,
                             config.cases,
                             stringify!($name),
+                            case_seed,
                             e,
                             inputs,
                         );
